@@ -1,0 +1,280 @@
+//! The DNA alphabet and its sentinel-extended variant.
+//!
+//! EXMA (like every FM-Index system) works over the four-letter DNA alphabet
+//! `{A, C, G, T}` extended with a sentinel `$` that terminates the reference
+//! and is lexicographically smaller than every base. Throughout the
+//! workspace, plain references and reads are sequences of [`Base`]; texts fed
+//! to suffix-array/BWT construction are sequences of [`Symbol`].
+
+use std::fmt;
+
+/// Integer code of the sentinel `$` in the 5-symbol alphabet.
+pub const SENTINEL_CODE: u8 = 0;
+
+/// The full symbol alphabet in lexicographic order: `$ < A < C < G < T`.
+pub const SYMBOL_ALPHABET: [Symbol; 5] = [
+    Symbol::Sentinel,
+    Symbol::Base(Base::A),
+    Symbol::Base(Base::C),
+    Symbol::Base(Base::G),
+    Symbol::Base(Base::T),
+];
+
+/// A single DNA nucleotide.
+///
+/// Bases order `A < C < G < T`, matching both ASCII order and the
+/// lexicographic conventions of the paper (Fig. 3). The discriminants are the
+/// 2-bit packed codes used by [`crate::seq::PackedSeq`] and
+/// [`crate::kmer::Kmer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (code 0).
+    A = 0,
+    /// Cytosine (code 1).
+    C = 1,
+    /// Guanine (code 2).
+    G = 2,
+    /// Thymine (code 3).
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in lexicographic order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Builds a base from its 2-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            _ => panic!("invalid 2-bit base code {code}"),
+        }
+    }
+
+    /// The 2-bit packed code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses an ASCII nucleotide (case-insensitive). Returns `None` for
+    /// non-ACGT characters (including IUPAC ambiguity codes).
+    #[inline]
+    pub fn from_ascii(ch: u8) -> Option<Base> {
+        match ch {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The ASCII letter for this base.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson-Crick complement (`A<->T`, `C<->G`).
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// `true` for G or C; used by the GC-bias knob of the genome generator.
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_ascii() as char
+    }
+}
+
+/// A symbol of the sentinel-extended alphabet `{$, A, C, G, T}`.
+///
+/// Ordering places the sentinel first: `$ < A < C < G < T` (the paper's
+/// convention, Fig. 3a). [`Symbol::code`] maps to `0..=4` accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// The terminator `$`, lexicographically smallest.
+    Sentinel,
+    /// A regular nucleotide.
+    Base(Base),
+}
+
+impl Symbol {
+    /// Builds a symbol from its 3-bit code (`0 => $`, `1..=4 => A..T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 4`.
+    #[inline]
+    pub fn from_code(code: u8) -> Symbol {
+        match code {
+            0 => Symbol::Sentinel,
+            c @ 1..=4 => Symbol::Base(Base::from_code(c - 1)),
+            _ => panic!("invalid symbol code {code}"),
+        }
+    }
+
+    /// The code in `0..=4` (`$` is 0, bases are `base.code() + 1`).
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            Symbol::Sentinel => SENTINEL_CODE,
+            Symbol::Base(b) => b.code() + 1,
+        }
+    }
+
+    /// Returns the inner base, or `None` for the sentinel.
+    #[inline]
+    pub fn base(self) -> Option<Base> {
+        match self {
+            Symbol::Sentinel => None,
+            Symbol::Base(b) => Some(b),
+        }
+    }
+
+    /// `true` iff this symbol is the sentinel.
+    #[inline]
+    pub fn is_sentinel(self) -> bool {
+        matches!(self, Symbol::Sentinel)
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.code().cmp(&other.code())
+    }
+}
+
+impl From<Base> for Symbol {
+    fn from(b: Base) -> Symbol {
+        Symbol::Base(b)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Sentinel => write!(f, "$"),
+            Symbol::Base(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Parses an ASCII string of `ACGT` letters into bases.
+///
+/// # Errors
+///
+/// Returns the byte offset of the first non-ACGT character.
+pub fn parse_bases(s: &str) -> Result<Vec<Base>, usize> {
+    s.bytes()
+        .enumerate()
+        .map(|(i, ch)| Base::from_ascii(ch).ok_or(i))
+        .collect()
+}
+
+/// Renders a base slice as an ASCII string.
+pub fn bases_to_string(bases: &[Base]) -> String {
+    bases.iter().map(|&b| b.to_ascii() as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_codes_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+    }
+
+    #[test]
+    fn base_ordering_is_lexicographic() {
+        assert!(Base::A < Base::C && Base::C < Base::G && Base::G < Base::T);
+    }
+
+    #[test]
+    fn symbol_codes_round_trip() {
+        for code in 0..=4u8 {
+            assert_eq!(Symbol::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn sentinel_is_smallest() {
+        for b in Base::ALL {
+            assert!(Symbol::Sentinel < Symbol::Base(b));
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn gc_classification() {
+        assert!(Base::G.is_gc() && Base::C.is_gc());
+        assert!(!Base::A.is_gc() && !Base::T.is_gc());
+    }
+
+    #[test]
+    fn parse_rejects_ambiguity_codes() {
+        assert_eq!(parse_bases("ACGT").unwrap().len(), 4);
+        assert_eq!(parse_bases("ACNGT"), Err(2));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let bases = parse_bases("GATTACA").unwrap();
+        assert_eq!(bases_to_string(&bases), "GATTACA");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid 2-bit base code")]
+    fn from_code_rejects_out_of_range() {
+        let _ = Base::from_code(4);
+    }
+}

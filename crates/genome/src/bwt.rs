@@ -1,0 +1,183 @@
+//! Burrows-Wheeler transform and the `Count` table.
+//!
+//! The BWT is the last column of the sorted rotation matrix (paper Fig. 3a);
+//! with a sentinel-terminated text it is derived from the suffix array as
+//! `BWT[i] = text[SA[i] - 1]` (cyclically). `Count(s)` — the number of text
+//! symbols lexicographically smaller than `s` (Fig. 3c) — seeds every
+//! backward-search iteration.
+
+use crate::alphabet::{Symbol, SYMBOL_ALPHABET};
+
+/// Derives the BWT from a text and its suffix array.
+///
+/// `BWT[i]` is the symbol cyclically preceding suffix `sa[i]`, i.e. the last
+/// column of the Burrows-Wheeler matrix.
+///
+/// # Panics
+///
+/// Panics if `sa` is not the same length as `text`.
+pub fn bwt_from_sa(text: &[Symbol], sa: &[u32]) -> Vec<Symbol> {
+    assert_eq!(text.len(), sa.len(), "suffix array length mismatch");
+    sa.iter()
+        .map(|&p| {
+            if p == 0 {
+                text[text.len() - 1]
+            } else {
+                text[(p - 1) as usize]
+            }
+        })
+        .collect()
+}
+
+/// The inverse permutation of the suffix array: `isa[sa[i]] = i`.
+///
+/// Used by the LISA IP-BWT construction, where each entry needs the matrix
+/// row of the rotation starting `k` positions later.
+///
+/// # Panics
+///
+/// Panics if `sa` is not a permutation of `0..sa.len()`.
+pub fn inverse_suffix_array(sa: &[u32]) -> Vec<u32> {
+    let mut isa = vec![u32::MAX; sa.len()];
+    for (row, &pos) in sa.iter().enumerate() {
+        assert!(
+            (pos as usize) < sa.len() && isa[pos as usize] == u32::MAX,
+            "suffix array is not a permutation"
+        );
+        isa[pos as usize] = row as u32;
+    }
+    isa
+}
+
+/// The `Count` table over the 5-symbol alphabet `{$, A, C, G, T}`.
+///
+/// `Count(s)` is the number of symbols in the text strictly smaller than `s`
+/// (paper Fig. 3c). Equivalently it is the matrix row where suffixes starting
+/// with `s` begin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountTable {
+    /// `starts[c]` = number of symbols with code `< c`; `starts[5]` = n.
+    starts: [u64; 6],
+}
+
+impl CountTable {
+    /// Counts symbol occurrences in `text` and accumulates them.
+    pub fn from_text(text: &[Symbol]) -> CountTable {
+        let mut freq = [0u64; 5];
+        for &s in text {
+            freq[s.code() as usize] += 1;
+        }
+        let mut starts = [0u64; 6];
+        for c in 0..5 {
+            starts[c + 1] = starts[c] + freq[c];
+        }
+        CountTable { starts }
+    }
+
+    /// `Count(s)`: number of text symbols lexicographically smaller than `s`.
+    #[inline]
+    pub fn count(&self, s: Symbol) -> u64 {
+        self.starts[s.code() as usize]
+    }
+
+    /// Number of occurrences of `s` in the text.
+    #[inline]
+    pub fn frequency(&self, s: Symbol) -> u64 {
+        self.starts[s.code() as usize + 1] - self.starts[s.code() as usize]
+    }
+
+    /// Total text length (including the sentinel).
+    #[inline]
+    pub fn text_len(&self) -> u64 {
+        self.starts[5]
+    }
+
+    /// The symbol whose suffix-array bucket contains `row`, i.e. the first
+    /// symbol of the `row`-th smallest suffix.
+    pub fn symbol_at_row(&self, row: u64) -> Symbol {
+        assert!(row < self.text_len(), "row {row} out of range");
+        for &s in SYMBOL_ALPHABET.iter().rev() {
+            if self.starts[s.code() as usize] <= row {
+                return s;
+            }
+        }
+        unreachable!("row 0 is always in the sentinel bucket")
+    }
+}
+
+/// Convenience wrapper building the `Count` table directly from a text.
+pub fn count_table(text: &[Symbol]) -> CountTable {
+    CountTable::from_text(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::text_from_str;
+    use crate::suffix::suffix_array;
+
+    fn symbols_to_string(bwt: &[Symbol]) -> String {
+        bwt.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_bwt() {
+        // Fig. 3(a): BWT(CATAGA$) = AGTC$AA.
+        let text = text_from_str("CATAGA").unwrap();
+        let sa = suffix_array(&text);
+        assert_eq!(symbols_to_string(&bwt_from_sa(&text, &sa)), "AGTC$AA");
+    }
+
+    #[test]
+    fn paper_example_count() {
+        // Fig. 3(c): Count(A)=1, Count(C)=4, Count(G)=5, Count(T)=6.
+        use crate::alphabet::Base;
+        let text = text_from_str("CATAGA").unwrap();
+        let table = count_table(&text);
+        assert_eq!(table.count(Symbol::Sentinel), 0);
+        assert_eq!(table.count(Symbol::Base(Base::A)), 1);
+        assert_eq!(table.count(Symbol::Base(Base::C)), 4);
+        assert_eq!(table.count(Symbol::Base(Base::G)), 5);
+        assert_eq!(table.count(Symbol::Base(Base::T)), 6);
+    }
+
+    #[test]
+    fn frequencies_sum_to_length() {
+        let text = text_from_str("GATTACAGGGCAT").unwrap();
+        let table = count_table(&text);
+        let total: u64 = SYMBOL_ALPHABET.iter().map(|&s| table.frequency(s)).sum();
+        assert_eq!(total, text.len() as u64);
+        assert_eq!(table.text_len(), text.len() as u64);
+    }
+
+    #[test]
+    fn inverse_sa_round_trip() {
+        let text = text_from_str("ACGTTGCAACG").unwrap();
+        let sa = suffix_array(&text);
+        let isa = inverse_suffix_array(&sa);
+        for (row, &pos) in sa.iter().enumerate() {
+            assert_eq!(isa[pos as usize] as usize, row);
+        }
+    }
+
+    #[test]
+    fn symbol_at_row_matches_first_symbol() {
+        let text = text_from_str("GATTACA").unwrap();
+        let sa = suffix_array(&text);
+        let table = count_table(&text);
+        for (row, &pos) in sa.iter().enumerate() {
+            assert_eq!(table.symbol_at_row(row as u64), text[pos as usize]);
+        }
+    }
+
+    #[test]
+    fn bwt_is_permutation_of_text() {
+        let text = text_from_str("ACGTACGTTGCA").unwrap();
+        let sa = suffix_array(&text);
+        let mut bwt = bwt_from_sa(&text, &sa);
+        let mut sorted_text = text.clone();
+        bwt.sort();
+        sorted_text.sort();
+        assert_eq!(bwt, sorted_text);
+    }
+}

@@ -1,0 +1,299 @@
+//! Linear-time suffix-array construction (SA-IS).
+//!
+//! Every FM-Index structure in this workspace — the 1-step index, the k-step
+//! index, LISA's IP-BWT, and the EXMA table itself — is derived from the
+//! suffix array of the sentinel-terminated reference. References at the pinus
+//! profile are ~32 Mbp, so an O(n log^2 n) comparison sort is not acceptable;
+//! we implement the SA-IS induced-sorting algorithm (Nong, Zhang & Chan,
+//! 2009), which is O(n) and the method used by production tools.
+//!
+//! Because the reference ends with a unique, lexicographically smallest
+//! sentinel, sorting suffixes is equivalent to sorting the cyclic rotations
+//! of the Burrows-Wheeler matrix in the paper's Fig. 3(a).
+
+use crate::alphabet::Symbol;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Builds the suffix array of `text`.
+///
+/// `text` must be a sentinel-terminated symbol string: the final symbol must
+/// be `$` and `$` must not occur anywhere else. The returned vector `sa`
+/// satisfies: `sa[i]` is the starting position of the i-th smallest suffix.
+///
+/// ```
+/// use exma_genome::{suffix_array, Genome, GenomeProfile};
+///
+/// // G = CATAGA$ (the paper's Fig. 3 example)
+/// let text = exma_genome::genome::text_from_str("CATAGA").unwrap();
+/// assert_eq!(suffix_array(&text), vec![6, 5, 3, 1, 0, 4, 2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `text` is empty, does not end with the sentinel, or contains
+/// the sentinel before the final position.
+pub fn suffix_array(text: &[Symbol]) -> Vec<u32> {
+    assert!(!text.is_empty(), "text must be sentinel-terminated, got empty");
+    assert!(
+        text.last().unwrap().is_sentinel(),
+        "text must end with the sentinel"
+    );
+    assert!(
+        text[..text.len() - 1].iter().all(|s| !s.is_sentinel()),
+        "sentinel must only appear at the final position"
+    );
+    assert!(
+        text.len() <= u32::MAX as usize - 1,
+        "text longer than u32 range is not supported"
+    );
+    let codes: Vec<u32> = text.iter().map(|s| s.code() as u32).collect();
+    let mut sa = vec![EMPTY; codes.len()];
+    sais(&codes, &mut sa, 5);
+    sa
+}
+
+/// Core SA-IS recursion over an integer alphabet `0..sigma`.
+///
+/// `text` must end with a unique smallest symbol (0 by convention at the top
+/// level; the recursion guarantees it internally).
+fn sais(text: &[u32], sa: &mut [u32], sigma: usize) {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    if n == 2 {
+        // The sentinel (last) is always the smaller suffix.
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // --- classify suffixes: S-type (true) or L-type (false) ---
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // --- bucket boundaries per symbol ---
+    let mut bucket_sizes = vec![0u32; sigma];
+    for &c in text {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |sizes: &[u32]| -> Vec<u32> {
+        let mut heads = vec![0u32; sigma];
+        let mut sum = 0;
+        for (h, &s) in heads.iter_mut().zip(sizes) {
+            *h = sum;
+            sum += s;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[u32]| -> Vec<u32> {
+        let mut tails = vec![0u32; sigma];
+        let mut sum = 0;
+        for (t, &s) in tails.iter_mut().zip(sizes) {
+            sum += s;
+            *t = sum;
+        }
+        tails
+    };
+
+    // Induced sort: given LMS suffixes placed at bucket tails (in `sa`),
+    // derive the order of all L-type then all S-type suffixes.
+    let induce = |sa: &mut [u32]| {
+        // L-type pass, left to right.
+        let mut heads = bucket_heads(&bucket_sizes);
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && j > 0 && !is_s[(j - 1) as usize] {
+                let c = text[(j - 1) as usize] as usize;
+                sa[heads[c] as usize] = j - 1;
+                heads[c] += 1;
+            }
+        }
+        // S-type pass, right to left.
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j != EMPTY && j > 0 && is_s[(j - 1) as usize] {
+                let c = text[(j - 1) as usize] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = j - 1;
+            }
+        }
+    };
+
+    // --- pass 1: approximately sort LMS suffixes by their first symbol ---
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = text[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(sa);
+
+    // --- name LMS substrings in their sorted order ---
+    let lms_count = (1..n).filter(|&i| is_lms(i)).count();
+    // Sorted LMS positions, extracted from the induced SA.
+    let mut sorted_lms = Vec::with_capacity(lms_count);
+    for &j in sa.iter() {
+        if j != EMPTY && is_lms(j as usize) {
+            sorted_lms.push(j);
+        }
+    }
+    debug_assert_eq!(sorted_lms.len(), lms_count);
+
+    // Compare consecutive LMS substrings for equality to assign names.
+    let lms_substring_end = |i: usize| -> usize {
+        // The LMS substring starting at i runs to the next LMS position
+        // (inclusive); the final sentinel is its own substring.
+        if i == n - 1 {
+            return n - 1;
+        }
+        let mut j = i + 1;
+        while j < n && !is_lms(j) {
+            j += 1;
+        }
+        j.min(n - 1)
+    };
+    let lms_equal = |a: usize, b: usize| -> bool {
+        let (ea, eb) = (lms_substring_end(a), lms_substring_end(b));
+        if ea - a != eb - b {
+            return false;
+        }
+        for k in 0..=(ea - a) {
+            if text[a + k] != text[b + k] || is_s[a + k] != is_s[b + k] {
+                return false;
+            }
+        }
+        true
+    };
+
+    let mut names = vec![EMPTY; n];
+    let mut current = 0u32;
+    let mut prev: Option<u32> = None;
+    for &pos in &sorted_lms {
+        if let Some(p) = prev {
+            if !lms_equal(p as usize, pos as usize) {
+                current += 1;
+            }
+        }
+        names[pos as usize] = current;
+        prev = Some(pos);
+    }
+    let name_count = (current + 1) as usize;
+
+    // --- order LMS suffixes exactly ---
+    // Reduced text: names of LMS substrings in text order.
+    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    let lms_order: Vec<u32> = if name_count == lms_count {
+        // Names are unique: the induced order is already exact.
+        sorted_lms
+    } else {
+        let reduced: Vec<u32> = lms_positions
+            .iter()
+            .map(|&p| names[p as usize])
+            .collect();
+        let mut reduced_sa = vec![EMPTY; reduced.len()];
+        sais(&reduced, &mut reduced_sa, name_count);
+        reduced_sa
+            .iter()
+            .map(|&r| lms_positions[r as usize])
+            .collect()
+    };
+
+    // --- pass 2: final induced sort from the exact LMS order ---
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &pos in lms_order.iter().rev() {
+            let c = text[pos as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = pos;
+        }
+    }
+    induce(sa);
+}
+
+/// Reference O(n^2 log n) suffix sort used to cross-check SA-IS in tests and
+/// small examples. Exposed so downstream crates' tests can validate too.
+pub fn naive_suffix_array(text: &[Symbol]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::text_from_str;
+
+    #[test]
+    fn paper_example_catagata() {
+        // Fig. 3(a): G = CATAGA$, SA column = 6 5 3 1 0 4 2.
+        let text = text_from_str("CATAGA").unwrap();
+        assert_eq!(suffix_array(&text), vec![6, 5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_strings() {
+        for s in [
+            "A",
+            "AAAA",
+            "ACGT",
+            "GATTACA",
+            "TTTTTTTTTT",
+            "ACGTACGTACGTACGT",
+            "GGGCCCAAATTTGGGCCCAAATTT",
+        ] {
+            let text = text_from_str(s).unwrap();
+            assert_eq!(suffix_array(&text), naive_suffix_array(&text), "text {s}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_strings() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let len = rng.gen_range(1..200);
+            let s: String = (0..len)
+                .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)])
+                .collect();
+            let text = text_from_str(&s).unwrap();
+            assert_eq!(suffix_array(&text), naive_suffix_array(&text), "text {s}");
+        }
+    }
+
+    #[test]
+    fn sa_is_a_permutation() {
+        let text = text_from_str("ACGTACGTTGCAACGT").unwrap();
+        let mut sa = suffix_array(&text);
+        sa.sort_unstable();
+        let expect: Vec<u32> = (0..text.len() as u32).collect();
+        assert_eq!(sa, expect);
+    }
+
+    #[test]
+    fn handles_single_base() {
+        let text = text_from_str("G").unwrap();
+        assert_eq!(suffix_array(&text), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn rejects_missing_sentinel() {
+        use crate::alphabet::{Base, Symbol};
+        let _ = suffix_array(&[Symbol::Base(Base::A)]);
+    }
+}
