@@ -59,7 +59,10 @@ impl Kmer {
     ///
     /// Panics if `k` is out of range or `rank >= 4^k`.
     pub fn from_rank(rank: u64, k: usize) -> Kmer {
-        assert!(k >= 1 && k <= MAX_K, "k must be in 1..={MAX_K}, got {k}");
+        assert!(
+            (1..=MAX_K).contains(&k),
+            "k must be in 1..={MAX_K}, got {k}"
+        );
         assert!(rank < count(k), "rank {rank} out of range for k={k}");
         Kmer { rank, k: k as u8 }
     }
@@ -97,7 +100,11 @@ impl Kmer {
     /// Panics if `i >= k`.
     #[inline]
     pub fn base(self, i: usize) -> Base {
-        assert!(i < self.k as usize, "index {i} out of bounds for k={}", self.k);
+        assert!(
+            i < self.k as usize,
+            "index {i} out of bounds for k={}",
+            self.k
+        );
         let shift = 2 * (self.k as usize - 1 - i);
         Base::from_code(((self.rank >> shift) & 0b11) as u8)
     }
@@ -192,7 +199,7 @@ impl ExactSizeIterator for KmerIter<'_> {}
 
 /// All overlapping k-mer windows of `seq`, left to right.
 pub fn kmers_of(seq: &PackedSeq, k: usize) -> KmerIter<'_> {
-    assert!(k >= 1 && k <= MAX_K);
+    assert!((1..=MAX_K).contains(&k));
     KmerIter { seq, pos: 0, k }
 }
 

@@ -27,6 +27,7 @@ pub mod bwt;
 pub mod genome;
 pub mod kmer;
 pub mod reads;
+pub mod rng;
 pub mod seq;
 pub mod suffix;
 
@@ -35,5 +36,6 @@ pub use bwt::{bwt_from_sa, count_table, inverse_suffix_array, CountTable};
 pub use genome::{Genome, GenomeProfile};
 pub use kmer::{Kmer, KmerIter};
 pub use reads::{ErrorProfile, LongReadSimulator, Read, ReadOrigin, ShortReadSimulator};
+pub use rng::SeededRng;
 pub use seq::PackedSeq;
-pub use suffix::suffix_array;
+pub use suffix::{naive_suffix_array, suffix_array};

@@ -1,0 +1,222 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! Every stochastic component of the workspace — genome synthesis, read
+//! simulation, property tests — must be reproducible from a single `u64`
+//! seed so that benchmark inputs are identical across machines and CI runs
+//! (the same discipline the SPEChpc harnesses apply to their input decks).
+//! The container builds fully offline, so instead of the `rand` crate this
+//! module implements xoshiro256** (Blackman & Vigna, 2018) seeded through
+//! SplitMix64 — the same combination `rand` uses for `SmallRng` on 64-bit
+//! platforms (streams are not bit-compatible with any `rand` generator).
+
+use crate::alphabet::Base;
+
+/// A seeded xoshiro256** generator.
+///
+/// ```
+/// use exma_genome::SeededRng;
+///
+/// let mut a = SeededRng::new(42);
+/// let mut b = SeededRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    state: [u64; 4],
+}
+
+/// One step of SplitMix64, used to expand the seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeededRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SeededRng {
+        let mut sm = seed;
+        // SplitMix64 expansion guarantees a non-zero xoshiro state even for
+        // seed 0, as recommended by the xoshiro authors.
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SeededRng { state }
+    }
+
+    /// Derives an independent child generator; advances this one.
+    ///
+    /// Used to give each simulated read / genome segment its own stream so
+    /// that inserting one extra draw in a component does not reshuffle every
+    /// downstream component.
+    pub fn fork(&mut self) -> SeededRng {
+        SeededRng::new(self.next_u64())
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `0..bound` (Lemire's widening-multiply method,
+    /// debiased by rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Rejection threshold: multiples of `bound` representable in u64.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniformly chosen base.
+    #[inline]
+    pub fn base(&mut self) -> Base {
+        Base::from_code(self.below(4) as u8)
+    }
+
+    /// A base drawn with G+C probability `gc` (split evenly within each
+    /// pair), the GC-bias primitive of the genome generator.
+    pub fn base_gc(&mut self, gc: f64) -> Base {
+        if self.chance(gc) {
+            if self.chance(0.5) {
+                Base::G
+            } else {
+                Base::C
+            }
+        } else if self.chance(0.5) {
+            Base::A
+        } else {
+            Base::T
+        }
+    }
+
+    /// A uniformly chosen base different from `b` (substitution errors).
+    pub fn base_other_than(&mut self, b: Base) -> Base {
+        let offset = 1 + self.below(3) as u8;
+        Base::from_code((b.code() + offset) % 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SeededRng::new(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = SeededRng::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SeededRng::new(5);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gc_bias_shifts_composition() {
+        let mut rng = SeededRng::new(9);
+        let gc_rich = (0..10_000).filter(|_| rng.base_gc(0.8).is_gc()).count();
+        let gc_poor = (0..10_000).filter(|_| rng.base_gc(0.2).is_gc()).count();
+        assert!(gc_rich > 7_000, "gc-rich draw produced {gc_rich}/10000 GC");
+        assert!(gc_poor < 3_000, "gc-poor draw produced {gc_poor}/10000 GC");
+    }
+
+    #[test]
+    fn substitution_never_returns_same_base() {
+        let mut rng = SeededRng::new(13);
+        for b in Base::ALL {
+            for _ in 0..100 {
+                assert_ne!(rng.base_other_than(b), b);
+            }
+        }
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SeededRng::new(21);
+        let mut b = SeededRng::new(21);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

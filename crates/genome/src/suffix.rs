@@ -34,7 +34,10 @@ const EMPTY: u32 = u32::MAX;
 /// Panics if `text` is empty, does not end with the sentinel, or contains
 /// the sentinel before the final position.
 pub fn suffix_array(text: &[Symbol]) -> Vec<u32> {
-    assert!(!text.is_empty(), "text must be sentinel-terminated, got empty");
+    assert!(
+        !text.is_empty(),
+        "text must be sentinel-terminated, got empty"
+    );
     assert!(
         text.last().unwrap().is_sentinel(),
         "text must end with the sentinel"
@@ -44,7 +47,7 @@ pub fn suffix_array(text: &[Symbol]) -> Vec<u32> {
         "sentinel must only appear at the final position"
     );
     assert!(
-        text.len() <= u32::MAX as usize - 1,
+        text.len() < u32::MAX as usize,
         "text longer than u32 range is not supported"
     );
     let codes: Vec<u32> = text.iter().map(|s| s.code() as u32).collect();
@@ -200,10 +203,7 @@ fn sais(text: &[u32], sa: &mut [u32], sigma: usize) {
         // Names are unique: the induced order is already exact.
         sorted_lms
     } else {
-        let reduced: Vec<u32> = lms_positions
-            .iter()
-            .map(|&p| names[p as usize])
-            .collect();
+        let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
         let mut reduced_sa = vec![EMPTY; reduced.len()];
         sais(&reduced, &mut reduced_sa, name_count);
         reduced_sa
@@ -263,13 +263,11 @@ mod tests {
 
     #[test]
     fn matches_naive_on_random_strings() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(7);
         for _ in 0..50 {
-            let len = rng.gen_range(1..200);
-            let s: String = (0..len)
-                .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)])
-                .collect();
+            let len = rng.range(1, 200);
+            let s: String = (0..len).map(|_| char::from(rng.base())).collect();
             let text = text_from_str(&s).unwrap();
             assert_eq!(suffix_array(&text), naive_suffix_array(&text), "text {s}");
         }

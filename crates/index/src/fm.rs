@@ -1,0 +1,263 @@
+//! The FM-index: backward-search `count` and `locate`.
+//!
+//! This is the software baseline EXMA accelerates (paper §II): a C-array
+//! (`CountTable`), a sampled occurrence table over the BWT, and a sampled
+//! suffix array. `count` runs one LF-refinement per pattern symbol, right
+//! to left; `locate` resolves each row of the final interval by LF-walking
+//! to a sampled row. Every future PR — k-step indexing, batching, the EXMA
+//! table itself — is measured against this query path.
+
+use std::ops::Range;
+
+use exma_genome::genome::Genome;
+use exma_genome::{bwt_from_sa, count_table, suffix_array, Base, CountTable, Symbol};
+
+use crate::occ::OccTable;
+use crate::sampled_sa::SampledSuffixArray;
+
+/// Space/latency knobs for index construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmBuildConfig {
+    /// Checkpoint spacing of the occurrence table (BWT symbols).
+    pub occ_sample_rate: usize,
+    /// Text-position spacing of kept suffix-array samples.
+    pub sa_sample_rate: usize,
+}
+
+impl Default for FmBuildConfig {
+    /// The BWA-style defaults: Occ checkpoints every 64 symbols, SA samples
+    /// every 32 positions.
+    fn default() -> FmBuildConfig {
+        FmBuildConfig {
+            occ_sample_rate: 64,
+            sa_sample_rate: 32,
+        }
+    }
+}
+
+/// An FM-index over a sentinel-terminated text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmIndex {
+    counts: CountTable,
+    occ: OccTable,
+    ssa: SampledSuffixArray,
+}
+
+impl FmIndex {
+    /// Builds the index from a sentinel-terminated symbol text with the
+    /// given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is not sentinel-terminated (see
+    /// [`exma_genome::suffix_array`]) or a sample rate is zero.
+    pub fn from_text_with_config(text: &[Symbol], config: FmBuildConfig) -> FmIndex {
+        let sa = suffix_array(text);
+        let bwt = bwt_from_sa(text, &sa);
+        FmIndex {
+            counts: count_table(text),
+            occ: OccTable::new(&bwt, config.occ_sample_rate),
+            ssa: SampledSuffixArray::new(&sa, config.sa_sample_rate),
+        }
+    }
+
+    /// Builds the index from a sentinel-terminated symbol text with default
+    /// sampling rates.
+    pub fn from_text(text: &[Symbol]) -> FmIndex {
+        FmIndex::from_text_with_config(text, FmBuildConfig::default())
+    }
+
+    /// Builds the index for a genome's reference sequence.
+    ///
+    /// ```
+    /// use exma_genome::{Genome, GenomeProfile};
+    /// use exma_index::FmIndex;
+    ///
+    /// let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+    /// let fm = FmIndex::from_genome(&genome);
+    /// let pattern = genome.seq().slice(100, 20);
+    /// assert!(fm.locate(&pattern).contains(&100));
+    /// ```
+    pub fn from_genome(genome: &Genome) -> FmIndex {
+        FmIndex::from_text(&genome.text_with_sentinel())
+    }
+
+    /// Length of the indexed text, including the sentinel.
+    pub fn text_len(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// The C-array of the indexed text.
+    pub fn counts(&self) -> &CountTable {
+        &self.counts
+    }
+
+    /// The occurrence table.
+    pub fn occ(&self) -> &OccTable {
+        &self.occ
+    }
+
+    /// The sampled suffix array.
+    pub fn sampled_sa(&self) -> &SampledSuffixArray {
+        &self.ssa
+    }
+
+    /// LF-mapping: the suffix-array row of the suffix starting one text
+    /// position before the suffix at `row` (cyclically for the sentinel
+    /// row). One LF step is the unit of work EXMA's hardware pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.text_len()`.
+    pub fn lf(&self, row: usize) -> usize {
+        let s = self.occ.symbol(row);
+        (self.counts.count(s) + self.occ.rank(s, row)) as usize
+    }
+
+    /// The suffix-array interval of rows whose suffixes start with
+    /// `pattern` — the backward-search loop of paper Fig. 2.
+    ///
+    /// The empty pattern matches every row. An empty range means no
+    /// occurrences.
+    pub fn backward_search(&self, pattern: &[Base]) -> Range<usize> {
+        let mut lo = 0usize;
+        let mut hi = self.text_len();
+        for &b in pattern.iter().rev() {
+            let s = Symbol::Base(b);
+            let c = self.counts.count(s) as usize;
+            lo = c + self.occ.rank(s, lo) as usize;
+            hi = c + self.occ.rank(s, hi) as usize;
+            if lo >= hi {
+                return 0..0;
+            }
+        }
+        lo..hi
+    }
+
+    /// Number of occurrences of `pattern` in the reference.
+    pub fn count(&self, pattern: &[Base]) -> usize {
+        self.backward_search(pattern).len()
+    }
+
+    /// All starting positions of `pattern` in the reference, sorted
+    /// ascending. Resolves each interval row by LF-walking to a sampled
+    /// row — at most `sa_sample_rate - 1` steps, since text positions
+    /// decrease by one per step and every multiple of the rate is sampled.
+    pub fn locate(&self, pattern: &[Base]) -> Vec<u32> {
+        let mut positions: Vec<u32> = self
+            .backward_search(pattern)
+            .map(|row| self.resolve_row(row))
+            .collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    /// The suffix-array value of `row`, via the sampled suffix array.
+    pub fn resolve_row(&self, mut row: usize) -> u32 {
+        let mut steps = 0u32;
+        loop {
+            if let Some(pos) = self.ssa.get(row) {
+                return pos + steps;
+            }
+            row = self.lf(row);
+            steps += 1;
+        }
+    }
+
+    /// Heap bytes of all index components.
+    pub fn heap_bytes(&self) -> usize {
+        self.occ.heap_bytes() + self.ssa.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::alphabet::parse_bases;
+    use exma_genome::genome::text_from_str;
+
+    fn fig3_index() -> FmIndex {
+        // The paper's running example: G = CATAGA$.
+        FmIndex::from_text_with_config(
+            &text_from_str("CATAGA").unwrap(),
+            FmBuildConfig {
+                occ_sample_rate: 2,
+                sa_sample_rate: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn fig3_counts() {
+        let fm = fig3_index();
+        assert_eq!(fm.count(&parse_bases("A").unwrap()), 3);
+        assert_eq!(fm.count(&parse_bases("TA").unwrap()), 1);
+        assert_eq!(fm.count(&parse_bases("AGA").unwrap()), 1);
+        assert_eq!(fm.count(&parse_bases("CATAGA").unwrap()), 1);
+        assert_eq!(fm.count(&parse_bases("GG").unwrap()), 0);
+        assert_eq!(fm.count(&parse_bases("TT").unwrap()), 0);
+    }
+
+    #[test]
+    fn fig3_locate() {
+        let fm = fig3_index();
+        assert_eq!(fm.locate(&parse_bases("A").unwrap()), vec![1, 3, 5]);
+        assert_eq!(fm.locate(&parse_bases("CATAGA").unwrap()), vec![0]);
+        assert_eq!(fm.locate(&parse_bases("GG").unwrap()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_pattern_matches_every_row() {
+        let fm = fig3_index();
+        assert_eq!(fm.backward_search(&[]), 0..7);
+        assert_eq!(fm.count(&[]), 7);
+    }
+
+    #[test]
+    fn lf_walk_spells_text_backwards() {
+        // Repeated LF from the sentinel row visits the text right to left.
+        let text = text_from_str("CATAGA").unwrap();
+        let fm = FmIndex::from_text(&text);
+        let mut row = 0; // row 0 is the sentinel suffix.
+        let mut recovered = Vec::new();
+        for _ in 0..text.len() - 1 {
+            recovered.push(fm.occ.symbol(row));
+            row = fm.lf(row);
+        }
+        recovered.reverse();
+        let spelled: String = recovered.iter().map(|s| s.to_string()).collect();
+        assert_eq!(spelled, "CATAGA");
+    }
+
+    #[test]
+    fn pattern_longer_than_text_has_no_hits() {
+        let fm = fig3_index();
+        assert_eq!(fm.count(&parse_bases("CATAGACATAGA").unwrap()), 0);
+    }
+
+    #[test]
+    fn sampling_rates_do_not_change_answers() {
+        let text = text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap();
+        let reference = FmIndex::from_text_with_config(
+            &text,
+            FmBuildConfig {
+                occ_sample_rate: 1,
+                sa_sample_rate: 1,
+            },
+        );
+        for (occ_rate, sa_rate) in [(2, 3), (7, 5), (64, 32), (100, 100)] {
+            let fm = FmIndex::from_text_with_config(
+                &text,
+                FmBuildConfig {
+                    occ_sample_rate: occ_rate,
+                    sa_sample_rate: sa_rate,
+                },
+            );
+            for pat in ["A", "CAT", "TAGA", "CCATAG", "GGG"] {
+                let p = parse_bases(pat).unwrap();
+                assert_eq!(fm.count(&p), reference.count(&p), "count {pat}");
+                assert_eq!(fm.locate(&p), reference.locate(&p), "locate {pat}");
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # exma-index
+//!
+//! The FM-index exact-match engine of the EXMA reproduction. This crate is
+//! the software baseline the paper accelerates: a sampled occurrence table
+//! (checkpointed rank over the BWT), the C-array, LF-mapping, `count` by
+//! backward search and `locate` through a sampled suffix array — built on
+//! the suffix-array/BWT substrate of [`exma_genome`].
+//!
+//! ```
+//! use exma_genome::{Genome, GenomeProfile};
+//! use exma_index::{naive, FmIndex};
+//!
+//! let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+//! let fm = FmIndex::from_genome(&genome);
+//!
+//! // A 16-mer sampled from the reference is found where it came from...
+//! let pattern = genome.seq().slice(1000, 16);
+//! assert!(fm.locate(&pattern).contains(&1000));
+//! // ...and the index agrees with a brute-force scan.
+//! assert_eq!(fm.count(&pattern), naive::count(genome.seq(), &pattern));
+//! ```
+
+pub mod fm;
+pub mod naive;
+pub mod occ;
+pub mod sampled_sa;
+
+pub use fm::{FmBuildConfig, FmIndex};
+pub use occ::OccTable;
+pub use sampled_sa::{RankBits, SampledSuffixArray};

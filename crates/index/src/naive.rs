@@ -1,0 +1,63 @@
+//! Brute-force exact matching, the oracle every index answer is checked
+//! against.
+//!
+//! An O(nm) scan is hopeless at reference scale but trivially correct,
+//! which makes it the right ground truth for property tests — the same way
+//! the paper validates EXMA output against unaccelerated FM-index queries.
+
+use exma_genome::{Base, PackedSeq};
+
+/// All starting positions (sorted ascending) where `pattern` occurs in
+/// `seq`. The empty pattern occurs at every position `0..=seq.len()`.
+pub fn occurrences(seq: &PackedSeq, pattern: &[Base]) -> Vec<u32> {
+    if pattern.len() > seq.len() {
+        return Vec::new();
+    }
+    (0..=seq.len() - pattern.len())
+        .filter(|&start| {
+            pattern
+                .iter()
+                .enumerate()
+                .all(|(k, &b)| seq.get(start + k) == b)
+        })
+        .map(|start| start as u32)
+        .collect()
+}
+
+/// Number of occurrences of `pattern` in `seq`.
+pub fn count(seq: &PackedSeq, pattern: &[Base]) -> usize {
+    occurrences(seq, pattern).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::alphabet::parse_bases;
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        let seq: PackedSeq = "AAAA".parse().unwrap();
+        assert_eq!(
+            occurrences(&seq, &parse_bases("AA").unwrap()),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn absent_pattern_yields_nothing() {
+        let seq: PackedSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(count(&seq, &parse_bases("GGG").unwrap()), 0);
+    }
+
+    #[test]
+    fn pattern_longer_than_text_yields_nothing() {
+        let seq: PackedSeq = "ACG".parse().unwrap();
+        assert_eq!(count(&seq, &parse_bases("ACGT").unwrap()), 0);
+    }
+
+    #[test]
+    fn whole_text_matches_once() {
+        let seq: PackedSeq = "GATTACA".parse().unwrap();
+        assert_eq!(occurrences(&seq, &parse_bases("GATTACA").unwrap()), vec![0]);
+    }
+}

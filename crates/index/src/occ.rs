@@ -1,0 +1,182 @@
+//! The sampled occurrence (rank) table over the BWT.
+//!
+//! Backward search needs `Occ(s, i)` — the number of occurrences of symbol
+//! `s` in `BWT[0..i]` — twice per pattern symbol. Storing all `5n` prefix
+//! counts would dwarf the reference itself, so production FM-indexes (and
+//! the paper's baseline, §II-B) checkpoint the counts every `sample_rate`
+//! positions and reconstruct the remainder by scanning at most
+//! `sample_rate - 1` BWT symbols. The sampling rate is the paper's central
+//! memory/latency trade-off: EXMA's whole contribution is removing the
+//! DRAM-unfriendly scan this table forces on a CPU.
+
+use exma_genome::Symbol;
+
+/// Checkpointed rank structure over a BWT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccTable {
+    /// BWT symbol codes (`0..=4`), one byte per symbol.
+    bwt: Vec<u8>,
+    /// `checkpoints[b][c]` = occurrences of code `c` in `bwt[0 .. b * rate]`.
+    checkpoints: Vec<[u64; 5]>,
+    sample_rate: usize,
+}
+
+impl OccTable {
+    /// Builds the table from a BWT with checkpoints every `sample_rate`
+    /// symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate == 0`.
+    pub fn new(bwt: &[Symbol], sample_rate: usize) -> OccTable {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        let codes: Vec<u8> = bwt.iter().map(|s| s.code()).collect();
+        let mut checkpoints = Vec::with_capacity(codes.len() / sample_rate + 1);
+        let mut running = [0u64; 5];
+        for (i, &c) in codes.iter().enumerate() {
+            if i % sample_rate == 0 {
+                checkpoints.push(running);
+            }
+            running[c as usize] += 1;
+        }
+        // A final checkpoint at position n makes rank(s, n) O(1) too.
+        checkpoints.push(running);
+        OccTable {
+            bwt: codes,
+            checkpoints,
+            sample_rate,
+        }
+    }
+
+    /// Length of the underlying BWT.
+    pub fn len(&self) -> usize {
+        self.bwt.len()
+    }
+
+    /// `true` iff the BWT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bwt.is_empty()
+    }
+
+    /// The checkpoint spacing this table was built with.
+    pub fn sample_rate(&self) -> usize {
+        self.sample_rate
+    }
+
+    /// The BWT symbol at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn symbol(&self, i: usize) -> Symbol {
+        Symbol::from_code(self.bwt[i])
+    }
+
+    /// `Occ(s, i)`: occurrences of `s` in `BWT[0..i]` (exclusive of `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.len()`.
+    pub fn rank(&self, s: Symbol, i: usize) -> u64 {
+        assert!(i <= self.bwt.len(), "rank position {i} out of range");
+        let code = s.code();
+        // The nearest checkpoint at or below i, then a short forward scan.
+        // `checkpoints[n / rate + 1]` (the final one) is only reachable via
+        // i == n when n % rate == 0; min() keeps the block index valid.
+        let block = (i / self.sample_rate).min(self.checkpoints.len() - 1);
+        let mut count = self.checkpoints[block][code as usize];
+        for &c in &self.bwt[block * self.sample_rate..i] {
+            count += u64::from(c == code);
+        }
+        count
+    }
+
+    /// Occurrences of every symbol in `BWT[0..i]`, one scan for all five.
+    pub fn rank_all(&self, i: usize) -> [u64; 5] {
+        assert!(i <= self.bwt.len(), "rank position {i} out of range");
+        let block = (i / self.sample_rate).min(self.checkpoints.len() - 1);
+        let mut counts = self.checkpoints[block];
+        for &c in &self.bwt[block * self.sample_rate..i] {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Heap bytes used by the BWT and its checkpoints.
+    pub fn heap_bytes(&self) -> usize {
+        self.bwt.capacity() + self.checkpoints.capacity() * std::mem::size_of::<[u64; 5]>()
+    }
+}
+
+/// Reference O(n) rank used to validate the checkpointed table in tests.
+pub fn naive_rank(bwt: &[Symbol], s: Symbol, i: usize) -> u64 {
+    bwt[..i].iter().filter(|&&x| x == s).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::genome::text_from_str;
+    use exma_genome::{bwt_from_sa, suffix_array, SYMBOL_ALPHABET};
+
+    fn bwt_of(s: &str) -> Vec<Symbol> {
+        let text = text_from_str(s).unwrap();
+        let sa = suffix_array(&text);
+        bwt_from_sa(&text, &sa)
+    }
+
+    #[test]
+    fn rank_matches_naive_at_every_position() {
+        let bwt = bwt_of("CATAGACATTAGACCATAGGA");
+        for rate in [1, 2, 3, 7, 64] {
+            let occ = OccTable::new(&bwt, rate);
+            for i in 0..=bwt.len() {
+                for &s in &SYMBOL_ALPHABET {
+                    assert_eq!(
+                        occ.rank(s, i),
+                        naive_rank(&bwt, s, i),
+                        "rate {rate}, symbol {s}, prefix {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_all_agrees_with_rank() {
+        let bwt = bwt_of("GGGCCCAAATTTGGGCCCAAATTT");
+        let occ = OccTable::new(&bwt, 4);
+        for i in 0..=bwt.len() {
+            let all = occ.rank_all(i);
+            for &s in &SYMBOL_ALPHABET {
+                assert_eq!(all[s.code() as usize], occ.rank(s, i));
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        let bwt = bwt_of("GATTACA");
+        let occ = OccTable::new(&bwt, 3);
+        assert_eq!(occ.len(), bwt.len());
+        for (i, &s) in bwt.iter().enumerate() {
+            assert_eq!(occ.symbol(i), s);
+        }
+    }
+
+    #[test]
+    fn coarser_sampling_uses_less_memory() {
+        let bwt = bwt_of(&"ACGT".repeat(1000));
+        let fine = OccTable::new(&bwt, 4);
+        let coarse = OccTable::new(&bwt, 128);
+        assert!(coarse.heap_bytes() < fine.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_past_end_panics() {
+        let bwt = bwt_of("ACGT");
+        let occ = OccTable::new(&bwt, 2);
+        let _ = occ.rank(Symbol::Sentinel, bwt.len() + 1);
+    }
+}

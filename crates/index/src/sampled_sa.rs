@@ -1,0 +1,205 @@
+//! The sampled suffix array backing `locate`.
+//!
+//! Storing the full suffix array costs 4 bytes/base — more than the 2-bit
+//! reference itself. Instead we keep only entries whose *text position* is a
+//! multiple of `sample_rate` ("SA-value sampling", the BWA scheme): any row
+//! can then be resolved by walking LF at most `sample_rate - 1` steps until
+//! a marked row is hit, adding the step count back. A rank-enabled bitset
+//! maps marked rows to their slot in the compact sample vector.
+
+/// A bitset over suffix-array rows with O(1) popcount rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankBits {
+    words: Vec<u64>,
+    /// `prefix[w]` = number of set bits in `words[0..w]`.
+    prefix: Vec<u32>,
+    len: usize,
+}
+
+impl RankBits {
+    /// Builds the bitset from a predicate over `0..len`.
+    pub fn from_fn(len: usize, mut is_set: impl FnMut(usize) -> bool) -> RankBits {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, word) in words.iter_mut().enumerate() {
+            for bit in 0..64 {
+                let pos = i * 64 + bit;
+                if pos < len && is_set(pos) {
+                    *word |= 1 << bit;
+                }
+            }
+        }
+        let mut prefix = Vec::with_capacity(words.len());
+        let mut sum = 0u32;
+        for &w in &words {
+            prefix.push(sum);
+            sum += w.count_ones();
+        }
+        RankBits { words, prefix, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the bitset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits in `0..i`.
+    #[inline]
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank position {i} out of range");
+        let (word, bit) = (i / 64, i % 64);
+        let partial = if word < self.words.len() {
+            // bit is in 0..=63, so the shift cannot overflow.
+            (self.words[word] & ((1u64 << bit) - 1)).count_ones()
+        } else {
+            0
+        };
+        let full = if word < self.prefix.len() {
+            self.prefix[word]
+        } else {
+            // i == len on a word boundary: all words are "full".
+            self.prefix.last().copied().unwrap_or(0)
+                + self.words.last().map_or(0, |w| w.count_ones())
+        };
+        full as usize + partial as usize
+    }
+
+    /// Heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8 + self.prefix.capacity() * 4
+    }
+}
+
+/// Suffix-array samples at text positions divisible by the sampling rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledSuffixArray {
+    marks: RankBits,
+    /// SA values of marked rows, in row order.
+    samples: Vec<u32>,
+    sample_rate: usize,
+}
+
+impl SampledSuffixArray {
+    /// Samples `sa`, keeping entries whose value is `0 (mod sample_rate)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate == 0`.
+    pub fn new(sa: &[u32], sample_rate: usize) -> SampledSuffixArray {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        let marks = RankBits::from_fn(sa.len(), |row| sa[row] as usize % sample_rate == 0);
+        let samples = sa
+            .iter()
+            .copied()
+            .filter(|&v| v as usize % sample_rate == 0)
+            .collect();
+        SampledSuffixArray {
+            marks,
+            samples,
+            sample_rate,
+        }
+    }
+
+    /// Number of rows in the (full) suffix array this samples.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// `true` iff the underlying suffix array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// The text-position spacing of kept samples.
+    pub fn sample_rate(&self) -> usize {
+        self.sample_rate
+    }
+
+    /// The SA value at `row` if that row is sampled, else `None`.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<u32> {
+        self.marks
+            .get(row)
+            .then(|| self.samples[self.marks.rank(row)])
+    }
+
+    /// Number of rows actually stored.
+    pub fn stored(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Heap bytes used by marks and samples.
+    pub fn heap_bytes(&self) -> usize {
+        self.marks.heap_bytes() + self.samples.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::genome::text_from_str;
+    use exma_genome::suffix_array;
+
+    #[test]
+    fn rank_bits_matches_naive() {
+        let pattern = |i: usize| i % 3 == 0 || i % 7 == 0;
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130, 500] {
+            let bits = RankBits::from_fn(len, pattern);
+            let mut expect = 0;
+            for i in 0..=len {
+                assert_eq!(bits.rank(i), expect, "len {len}, rank({i})");
+                if i < len {
+                    assert_eq!(bits.get(i), pattern(i));
+                    expect += usize::from(pattern(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sa_returns_exactly_the_marked_rows() {
+        let text = text_from_str("CATAGACATTAGACCATAGGA").unwrap();
+        let sa = suffix_array(&text);
+        for rate in [1usize, 2, 4, 8] {
+            let ssa = SampledSuffixArray::new(&sa, rate);
+            assert_eq!(ssa.len(), sa.len());
+            for (row, &value) in sa.iter().enumerate() {
+                let expect = (value as usize % rate == 0).then_some(value);
+                assert_eq!(ssa.get(row), expect, "rate {rate}, row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_stores_everything() {
+        let text = text_from_str("GATTACA").unwrap();
+        let sa = suffix_array(&text);
+        let ssa = SampledSuffixArray::new(&sa, 1);
+        assert_eq!(ssa.stored(), sa.len());
+    }
+
+    #[test]
+    fn coarser_rate_stores_less() {
+        let text = text_from_str(&"ACGTTGCA".repeat(100)).unwrap();
+        let sa = suffix_array(&text);
+        let fine = SampledSuffixArray::new(&sa, 2);
+        let coarse = SampledSuffixArray::new(&sa, 32);
+        assert!(coarse.stored() < fine.stored());
+        assert!(coarse.heap_bytes() < fine.heap_bytes());
+    }
+}
