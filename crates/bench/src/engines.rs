@@ -1,0 +1,262 @@
+//! The engines under measurement, behind one uniform face.
+//!
+//! Three query paths compete on identical inputs: the sequential 1-step
+//! baseline (`FmIndex`), the sequential k-step index (k ∈ {2, 4}), and the
+//! batched lockstep engine on top of the k-step index. Batched entries
+//! *share* their index with the matching k-step entry — scheduling, not
+//! the data structure, is what they isolate — so their build time and
+//! heap bytes are reported from the shared index.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use exma_engine::BatchEngine;
+use exma_genome::{Base, Symbol};
+use exma_index::{FmIndex, KStepFmIndex};
+
+/// One genome's worth of built indexes, shared across engine entries.
+pub struct EngineSet {
+    pub one: FmIndex,
+    pub k2: KStepFmIndex,
+    pub k4: KStepFmIndex,
+    /// Wall-clock build seconds for `one`, `k2`, `k4` respectively.
+    pub build_secs: [f64; 3],
+}
+
+impl EngineSet {
+    /// Builds all three indexes from one sentinel-terminated text, timing
+    /// each build (suffix-array construction included — each engine pays
+    /// its full cost from raw text).
+    pub fn build(text: &[Symbol]) -> EngineSet {
+        let t0 = Instant::now();
+        let one = FmIndex::from_text(text);
+        let t1 = Instant::now();
+        let k2 = KStepFmIndex::from_text(text, 2);
+        let t2 = Instant::now();
+        let k4 = KStepFmIndex::from_text(text, 4);
+        let t3 = Instant::now();
+        EngineSet {
+            one,
+            k2,
+            k4,
+            build_secs: [
+                (t1 - t0).as_secs_f64(),
+                (t2 - t1).as_secs_f64(),
+                (t3 - t2).as_secs_f64(),
+            ],
+        }
+    }
+
+    /// Every engine entry measured against this set.
+    pub fn engines(&self) -> Vec<Engine<'_>> {
+        vec![
+            Engine {
+                label: "1step",
+                k: 1,
+                kind: Kind::OneStep(&self.one),
+                build_secs: self.build_secs[0],
+                heap_bytes: self.one.heap_bytes(),
+                shares_index_with: None,
+            },
+            Engine {
+                label: "kstep_k2",
+                k: 2,
+                kind: Kind::KStep(&self.k2),
+                build_secs: self.build_secs[1],
+                heap_bytes: self.k2.heap_bytes(),
+                shares_index_with: None,
+            },
+            Engine {
+                label: "kstep_k4",
+                k: 4,
+                kind: Kind::KStep(&self.k4),
+                build_secs: self.build_secs[2],
+                heap_bytes: self.k4.heap_bytes(),
+                shares_index_with: None,
+            },
+            Engine {
+                label: "batched_k2",
+                k: 2,
+                kind: Kind::Batched(&self.k2),
+                build_secs: self.build_secs[1],
+                heap_bytes: self.k2.heap_bytes(),
+                shares_index_with: Some("kstep_k2"),
+            },
+            Engine {
+                label: "batched_k4",
+                k: 4,
+                kind: Kind::Batched(&self.k4),
+                build_secs: self.build_secs[2],
+                heap_bytes: self.k4.heap_bytes(),
+                shares_index_with: Some("kstep_k4"),
+            },
+        ]
+    }
+}
+
+enum Kind<'a> {
+    OneStep(&'a FmIndex),
+    KStep(&'a KStepFmIndex),
+    Batched(&'a KStepFmIndex),
+}
+
+/// One measured engine entry.
+pub struct Engine<'a> {
+    pub label: &'static str,
+    pub k: usize,
+    kind: Kind<'a>,
+    pub build_secs: f64,
+    pub heap_bytes: usize,
+    pub shares_index_with: Option<&'static str>,
+}
+
+impl Engine<'_> {
+    /// Occurrence counts for every pattern, through this engine's own
+    /// query path.
+    pub fn count_all(&self, patterns: &[Vec<Base>]) -> Vec<usize> {
+        match self.kind {
+            Kind::OneStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
+            Kind::KStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
+            Kind::Batched(fm) => BatchEngine::new(fm).count_batch(patterns),
+        }
+    }
+
+    /// Sorted occurrence positions for every pattern. Sequential engines
+    /// recycle one buffer through `locate_into`; the batched engine
+    /// resolves its intervals after the lockstep search.
+    pub fn locate_all(&self, patterns: &[Vec<Base>]) -> Vec<Vec<u32>> {
+        match self.kind {
+            Kind::OneStep(fm) => {
+                let mut buf = Vec::new();
+                patterns
+                    .iter()
+                    .map(|p| {
+                        fm.locate_into(p, &mut buf);
+                        buf.clone()
+                    })
+                    .collect()
+            }
+            Kind::KStep(fm) => {
+                let mut buf = Vec::new();
+                patterns
+                    .iter()
+                    .map(|p| {
+                        fm.locate_into(p, &mut buf);
+                        buf.clone()
+                    })
+                    .collect()
+            }
+            Kind::Batched(fm) => BatchEngine::new(fm).locate_batch(patterns),
+        }
+    }
+
+    /// Checksummed count sweep for timing (results folded so the optimizer
+    /// cannot discard the work).
+    pub fn count_checksum(&self, patterns: &[Vec<Base>]) -> u64 {
+        match self.kind {
+            Kind::OneStep(fm) => patterns
+                .iter()
+                .map(|p| black_box(fm.count(black_box(p))) as u64)
+                .sum(),
+            Kind::KStep(fm) => patterns
+                .iter()
+                .map(|p| black_box(fm.count(black_box(p))) as u64)
+                .sum(),
+            Kind::Batched(fm) => BatchEngine::new(fm)
+                .count_batch(black_box(patterns))
+                .iter()
+                .map(|&c| c as u64)
+                .sum(),
+        }
+    }
+
+    /// Checksummed locate sweep for timing.
+    pub fn locate_checksum(&self, patterns: &[Vec<Base>]) -> u64 {
+        let fold = |positions: &[u32]| -> u64 {
+            positions.iter().map(|&p| p as u64).sum::<u64>() + positions.len() as u64
+        };
+        match self.kind {
+            Kind::OneStep(fm) => {
+                let mut buf = Vec::new();
+                patterns
+                    .iter()
+                    .map(|p| {
+                        fm.locate_into(black_box(p), &mut buf);
+                        fold(black_box(&buf))
+                    })
+                    .sum()
+            }
+            Kind::KStep(fm) => {
+                let mut buf = Vec::new();
+                patterns
+                    .iter()
+                    .map(|p| {
+                        fm.locate_into(black_box(p), &mut buf);
+                        fold(black_box(&buf))
+                    })
+                    .sum()
+            }
+            Kind::Batched(fm) => BatchEngine::new(fm)
+                .locate_batch(black_box(patterns))
+                .iter()
+                .map(|positions| fold(positions))
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::{Genome, GenomeProfile};
+
+    #[test]
+    fn all_engines_agree_on_a_toy_genome() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+        let set = EngineSet::build(&genome.text_with_sentinel());
+        let patterns: Vec<Vec<Base>> = (0..40)
+            .map(|i| genome.seq().slice(i * 37, 9 + i % 13))
+            .collect();
+        let engines = set.engines();
+        let oracle_counts = engines[0].count_all(&patterns);
+        let oracle_locs = engines[0].locate_all(&patterns);
+        for engine in &engines[1..] {
+            assert_eq!(
+                engine.count_all(&patterns),
+                oracle_counts,
+                "{}",
+                engine.label
+            );
+            assert_eq!(
+                engine.locate_all(&patterns),
+                oracle_locs,
+                "{}",
+                engine.label
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_are_consistent_across_engines() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 7);
+        let set = EngineSet::build(&genome.text_with_sentinel());
+        let patterns: Vec<Vec<Base>> = (0..25).map(|i| genome.seq().slice(i * 11, 14)).collect();
+        let engines = set.engines();
+        let count_sum = engines[0].count_checksum(&patterns);
+        let locate_sum = engines[0].locate_checksum(&patterns);
+        for engine in &engines[1..] {
+            assert_eq!(
+                engine.count_checksum(&patterns),
+                count_sum,
+                "{}",
+                engine.label
+            );
+            assert_eq!(
+                engine.locate_checksum(&patterns),
+                locate_sum,
+                "{}",
+                engine.label
+            );
+        }
+    }
+}

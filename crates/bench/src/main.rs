@@ -1,0 +1,377 @@
+//! `exma-bench` — the benchmark harness of the EXMA reproduction.
+//!
+//! The ROADMAP's north star demands *measured* hot-path speedups; this
+//! binary produces the measurements. It synthesizes the paper's genome
+//! profiles at relative scale, simulates Illumina and ONT read workloads,
+//! times `build`/`count`/`locate` through the 1-step, k-step (k = 2, 4)
+//! and batched engines, and writes `BENCH_exma.json` (median ns/query,
+//! queries/sec, heap bytes). Every engine's answers are cross-checked
+//! against the 1-step oracle; any divergence makes the process exit
+//! non-zero, which is what the `bench-smoke` CI job gates on.
+//!
+//! ```text
+//! cargo run --release -p exma-bench              # full run (~20 s)
+//! cargo run --release -p exma-bench -- --smoke   # CI-sized run (< 60 s budget)
+//! ```
+
+mod engines;
+mod json;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use exma_genome::{
+    Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
+};
+
+use crate::engines::EngineSet;
+use crate::json::Json;
+
+/// Seed window taken from each simulated ONT read. 51 is deliberately odd:
+/// it exercises the pattern-tail path of both k = 2 and k = 4 engines.
+const ONT_SEED_LEN: usize = 51;
+
+/// Illumina template read length (the paper's short-read workload).
+const ILLUMINA_LEN: usize = 100;
+
+const USAGE: &str = "exma-bench: benchmark 1-step vs k-step vs batched FM-index engines
+
+USAGE:
+    cargo run --release -p exma-bench [-- OPTIONS]
+
+OPTIONS:
+    --smoke        CI-sized run: small genomes, fewer queries, < 60 s
+    --out PATH     output JSON path (default: BENCH_exma.json)
+    --seed N       master seed for genomes and read sets (default: 42)
+    --help         print this help
+
+Exits non-zero if any engine's count/locate results diverge from the
+1-step FmIndex oracle.";
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+/// Everything that differs between `--smoke` and the full run.
+struct RunSpec {
+    mode: &'static str,
+    genomes: Vec<GenomeProfile>,
+    illumina_reads: usize,
+    ont_reads: usize,
+    /// Odd, so the median is an actual observation.
+    count_reps: usize,
+    locate_reps: usize,
+    /// How many patterns per workload get full locate verification.
+    verify_locates: usize,
+}
+
+fn full_spec() -> RunSpec {
+    RunSpec {
+        mode: "full",
+        genomes: vec![GenomeProfile::human_rel(), GenomeProfile::picea_rel()],
+        illumina_reads: 5_000,
+        ont_reads: 2_000,
+        count_reps: 5,
+        locate_reps: 3,
+        verify_locates: 200,
+    }
+}
+
+fn smoke_spec() -> RunSpec {
+    // The paper's profiles, shrunk to CI size (builds in milliseconds,
+    // whole run in seconds) but keeping their GC/repeat structure.
+    let shrink = |profile: GenomeProfile, len: usize| GenomeProfile {
+        name: format!("{}_smoke", profile.name),
+        len,
+        ..profile
+    };
+    RunSpec {
+        mode: "smoke",
+        genomes: vec![
+            shrink(GenomeProfile::human_rel(), 120_000),
+            shrink(GenomeProfile::picea_rel(), 200_000),
+        ],
+        illumina_reads: 800,
+        ont_reads: 300,
+        count_reps: 3,
+        locate_reps: 3,
+        verify_locates: 100,
+    }
+}
+
+/// A named set of query patterns.
+struct Workload {
+    name: String,
+    patterns: Vec<Vec<Base>>,
+}
+
+fn workloads(genome: &Genome, spec: &RunSpec, seed: u64) -> Vec<Workload> {
+    // Error-bearing Illumina reads: most are exact substrings (0.12%
+    // per-base error), so counts are usually >= 1 — the "mostly hit"
+    // workload. Indels make a few lengths odd, which also stresses tails.
+    let illumina = ShortReadSimulator::new(ILLUMINA_LEN, ErrorProfile::illumina())
+        .simulate(genome, spec.illumina_reads, seed ^ 0x1111)
+        .iter()
+        .map(|r| r.bases.to_vec())
+        .collect();
+    // Fixed-width seeds clipped from ONT reads: at ~13% per-base error a
+    // 51-mer almost never matches exactly, so backward searches die early —
+    // the "mostly miss" workload where batched dead-query dropping pays.
+    let ont = LongReadSimulator::new(1_200, 300, ErrorProfile::ont())
+        .simulate(genome, spec.ont_reads, seed ^ 0x2222)
+        .iter()
+        .filter(|r| r.len() >= ONT_SEED_LEN)
+        .map(|r| (0..ONT_SEED_LEN).map(|i| r.bases.get(i)).collect())
+        .collect();
+    vec![
+        Workload {
+            name: format!("illumina_{ILLUMINA_LEN}bp"),
+            patterns: illumina,
+        },
+        Workload {
+            name: format!("ont_seed_{ONT_SEED_LEN}bp"),
+            patterns: ont,
+        },
+    ]
+}
+
+/// Times `sweep` `reps` times; returns (median seconds, last checksum).
+fn time_sweep(reps: usize, mut sweep: impl FnMut() -> u64) -> (f64, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut checksum = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        checksum = sweep();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[reps / 2], checksum)
+}
+
+/// Checks every engine's answers against the 1-step oracle. Returns the
+/// number of divergent (engine, workload) pairs, reporting each to stderr.
+fn verify(set: &EngineSet, loads: &[Workload], verify_locates: usize, genome: &str) -> usize {
+    let engines = set.engines();
+    let (oracle, rest) = engines.split_first().expect("engine set is never empty");
+    let mut divergences = 0;
+    for load in loads {
+        let expect_counts = oracle.count_all(&load.patterns);
+        let head = &load.patterns[..load.patterns.len().min(verify_locates)];
+        let expect_locs = oracle.locate_all(head);
+        for engine in rest {
+            if engine.count_all(&load.patterns) != expect_counts {
+                eprintln!(
+                    "DIVERGENCE: {genome}/{}/{}: count differs from 1-step oracle",
+                    engine.label, load.name
+                );
+                divergences += 1;
+            } else if engine.locate_all(head) != expect_locs {
+                eprintln!(
+                    "DIVERGENCE: {genome}/{}/{}: locate differs from 1-step oracle",
+                    engine.label, load.name
+                );
+                divergences += 1;
+            }
+        }
+    }
+    divergences
+}
+
+fn run(args: &Args) -> ExitCode {
+    let spec = if args.smoke {
+        smoke_spec()
+    } else {
+        full_spec()
+    };
+    let started = Instant::now();
+    let mut results: Vec<Json> = Vec::new();
+    let mut divergences = 0usize;
+
+    for profile in &spec.genomes {
+        eprintln!(
+            "[{}] synthesizing {} ({} bp)...",
+            spec.mode, profile.name, profile.len
+        );
+        let genome = Genome::synthesize(profile, args.seed);
+        let loads = workloads(&genome, &spec, args.seed);
+
+        eprintln!("[{}] building 1-step, k=2, k=4 indexes...", spec.mode);
+        let set = EngineSet::build(&genome.text_with_sentinel());
+
+        divergences += verify(&set, &loads, spec.verify_locates, &profile.name);
+
+        for engine in set.engines() {
+            let mut ops: Vec<Json> = Vec::new();
+            for load in &loads {
+                let queries = load.patterns.len();
+                let (count_secs, count_sum) =
+                    time_sweep(spec.count_reps, || engine.count_checksum(&load.patterns));
+                let (locate_secs, locate_sum) =
+                    time_sweep(spec.locate_reps, || engine.locate_checksum(&load.patterns));
+                for (op, secs, reps, checksum) in [
+                    ("count", count_secs, spec.count_reps, count_sum),
+                    ("locate", locate_secs, spec.locate_reps, locate_sum),
+                ] {
+                    let ns_per_query = secs * 1e9 / queries as f64;
+                    ops.push(
+                        Json::obj()
+                            .field("op", op)
+                            .field("workload", load.name.as_str())
+                            .field("queries", queries)
+                            .field("reps", reps)
+                            .field("median_ns_per_query", ns_per_query)
+                            .field("queries_per_sec", 1e9 / ns_per_query)
+                            .field("checksum", checksum),
+                    );
+                }
+                eprintln!(
+                    "[{}] {}/{}/{}: count {:.0} ns/q, locate {:.0} ns/q",
+                    spec.mode,
+                    profile.name,
+                    engine.label,
+                    load.name,
+                    count_secs * 1e9 / queries as f64,
+                    locate_secs * 1e9 / queries as f64,
+                );
+            }
+            let mut entry = Json::obj()
+                .field("genome", profile.name.as_str())
+                .field("genome_len", genome.len())
+                .field("engine", engine.label)
+                .field("k", engine.k)
+                .field("build_ms", engine.build_secs * 1e3)
+                .field("heap_bytes", engine.heap_bytes);
+            if let Some(shared) = engine.shares_index_with {
+                entry = entry.field("shares_index_with", shared);
+            }
+            results.push(entry.field("ops", ops));
+        }
+    }
+
+    let verified = divergences == 0;
+    let doc = Json::obj()
+        .field("schema_version", 1u64)
+        .field("mode", spec.mode)
+        .field("seed", args.seed)
+        .field("illumina_read_len", ILLUMINA_LEN)
+        .field("ont_seed_len", ONT_SEED_LEN)
+        .field("verified_against_oracle", verified)
+        .field("wall_clock_secs", started.elapsed().as_secs_f64())
+        .field("results", results);
+    let rendered = format!("{doc}\n");
+    if let Err(err) = std::fs::write(&args.out, rendered) {
+        eprintln!("failed to write {}: {err}", args.out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("[{}] wrote {}", spec.mode, args.out.display());
+
+    if verified {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{divergences} engine/workload pair(s) diverged from the 1-step oracle");
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        smoke: false,
+        out: PathBuf::from("BENCH_exma.json"),
+        seed: 42,
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                let path = argv.next().ok_or("--out requires a path")?;
+                args.out = PathBuf::from(path);
+            }
+            "--seed" => {
+                let raw = argv.next().ok_or("--seed requires a number")?;
+                args.seed = raw.parse().map_err(|_| format!("bad seed '{raw}'"))?;
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => run(&args),
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_default_and_parse() {
+        let args = parse_args(Vec::<String>::new().into_iter())
+            .unwrap()
+            .unwrap();
+        assert!(!args.smoke);
+        assert_eq!(args.out, PathBuf::from("BENCH_exma.json"));
+        assert_eq!(args.seed, 42);
+
+        let args = parse_args(
+            ["--smoke", "--out", "/tmp/b.json", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap()
+        .unwrap();
+        assert!(args.smoke);
+        assert_eq!(args.out, PathBuf::from("/tmp/b.json"));
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse_args(["--frobnicate".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--seed".to_string(), "x".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--help".to_string()].into_iter())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn smoke_spec_is_ci_sized() {
+        let spec = smoke_spec();
+        assert!(spec.genomes.iter().all(|g| g.len <= 200_000));
+        assert!(spec.count_reps % 2 == 1, "median needs odd reps");
+    }
+
+    #[test]
+    fn workloads_exercise_k_tails() {
+        // 51 is odd on purpose: 51 % 2 == 1 and 51 % 4 == 3, so both k-step
+        // engines hit their tail path on the ONT workload.
+        assert_eq!(ONT_SEED_LEN % 2, 1);
+        assert_eq!(ONT_SEED_LEN % 4, 3);
+    }
+
+    #[test]
+    fn median_of_odd_reps_is_middle_observation() {
+        let mut calls = 0usize;
+        let (_, checksum) = time_sweep(3, || {
+            calls += 1;
+            calls as u64
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(checksum, 3);
+    }
+}

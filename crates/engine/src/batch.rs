@@ -1,0 +1,201 @@
+//! Lockstep batched backward search with dead-query dropping.
+
+use std::ops::Range;
+
+use exma_genome::{Base, Kmer};
+use exma_index::KStepFmIndex;
+
+/// Execution counters of one batched search, for tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Lockstep rounds executed: `⌊m/k⌋` k-step rounds plus `m mod k`
+    /// single-symbol tail rounds, for the longest surviving query of
+    /// length `m`.
+    pub rounds: usize,
+    /// Total LF refinements issued across all queries and rounds.
+    pub steps: usize,
+    /// Queries live in the widest round (the initial non-empty batch).
+    pub peak_live: usize,
+}
+
+/// In-flight state of one query between rounds. Rows fit `u32` because the
+/// suffix array itself stores `u32` positions.
+struct LiveQuery {
+    pattern: u32,
+    /// Pattern symbols not yet consumed (a suffix of this length remains).
+    remaining: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A batched query engine over a [`KStepFmIndex`].
+///
+/// All queries advance together: each round issues one k-step refinement
+/// per live query (1-step refinements once a query is into its sub-k
+/// tail), then drops queries that finished or died. See the crate docs for
+/// why this ordering matters to the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEngine<'a> {
+    index: &'a KStepFmIndex,
+}
+
+impl<'a> BatchEngine<'a> {
+    /// An engine borrowing `index`.
+    pub fn new(index: &'a KStepFmIndex) -> BatchEngine<'a> {
+        BatchEngine { index }
+    }
+
+    /// The index this engine queries.
+    pub fn index(&self) -> &'a KStepFmIndex {
+        self.index
+    }
+
+    /// Suffix-array intervals for every pattern, in input order — each
+    /// identical to `index.backward_search(pattern)`. Empty intervals are
+    /// normalized to `0..0`; empty patterns match every row.
+    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
+        self.search_batch_with_stats(patterns).0
+    }
+
+    /// [`BatchEngine::search_batch`] plus execution counters.
+    pub fn search_batch_with_stats(
+        &self,
+        patterns: &[impl AsRef<[Base]>],
+    ) -> (Vec<Range<usize>>, BatchStats) {
+        let k = self.index.k();
+        let n = self.index.text_len();
+        let mut results: Vec<Range<usize>> = Vec::with_capacity(patterns.len());
+        let mut live: Vec<LiveQuery> = Vec::new();
+        for (i, pattern) in patterns.iter().enumerate() {
+            if pattern.as_ref().is_empty() {
+                results.push(0..n); // the empty pattern matches every row
+            } else {
+                results.push(0..0);
+                live.push(LiveQuery {
+                    pattern: i as u32,
+                    remaining: pattern.as_ref().len() as u32,
+                    lo: 0,
+                    hi: n as u32,
+                });
+            }
+        }
+
+        let mut stats = BatchStats {
+            peak_live: live.len(),
+            ..BatchStats::default()
+        };
+        while !live.is_empty() {
+            stats.rounds += 1;
+            stats.steps += live.len();
+            live.retain_mut(|q| {
+                let pattern = patterns[q.pattern as usize].as_ref();
+                let rem = q.remaining as usize;
+                let range = q.lo as usize..q.hi as usize;
+                let (range, consumed) = if rem >= k {
+                    let kmer = Kmer::from_bases(&pattern[rem - k..rem]);
+                    (self.index.kstep(kmer, range), k)
+                } else {
+                    (self.index.base_index().step(pattern[rem - 1], range), 1)
+                };
+                if range.is_empty() {
+                    return false; // died: its result stays 0..0
+                }
+                if rem == consumed {
+                    results[q.pattern as usize] = range;
+                    return false; // finished
+                }
+                q.remaining = (rem - consumed) as u32;
+                q.lo = range.start as u32;
+                q.hi = range.end as u32;
+                true
+            });
+        }
+        (results, stats)
+    }
+
+    /// Occurrence counts for every pattern, in input order.
+    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
+        self.search_batch(patterns)
+            .into_iter()
+            .map(|range| range.len())
+            .collect()
+    }
+
+    /// Sorted occurrence positions for every pattern, in input order.
+    /// Interval rows are resolved through the shared reuse path
+    /// [`exma_index::FmIndex::resolve_range_into`].
+    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
+        let base = self.index.base_index();
+        self.search_batch(patterns)
+            .into_iter()
+            .map(|range| {
+                let mut positions = Vec::new();
+                base.resolve_range_into(range, &mut positions);
+                positions
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::alphabet::parse_bases;
+    use exma_genome::genome::text_from_str;
+
+    fn fig3_engine_input() -> (KStepFmIndex, Vec<Vec<Base>>) {
+        let index = KStepFmIndex::from_text(&text_from_str("CATAGA").unwrap(), 2);
+        let patterns = ["A", "TA", "AGA", "CATAGA", "GG", ""]
+            .iter()
+            .map(|p| parse_bases(p).unwrap())
+            .collect();
+        (index, patterns)
+    }
+
+    #[test]
+    fn batch_matches_sequential_search() {
+        let (index, patterns) = fig3_engine_input();
+        let engine = BatchEngine::new(&index);
+        let got = engine.search_batch(&patterns);
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(got[i], index.backward_search(pattern), "pattern #{i}");
+        }
+    }
+
+    #[test]
+    fn counts_and_locates_line_up() {
+        let (index, patterns) = fig3_engine_input();
+        let engine = BatchEngine::new(&index);
+        assert_eq!(engine.count_batch(&patterns), vec![3, 1, 1, 1, 0, 7]);
+        let located = engine.locate_batch(&patterns);
+        assert_eq!(located[0], vec![1, 3, 5]);
+        assert_eq!(located[3], vec![0]);
+        assert_eq!(located[4], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn stats_count_rounds_and_dropped_queries() {
+        let (index, patterns) = fig3_engine_input();
+        let engine = BatchEngine::new(&index);
+        let (_, stats) = engine.search_batch_with_stats(&patterns);
+        // Empty pattern never enters the round-robin.
+        assert_eq!(stats.peak_live, 5);
+        // Longest pattern is 6 symbols at k = 2 → 3 rounds.
+        assert_eq!(stats.rounds, 3);
+        // Dead/finished queries must not keep consuming steps: "GG" dies in
+        // round 1, "A"/"TA" finish in round 1, "AGA" finishes in round 2
+        // (k-step then tail step), "CATAGA" runs all 3 rounds:
+        // 5 + 2 + 1 = 8 refinements, strictly fewer than 5 queries x 3.
+        assert_eq!(stats.steps, 8);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (index, _) = fig3_engine_input();
+        let engine = BatchEngine::new(&index);
+        let empty: Vec<Vec<Base>> = Vec::new();
+        let (results, stats) = engine.search_batch_with_stats(&empty);
+        assert!(results.is_empty());
+        assert_eq!(stats, BatchStats::default());
+    }
+}

@@ -1,0 +1,34 @@
+//! # exma-engine
+//!
+//! The batched query engine of the EXMA reproduction. The paper's
+//! accelerator owes as much to *scheduling* as to the k-step index: many
+//! in-flight queries advance in lockstep rounds — one LF refinement per
+//! live query per round — so consecutive accesses hit the same occurrence
+//! table regions instead of chasing one query's dependent chain at a time
+//! (§III-C). Queries whose suffix-array interval empties are dropped from
+//! the round immediately, which on real read sets (where most error-bearing
+//! seeds match nothing) shrinks the working set round over round.
+//!
+//! This crate reproduces that scheduling shape in software on top of
+//! [`exma_index::KStepFmIndex`], and is the seam where sharding and async
+//! backends will plug in.
+//!
+//! ```
+//! use exma_genome::{Genome, GenomeProfile};
+//! use exma_index::{FmIndex, KStepFmIndex};
+//! use exma_engine::BatchEngine;
+//!
+//! let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+//! let index = KStepFmIndex::from_genome(&genome, 4);
+//! let engine = BatchEngine::new(&index);
+//!
+//! let patterns = vec![genome.seq().slice(100, 21), genome.seq().slice(500, 33)];
+//! let counts = engine.count_batch(&patterns);
+//! let one_step = FmIndex::from_genome(&genome);
+//! assert_eq!(counts[0], one_step.count(&patterns[0]));
+//! assert_eq!(counts[1], one_step.count(&patterns[1]));
+//! ```
+
+pub mod batch;
+
+pub use batch::{BatchEngine, BatchStats};

@@ -1,0 +1,111 @@
+//! Acceptance property of the batch engine: lockstep execution with
+//! dead-query dropping must be invisible in the answers. For k ∈ {1, 2, 4}
+//! the batched `count`/`locate` results over hundreds of random patterns —
+//! tails with `len % k != 0`, empty patterns, absent patterns — must equal
+//! the sequential 1-step `FmIndex` and the naive oracle.
+
+use exma_engine::BatchEngine;
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::{naive, FmIndex, KStepFmIndex};
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+/// Half reference-sampled (hits, often multi-occurrence thanks to the toy
+/// profile's repeats), half uniform-random (mostly absent), with empty
+/// patterns sprinkled in. Lengths 1..40 cover every residue mod 2 and 4.
+fn pattern_mix(genome: &Genome, total: usize, seed: u64) -> Vec<Vec<Base>> {
+    let mut rng = SeededRng::new(seed);
+    (0..total)
+        .map(|i| {
+            if i % 101 == 0 {
+                return Vec::new();
+            }
+            let len = rng.range(1, 40);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batch_agrees_with_one_step_on_600_patterns() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = pattern_mix(&genome, 600, 47);
+    let expected_counts: Vec<usize> = patterns.iter().map(|p| one.count(p)).collect();
+
+    for k in [1usize, 2, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        let engine = BatchEngine::new(&index);
+        let (intervals, stats) = engine.search_batch_with_stats(&patterns);
+        assert_eq!(engine.count_batch(&patterns), expected_counts, "k={k}");
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(
+                intervals[i],
+                one.backward_search(pattern),
+                "k={k}, pattern #{i}"
+            );
+        }
+        // Dropping must actually happen: random absent patterns die early,
+        // so the engine issues far fewer refinements than rounds x batch.
+        assert!(stats.peak_live > 500, "k={k}: peak {}", stats.peak_live);
+        assert!(
+            stats.steps < stats.rounds * stats.peak_live,
+            "k={k}: no query ever died ({} steps, {} rounds x {} live)",
+            stats.steps,
+            stats.rounds,
+            stats.peak_live
+        );
+    }
+}
+
+#[test]
+fn batch_locate_agrees_with_naive_scan() {
+    let genome = toy_genome();
+    let patterns = pattern_mix(&genome, 200, 53);
+    for k in [2usize, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        let located = BatchEngine::new(&index).locate_batch(&patterns);
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(
+                located[i],
+                naive::occurrences(genome.seq(), pattern),
+                "k={k}, pattern #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_pattern_batches_behave() {
+    let genome = toy_genome();
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let engine = BatchEngine::new(&index);
+    for pattern in pattern_mix(&genome, 40, 59) {
+        let batch = vec![pattern.clone()];
+        assert_eq!(engine.count_batch(&batch), vec![index.count(&pattern)]);
+    }
+}
+
+#[test]
+fn rounds_track_the_longest_survivor() {
+    let genome = toy_genome();
+    let k = 4usize;
+    let index = KStepFmIndex::from_genome(&genome, k);
+    let engine = BatchEngine::new(&index);
+    // All patterns sampled from the reference, so none dies early; the
+    // longest (len 37 → 9 k-steps + 1 tail step) bounds the round count.
+    let patterns: Vec<Vec<Base>> = [5usize, 12, 23, 37]
+        .iter()
+        .map(|&len| genome.seq().slice(1000, len))
+        .collect();
+    let (_, stats) = engine.search_batch_with_stats(&patterns);
+    assert_eq!(stats.rounds, 37 / k + 1);
+    assert_eq!(stats.peak_live, 4);
+}

@@ -54,11 +54,22 @@ impl FmIndex {
     pub fn from_text_with_config(text: &[Symbol], config: FmBuildConfig) -> FmIndex {
         let sa = suffix_array(text);
         let bwt = bwt_from_sa(text, &sa);
-        FmIndex {
-            counts: count_table(text),
-            occ: OccTable::new(&bwt, config.occ_sample_rate),
-            ssa: SampledSuffixArray::new(&sa, config.sa_sample_rate),
-        }
+        FmIndex::from_parts(
+            count_table(text),
+            OccTable::new(&bwt, config.occ_sample_rate),
+            SampledSuffixArray::new(&sa, config.sa_sample_rate),
+        )
+    }
+
+    /// Assembles an index from already-built components, so callers that
+    /// hold the suffix array (e.g. the k-step builder) need not recompute
+    /// it.
+    pub(crate) fn from_parts(
+        counts: CountTable,
+        occ: OccTable,
+        ssa: SampledSuffixArray,
+    ) -> FmIndex {
+        FmIndex { counts, occ, ssa }
     }
 
     /// Builds the index from a sentinel-terminated symbol text with default
@@ -114,24 +125,40 @@ impl FmIndex {
         (self.counts.count(s) + self.occ.rank(s, row)) as usize
     }
 
+    /// One LF refinement: narrows `range` (rows whose suffixes start with
+    /// some matched suffix `S`) to the rows starting with `b · S`. Returns
+    /// `0..0` when no occurrences remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` extends past the text.
+    #[inline]
+    pub fn step(&self, b: Base, range: Range<usize>) -> Range<usize> {
+        let s = Symbol::Base(b);
+        let c = self.counts.count(s) as usize;
+        let lo = c + self.occ.rank(s, range.start) as usize;
+        let hi = c + self.occ.rank(s, range.end) as usize;
+        if lo >= hi {
+            0..0
+        } else {
+            lo..hi
+        }
+    }
+
     /// The suffix-array interval of rows whose suffixes start with
     /// `pattern` — the backward-search loop of paper Fig. 2.
     ///
     /// The empty pattern matches every row. An empty range means no
     /// occurrences.
     pub fn backward_search(&self, pattern: &[Base]) -> Range<usize> {
-        let mut lo = 0usize;
-        let mut hi = self.text_len();
+        let mut range = 0..self.text_len();
         for &b in pattern.iter().rev() {
-            let s = Symbol::Base(b);
-            let c = self.counts.count(s) as usize;
-            lo = c + self.occ.rank(s, lo) as usize;
-            hi = c + self.occ.rank(s, hi) as usize;
-            if lo >= hi {
+            range = self.step(b, range);
+            if range.is_empty() {
                 return 0..0;
             }
         }
-        lo..hi
+        range
     }
 
     /// Number of occurrences of `pattern` in the reference.
@@ -144,12 +171,25 @@ impl FmIndex {
     /// row — at most `sa_sample_rate - 1` steps, since text positions
     /// decrease by one per step and every multiple of the rate is sampled.
     pub fn locate(&self, pattern: &[Base]) -> Vec<u32> {
-        let mut positions: Vec<u32> = self
-            .backward_search(pattern)
-            .map(|row| self.resolve_row(row))
-            .collect();
-        positions.sort_unstable();
+        let mut positions = Vec::new();
+        self.locate_into(pattern, &mut positions);
         positions
+    }
+
+    /// Allocation-reusing `locate`: clears `out` and fills it with the
+    /// sorted starting positions of `pattern`. Batch callers issuing many
+    /// locates can recycle one buffer instead of allocating per query.
+    pub fn locate_into(&self, pattern: &[Base], out: &mut Vec<u32>) {
+        self.resolve_range_into(self.backward_search(pattern), out);
+    }
+
+    /// Resolves every row of a suffix-array interval (as returned by
+    /// [`FmIndex::backward_search`]) into `out`, sorted ascending. `out` is
+    /// cleared first.
+    pub fn resolve_range_into(&self, rows: Range<usize>, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(rows.map(|row| self.resolve_row(row)));
+        out.sort_unstable();
     }
 
     /// The suffix-array value of `row`, via the sampled suffix array.
@@ -204,6 +244,16 @@ mod tests {
         assert_eq!(fm.locate(&parse_bases("A").unwrap()), vec![1, 3, 5]);
         assert_eq!(fm.locate(&parse_bases("CATAGA").unwrap()), vec![0]);
         assert_eq!(fm.locate(&parse_bases("GG").unwrap()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn locate_into_reuses_and_clears_the_buffer() {
+        let fm = fig3_index();
+        let mut buf = vec![99u32; 8]; // stale content must not survive
+        fm.locate_into(&parse_bases("A").unwrap(), &mut buf);
+        assert_eq!(buf, vec![1, 3, 5]);
+        fm.locate_into(&parse_bases("GG").unwrap(), &mut buf);
+        assert_eq!(buf, Vec::<u32>::new());
     }
 
     #[test]

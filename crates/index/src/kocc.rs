@@ -1,0 +1,189 @@
+//! The sampled occurrence table over the *k-step* BWT.
+//!
+//! The k-step FM-index (paper §III) widens the LF alphabet from single
+//! symbols to k-mers: row `i` of the k-BWT holds the k symbols that
+//! cyclically precede suffix `SA[i]`, packed into one code over the
+//! expanded alphabet of `4^k` base-only k-mers. Contexts that cross the
+//! sentinel cannot equal any query k-mer, so they all share a single
+//! out-of-alphabet code. Rank over these codes is checkpointed exactly like
+//! [`crate::occ::OccTable`], except a checkpoint stores `4^k` counters —
+//! the memory/latency trade-off the paper's hardware layout is built
+//! around.
+
+/// Checkpointed rank structure over k-BWT codes.
+///
+/// Valid codes are `0 .. stride` (k-mer lexicographic ranks); the value
+/// `stride` itself marks a sentinel-crossing context and is never ranked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmerOccTable {
+    /// One k-mer code per BWT row; `stride` = sentinel-crossing.
+    codes: Vec<u16>,
+    /// Flattened checkpoints: `checkpoints[b * stride + r]` = occurrences
+    /// of code `r` in `codes[0 .. b * rate]`.
+    checkpoints: Vec<u32>,
+    /// Size of the expanded alphabet, `4^k`.
+    stride: usize,
+    sample_rate: usize,
+}
+
+impl KmerOccTable {
+    /// Builds the table with checkpoints every `sample_rate` rows. Takes
+    /// the codes by value: at reference scale they are tens of megabytes,
+    /// and the sole builder has no further use for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate == 0`, `stride` does not fit the code type,
+    /// or any code exceeds `stride`.
+    pub fn new(codes: Vec<u16>, stride: usize, sample_rate: usize) -> KmerOccTable {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        assert!(
+            stride > 0 && stride < u16::MAX as usize,
+            "stride {stride} out of range"
+        );
+        let mut checkpoints = Vec::with_capacity((codes.len() / sample_rate + 2) * stride);
+        let mut running = vec![0u32; stride];
+        for (i, &c) in codes.iter().enumerate() {
+            assert!((c as usize) <= stride, "code {c} exceeds stride {stride}");
+            if i % sample_rate == 0 {
+                checkpoints.extend_from_slice(&running);
+            }
+            if (c as usize) < stride {
+                running[c as usize] += 1;
+            }
+        }
+        // A final checkpoint at position n makes rank(r, n) O(1) too.
+        checkpoints.extend_from_slice(&running);
+        KmerOccTable {
+            codes,
+            checkpoints,
+            stride,
+            sample_rate,
+        }
+    }
+
+    /// Number of rows (the k-BWT length).
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` iff the table covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The expanded-alphabet size `4^k` this table was built with.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The checkpoint spacing this table was built with.
+    pub fn sample_rate(&self) -> usize {
+        self.sample_rate
+    }
+
+    /// The k-BWT code at row `i` (`stride` for sentinel-crossing contexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn code(&self, i: usize) -> u16 {
+        self.codes[i]
+    }
+
+    /// `Occ_k(r, i)`: occurrences of k-mer code `r` in rows `0..i`
+    /// (exclusive of `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.len()` or `r` is not a valid k-mer code.
+    #[inline]
+    pub fn rank(&self, r: u16, i: usize) -> u32 {
+        assert!(i <= self.codes.len(), "rank position {i} out of range");
+        assert!((r as usize) < self.stride, "code {r} out of alphabet");
+        // The nearest checkpoint at or below i, then a short forward scan
+        // (same block arithmetic as OccTable::rank).
+        let blocks = self.checkpoints.len() / self.stride;
+        let block = (i / self.sample_rate).min(blocks - 1);
+        let mut count = self.checkpoints[block * self.stride + r as usize];
+        for &c in &self.codes[block * self.sample_rate..i] {
+            count += u32::from(c == r);
+        }
+        count
+    }
+
+    /// Heap bytes used by the codes and checkpoints.
+    pub fn heap_bytes(&self) -> usize {
+        self.codes.capacity() * 2 + self.checkpoints.capacity() * 4
+    }
+}
+
+/// Reference O(n) rank used to validate the checkpointed table in tests.
+pub fn naive_krank(codes: &[u16], r: u16, i: usize) -> u32 {
+    codes[..i].iter().filter(|&&c| c == r).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small deterministic code stream over a stride-9 alphabet with some
+    /// out-of-alphabet (sentinel-crossing) entries.
+    fn fixture(len: usize, stride: u16) -> Vec<u16> {
+        (0..len)
+            .map(|i| {
+                let x = (i * 7 + i / 3) % (stride as usize + 1);
+                x as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rank_matches_naive_at_every_position() {
+        let codes = fixture(137, 9);
+        for rate in [1, 2, 5, 16, 200] {
+            let occ = KmerOccTable::new(codes.clone(), 9, rate);
+            for i in 0..=codes.len() {
+                for r in 0..9u16 {
+                    assert_eq!(
+                        occ.rank(r, i),
+                        naive_krank(&codes, r, i),
+                        "rate {rate}, code {r}, prefix {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_codes_are_stored_but_never_counted() {
+        let occ = KmerOccTable::new(vec![0u16, 4, 1, 4, 2], 4, 2);
+        assert_eq!(occ.code(1), 4);
+        assert_eq!(occ.rank(0, 5), 1);
+        assert_eq!(occ.rank(1, 5), 1);
+        assert_eq!(occ.rank(2, 5), 1);
+        assert_eq!(occ.rank(3, 5), 0);
+    }
+
+    #[test]
+    fn coarser_sampling_uses_less_memory() {
+        let codes = fixture(4096, 16);
+        let fine = KmerOccTable::new(codes.clone(), 16, 4);
+        let coarse = KmerOccTable::new(codes, 16, 256);
+        assert!(coarse.heap_bytes() < fine.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_past_end_panics() {
+        let occ = KmerOccTable::new(vec![0, 1, 2], 4, 2);
+        let _ = occ.rank(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of alphabet")]
+    fn rank_of_invalid_code_panics() {
+        let occ = KmerOccTable::new(vec![0, 1, 2], 4, 2);
+        let _ = occ.rank(4, 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! The k-step FM-index: k pattern symbols per LF refinement.
+//!
+//! A 1-step FM-index spends one dependent memory round-trip per pattern
+//! symbol — the latency wall the paper attacks (§III). The k-step index
+//! widens the LF alphabet to k-mers: a C-array over the `4^k` expanded
+//! alphabet ([`KStepFmIndex::kstart`]) plus a rank table over the k-BWT
+//! ([`crate::kocc::KmerOccTable`]) refine the suffix-array interval by k
+//! symbols at once, cutting the dependent chain of `count` from `m` to
+//! `⌈m/k⌉` steps. Pattern lengths not divisible by k finish with ordinary
+//! 1-step refinements on the embedded [`FmIndex`], which also resolves
+//! `locate` rows — answers are identical to the 1-step index by
+//! construction, and property-tested to be.
+
+use std::ops::Range;
+
+use exma_genome::genome::Genome;
+use exma_genome::{bwt_from_sa, count_table, suffix_array, Base, Kmer, Symbol};
+
+use crate::fm::FmIndex;
+use crate::kocc::KmerOccTable;
+use crate::occ::OccTable;
+use crate::sampled_sa::SampledSuffixArray;
+
+/// Largest supported step width: `4^7` codes still fit the `u16` k-BWT
+/// representation (the out-of-alphabet marker needs one extra value).
+pub const MAX_STEP: usize = 7;
+
+/// Space/latency knobs for k-step index construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KStepBuildConfig {
+    /// Symbols consumed per LF refinement. The paper evaluates k ∈ {1, 2, 4}.
+    pub k: usize,
+    /// Checkpoint spacing of the embedded 1-step occurrence table.
+    pub occ_sample_rate: usize,
+    /// Text-position spacing of kept suffix-array samples.
+    pub sa_sample_rate: usize,
+    /// Checkpoint spacing of the k-mer occurrence table. Each checkpoint
+    /// stores `4^k` counters, so this rate should grow with k to keep the
+    /// table's footprint proportionate.
+    pub k_occ_sample_rate: usize,
+}
+
+impl KStepBuildConfig {
+    /// Defaults for a given step width: BWA-style 1-step rates, and a k-mer
+    /// checkpoint spacing of `64k` so checkpoint memory grows sublinearly
+    /// in the `4^k` alphabet expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or greater than [`MAX_STEP`].
+    pub fn for_k(k: usize) -> KStepBuildConfig {
+        assert!(
+            (1..=MAX_STEP).contains(&k),
+            "k must be in 1..={MAX_STEP}, got {k}"
+        );
+        KStepBuildConfig {
+            k,
+            occ_sample_rate: 64,
+            sa_sample_rate: 32,
+            k_occ_sample_rate: 64 * k,
+        }
+    }
+}
+
+/// A k-step FM-index over a sentinel-terminated text.
+///
+/// ```
+/// use exma_genome::{Genome, GenomeProfile};
+/// use exma_index::{FmIndex, KStepFmIndex};
+///
+/// let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+/// let fm = FmIndex::from_genome(&genome);
+/// let k4 = KStepFmIndex::from_genome(&genome, 4);
+/// let pattern = genome.seq().slice(100, 22); // 22 % 4 == 2: exercises the tail
+/// assert_eq!(k4.count(&pattern), fm.count(&pattern));
+/// assert_eq!(k4.locate(&pattern), fm.locate(&pattern));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KStepFmIndex {
+    k: usize,
+    /// The 1-step tables: tail refinements, `locate` row resolution, and
+    /// the k = 1 degenerate case.
+    base: FmIndex,
+    /// `kstarts[r]` = number of suffixes lexicographically smaller than the
+    /// k-mer of rank `r` — the C-array over the expanded alphabet.
+    kstarts: Vec<u32>,
+    /// Rank over the k-BWT (the k symbols cyclically preceding each suffix).
+    kocc: KmerOccTable,
+}
+
+impl KStepFmIndex {
+    /// Builds the index from a sentinel-terminated symbol text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is not sentinel-terminated (see
+    /// [`exma_genome::suffix_array`]), a sample rate is zero, or
+    /// `config.k` is out of `1..=`[`MAX_STEP`].
+    pub fn from_text_with_config(text: &[Symbol], config: KStepBuildConfig) -> KStepFmIndex {
+        let k = config.k;
+        assert!(
+            (1..=MAX_STEP).contains(&k),
+            "k must be in 1..={MAX_STEP}, got {k}"
+        );
+        let n = text.len();
+        let sa = suffix_array(text);
+        let bwt = bwt_from_sa(text, &sa);
+        let base = FmIndex::from_parts(
+            count_table(text),
+            OccTable::new(&bwt, config.occ_sample_rate),
+            SampledSuffixArray::new(&sa, config.sa_sample_rate),
+        );
+
+        // k-BWT: the k symbols cyclically preceding each suffix, packed into
+        // a code over the 4^k expanded alphabet; contexts containing the
+        // sentinel take the single out-of-alphabet code `stride`. Stepping
+        // back k positions as `n - (k % n)` keeps the arithmetic in range
+        // even when the text is shorter than k (where every window crosses
+        // the sentinel and the code is out-of-alphabet anyway).
+        let stride = 1usize << (2 * k);
+        let back = n - k % n;
+        let codes: Vec<u16> = sa
+            .iter()
+            .map(|&p| {
+                let mut code = 0usize;
+                for j in 0..k {
+                    match text[(p as usize + back + j) % n].base() {
+                        Some(b) => code = (code << 2) | b.code() as usize,
+                        None => return stride as u16,
+                    }
+                }
+                code as u16
+            })
+            .collect();
+        let kocc = KmerOccTable::new(codes, stride, config.k_occ_sample_rate);
+
+        // C-array over the expanded alphabet. Each suffix's first
+        // min(k, len) symbols become a base-5 key ($ = 0 < A..T = 1..4,
+        // padded with 0 past the sentinel); `kstarts[r]` is then the number
+        // of suffix keys below the k-mer's own key, i.e. the first row of
+        // the r-th k-mer's suffix-array bucket.
+        let pow5 = 5usize.pow(k as u32);
+        let mut hist = vec![0u32; pow5];
+        for &p in &sa {
+            let mut key = 0usize;
+            for j in 0..k {
+                let idx = p as usize + j;
+                let digit = if idx < n {
+                    text[idx].code() as usize
+                } else {
+                    0
+                };
+                key = key * 5 + digit;
+            }
+            hist[key] += 1;
+        }
+        let mut below = 0u32;
+        let prefix: Vec<u32> = hist
+            .iter()
+            .map(|&c| {
+                let start = below;
+                below += c;
+                start
+            })
+            .collect();
+        let kstarts: Vec<u32> = (0..stride)
+            .map(|r| {
+                let mut key = 0usize;
+                for j in (0..k).rev() {
+                    key = key * 5 + ((r >> (2 * j)) & 3) + 1;
+                }
+                prefix[key]
+            })
+            .collect();
+
+        KStepFmIndex {
+            k,
+            base,
+            kstarts,
+            kocc,
+        }
+    }
+
+    /// Builds the index with default sampling rates for step width `k`.
+    pub fn from_text(text: &[Symbol], k: usize) -> KStepFmIndex {
+        KStepFmIndex::from_text_with_config(text, KStepBuildConfig::for_k(k))
+    }
+
+    /// Builds the index for a genome's reference sequence.
+    pub fn from_genome(genome: &Genome, k: usize) -> KStepFmIndex {
+        KStepFmIndex::from_text(&genome.text_with_sentinel(), k)
+    }
+
+    /// Symbols consumed per LF refinement.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Length of the indexed text, including the sentinel.
+    pub fn text_len(&self) -> usize {
+        self.base.text_len()
+    }
+
+    /// The embedded 1-step index (tail refinements and row resolution).
+    pub fn base_index(&self) -> &FmIndex {
+        &self.base
+    }
+
+    /// The k-mer occurrence table.
+    pub fn kmer_occ(&self) -> &KmerOccTable {
+        &self.kocc
+    }
+
+    /// First suffix-array row of `kmer`'s bucket — the expanded-alphabet
+    /// C-array, `C_k(kmer)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.k() != self.k()`.
+    pub fn kstart(&self, kmer: Kmer) -> usize {
+        assert_eq!(kmer.k(), self.k, "kmer width mismatch");
+        self.kstarts[kmer.rank() as usize] as usize
+    }
+
+    /// One k-step LF refinement: narrows `range` (rows whose suffixes start
+    /// with some matched suffix `S`) to the rows starting with `kmer · S`.
+    /// Returns `0..0` when no occurrences remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.k() != self.k()` or `range` extends past the text.
+    #[inline]
+    pub fn kstep(&self, kmer: Kmer, range: Range<usize>) -> Range<usize> {
+        assert_eq!(kmer.k(), self.k, "kmer width mismatch");
+        let r = kmer.rank() as u16;
+        let start = self.kstarts[r as usize] as usize;
+        let lo = start + self.kocc.rank(r, range.start) as usize;
+        let hi = start + self.kocc.rank(r, range.end) as usize;
+        if lo >= hi {
+            0..0
+        } else {
+            lo..hi
+        }
+    }
+
+    /// The suffix-array interval of rows whose suffixes start with
+    /// `pattern`: `⌊m/k⌋` k-step refinements right to left, then the
+    /// leading `m mod k` symbols one at a time on the 1-step tables.
+    ///
+    /// The empty pattern matches every row. An empty range means no
+    /// occurrences.
+    pub fn backward_search(&self, pattern: &[Base]) -> Range<usize> {
+        let mut range = 0..self.text_len();
+        let tail = pattern.len() % self.k;
+        let mut i = pattern.len();
+        while i >= tail + self.k {
+            i -= self.k;
+            range = self.kstep(Kmer::from_bases(&pattern[i..i + self.k]), range);
+            if range.is_empty() {
+                return 0..0;
+            }
+        }
+        for &b in pattern[..tail].iter().rev() {
+            range = self.base.step(b, range);
+            if range.is_empty() {
+                return 0..0;
+            }
+        }
+        range
+    }
+
+    /// Number of occurrences of `pattern` in the reference.
+    pub fn count(&self, pattern: &[Base]) -> usize {
+        self.backward_search(pattern).len()
+    }
+
+    /// All starting positions of `pattern` in the reference, sorted
+    /// ascending.
+    pub fn locate(&self, pattern: &[Base]) -> Vec<u32> {
+        let mut positions = Vec::new();
+        self.locate_into(pattern, &mut positions);
+        positions
+    }
+
+    /// Allocation-reusing `locate`: clears `out` and fills it with the
+    /// sorted starting positions of `pattern`.
+    pub fn locate_into(&self, pattern: &[Base], out: &mut Vec<u32>) {
+        self.base
+            .resolve_range_into(self.backward_search(pattern), out);
+    }
+
+    /// Heap bytes of all index components (1-step tables included).
+    pub fn heap_bytes(&self) -> usize {
+        self.base.heap_bytes() + self.kocc.heap_bytes() + self.kstarts.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::alphabet::parse_bases;
+    use exma_genome::genome::text_from_str;
+
+    fn fig3_kstep(k: usize) -> KStepFmIndex {
+        // The paper's running example: G = CATAGA$.
+        KStepFmIndex::from_text_with_config(
+            &text_from_str("CATAGA").unwrap(),
+            KStepBuildConfig {
+                k,
+                occ_sample_rate: 2,
+                sa_sample_rate: 2,
+                k_occ_sample_rate: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn fig3_counts_for_every_k() {
+        for k in 1..=4 {
+            let fm = fig3_kstep(k);
+            for (pat, expect) in [
+                ("A", 3),
+                ("TA", 1),
+                ("AGA", 1),
+                ("ATAG", 1),
+                ("CATAGA", 1),
+                ("GG", 0),
+                ("TT", 0),
+                ("CATAGAC", 0),
+            ] {
+                assert_eq!(
+                    fm.count(&parse_bases(pat).unwrap()),
+                    expect,
+                    "k={k}, pattern {pat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_locate_for_every_k() {
+        for k in 1..=4 {
+            let fm = fig3_kstep(k);
+            assert_eq!(
+                fm.locate(&parse_bases("A").unwrap()),
+                vec![1, 3, 5],
+                "k={k}"
+            );
+            assert_eq!(fm.locate(&parse_bases("AGA").unwrap()), vec![3], "k={k}");
+            assert_eq!(
+                fm.locate(&parse_bases("GG").unwrap()),
+                Vec::<u32>::new(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_every_row() {
+        let fm = fig3_kstep(2);
+        assert_eq!(fm.backward_search(&[]), 0..7);
+        assert_eq!(fm.count(&[]), 7);
+    }
+
+    #[test]
+    fn kstart_agrees_with_one_step_search() {
+        // C_k of a k-mer is the lower bound of its 1-step interval whenever
+        // the k-mer occurs at all.
+        let text = text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap();
+        for k in [2usize, 4] {
+            let fm = KStepFmIndex::from_text(&text, k);
+            let mut kmer = Some(Kmer::first(k));
+            while let Some(km) = kmer {
+                let range = fm.base_index().backward_search(&km.to_bases());
+                if !range.is_empty() {
+                    assert_eq!(fm.kstart(km), range.start, "k={k}, kmer {km}");
+                }
+                kmer = km.successor();
+            }
+        }
+    }
+
+    #[test]
+    fn tail_lengths_cover_every_residue() {
+        let text = text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap();
+        let one = FmIndex::from_text(&text);
+        let k4 = KStepFmIndex::from_text(&text, 4);
+        // Prefixes of a known substring: lengths 1..=8 hit every residue
+        // class mod 4, including the all-tail (< k) lengths 1..=3.
+        let full = parse_bases("CATAGACC").unwrap();
+        for len in 1..=full.len() {
+            let pat = &full[full.len() - len..];
+            assert_eq!(k4.count(pat), one.count(pat), "len {len}");
+            assert_eq!(k4.locate(pat), one.locate(pat), "len {len}");
+        }
+    }
+
+    #[test]
+    fn text_shorter_than_k_still_answers() {
+        // n = 3 (two bases + sentinel) with k = 4: every k-window crosses
+        // the sentinel, so k-steps find nothing and tails do all the work.
+        let text = text_from_str("AC").unwrap();
+        let fm = KStepFmIndex::from_text(&text, 4);
+        assert_eq!(fm.count(&parse_bases("A").unwrap()), 1);
+        assert_eq!(fm.count(&parse_bases("AC").unwrap()), 1);
+        assert_eq!(fm.count(&parse_bases("CA").unwrap()), 0);
+        assert_eq!(fm.count(&parse_bases("ACAC").unwrap()), 0);
+        assert_eq!(fm.locate(&parse_bases("AC").unwrap()), vec![0]);
+        assert_eq!(fm.count(&[]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "kmer width mismatch")]
+    fn kstep_rejects_wrong_width() {
+        let fm = fig3_kstep(2);
+        let _ = fm.kstep("AGA".parse().unwrap(), 0..7);
+    }
+}

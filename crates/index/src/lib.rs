@@ -4,7 +4,10 @@
 //! the software baseline the paper accelerates: a sampled occurrence table
 //! (checkpointed rank over the BWT), the C-array, LF-mapping, `count` by
 //! backward search and `locate` through a sampled suffix array — built on
-//! the suffix-array/BWT substrate of [`exma_genome`].
+//! the suffix-array/BWT substrate of [`exma_genome`]. The k-step variant
+//! ([`KStepFmIndex`]) widens the LF alphabet to k-mers (paper §III),
+//! consuming k pattern symbols per refinement with answers byte-identical
+//! to the 1-step index.
 //!
 //! ```
 //! use exma_genome::{Genome, GenomeProfile};
@@ -21,10 +24,14 @@
 //! ```
 
 pub mod fm;
+pub mod kocc;
+pub mod kstep;
 pub mod naive;
 pub mod occ;
 pub mod sampled_sa;
 
 pub use fm::{FmBuildConfig, FmIndex};
+pub use kocc::KmerOccTable;
+pub use kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};
 pub use occ::OccTable;
 pub use sampled_sa::{RankBits, SampledSuffixArray};

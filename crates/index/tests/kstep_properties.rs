@@ -1,0 +1,151 @@
+//! Acceptance property of the k-step index: for k ∈ {1, 2, 4},
+//! `KStepFmIndex` must answer `count()` and `locate()` byte-identically to
+//! the 1-step `FmIndex` and the naive oracle on hundreds of random
+//! patterns — crucially including lengths with `len % k != 0` (the
+//! mixed k-step/1-step tail path), lengths below k (pure tail), empty
+//! patterns and absent patterns.
+
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::{naive, FmIndex, KStepBuildConfig, KStepFmIndex};
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+/// Patterns mixing guaranteed hits (sampled from the reference) with
+/// uniform-random strings that mostly do not occur. Lengths are drawn from
+/// `1..40`, so every residue class mod 2 and mod 4 is exercised, plus a
+/// sprinkle of empty patterns.
+fn pattern_mix(genome: &Genome, total: usize, seed: u64) -> Vec<Vec<Base>> {
+    let mut rng = SeededRng::new(seed);
+    (0..total)
+        .map(|i| {
+            if i % 97 == 0 {
+                return Vec::new(); // the empty pattern matches every row
+            }
+            let len = rng.range(1, 40);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn kstep_agrees_with_one_step_and_naive_on_600_patterns() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = pattern_mix(&genome, 600, 23);
+
+    for k in [1usize, 2, 4] {
+        let kstep = KStepFmIndex::from_genome(&genome, k);
+        let mut tails = 0usize;
+        let mut zero_hits = 0usize;
+        for (i, pattern) in patterns.iter().enumerate() {
+            let expect = one.count(pattern);
+            assert_eq!(kstep.count(pattern), expect, "k={k}, pattern #{i}");
+            assert_eq!(
+                kstep.locate(pattern),
+                one.locate(pattern),
+                "k={k}, pattern #{i}"
+            );
+            tails += usize::from(!pattern.is_empty() && pattern.len() % k != 0);
+            zero_hits += usize::from(expect == 0);
+        }
+        // The mix must actually exercise the tail path and the no-hit path.
+        if k > 1 {
+            assert!(tails >= 150, "k={k}: only {tails} tail-length patterns");
+        }
+        assert!(zero_hits >= 100, "k={k}: only {zero_hits} absent patterns");
+    }
+}
+
+#[test]
+fn kstep_locate_agrees_with_naive_scan() {
+    let genome = toy_genome();
+    let patterns = pattern_mix(&genome, 200, 29);
+    for k in [2usize, 4] {
+        let kstep = KStepFmIndex::from_genome(&genome, k);
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(
+                kstep.locate(pattern),
+                naive::occurrences(genome.seq(), pattern),
+                "k={k}, pattern #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_rates_do_not_change_kstep_answers() {
+    let genome = Genome::synthesize(
+        &GenomeProfile {
+            len: 2_000,
+            ..GenomeProfile::toy()
+        },
+        3,
+    );
+    let text = genome.text_with_sentinel();
+    let one = FmIndex::from_text(&text);
+    let patterns = pattern_mix(&genome, 100, 31);
+    for k in [2usize, 4] {
+        for (occ_rate, k_occ_rate) in [(1, 1), (3, 5), (64, 256), (5_000, 5_000)] {
+            let kstep = KStepFmIndex::from_text_with_config(
+                &text,
+                KStepBuildConfig {
+                    k,
+                    occ_sample_rate: occ_rate,
+                    sa_sample_rate: 17,
+                    k_occ_sample_rate: k_occ_rate,
+                },
+            );
+            for pattern in &patterns {
+                assert_eq!(
+                    kstep.count(pattern),
+                    one.count(pattern),
+                    "k={k}, rates ({occ_rate}, {k_occ_rate})"
+                );
+                assert_eq!(
+                    kstep.locate(pattern),
+                    one.locate(pattern),
+                    "k={k}, rates ({occ_rate}, {k_occ_rate})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn locate_into_matches_locate_across_k() {
+    let genome = toy_genome();
+    let mut buf = Vec::new();
+    for k in [1usize, 2, 4] {
+        let kstep = KStepFmIndex::from_genome(&genome, k);
+        for pattern in pattern_mix(&genome, 60, 37) {
+            kstep.locate_into(&pattern, &mut buf);
+            assert_eq!(buf, kstep.locate(&pattern), "k={k}");
+        }
+    }
+}
+
+#[test]
+fn human_rel_scale_kstep_answers_queries() {
+    // A 300 kbp build catches scaling bugs (checkpoint indexing, u16 code
+    // overflow) that a 10 kbp toy cannot.
+    let genome = Genome::synthesize(
+        &GenomeProfile {
+            len: 300_000,
+            ..GenomeProfile::human_rel()
+        },
+        5,
+    );
+    let one = FmIndex::from_genome(&genome);
+    let k4 = KStepFmIndex::from_genome(&genome, 4);
+    for (i, pattern) in pattern_mix(&genome, 60, 41).iter().enumerate() {
+        assert_eq!(k4.count(pattern), one.count(pattern), "pattern #{i}");
+        assert_eq!(k4.locate(pattern), one.locate(pattern), "pattern #{i}");
+    }
+}
