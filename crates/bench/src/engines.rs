@@ -1,18 +1,20 @@
 //! The engines under measurement, behind one uniform face.
 //!
-//! Three query paths compete on identical inputs: the sequential 1-step
-//! baseline (`FmIndex`), the sequential k-step index (k ∈ {2, 4}), and the
-//! batched lockstep engine on top of the k-step index. Batched entries
-//! *share* their index with the matching k-step entry — scheduling, not
-//! the data structure, is what they isolate — so their build time and
-//! heap bytes are reported from the shared index.
+//! The query paths compete on identical inputs: the sequential 1-step
+//! baseline (`FmIndex`), the sequential k-step index (k ∈ {2, 4}), the
+//! batched lockstep engine, its interval-sorted and sorted+prefetching
+//! schedules, and the multi-threaded sharded engine at several thread
+//! counts. Every entry past the k-step ones *shares* its index with the
+//! matching k-step entry — scheduling and threading, not the data
+//! structure, are what they isolate — so build time and heap bytes are
+//! reported from the shared index.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use exma_engine::BatchEngine;
+use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
 use exma_genome::{Base, Symbol};
-use exma_index::{FmIndex, KStepFmIndex};
+use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex};
 
 /// One genome's worth of built indexes, shared across engine entries.
 pub struct EngineSet {
@@ -47,67 +49,146 @@ impl EngineSet {
         }
     }
 
-    /// Every engine entry measured against this set.
-    pub fn engines(&self) -> Vec<Engine<'_>> {
-        vec![
+    /// Every engine entry measured against this set. The first entry is
+    /// always the 1-step oracle; `thread_counts` adds one sharded entry
+    /// (k = 4, locality schedule) per count.
+    pub fn engines(&self, thread_counts: &[usize]) -> Vec<Engine<'_>> {
+        let share_k2 = (self.build_secs[1], self.k2.heap_bytes(), Some("kstep_k2"));
+        let share_k4 = (self.build_secs[2], self.k4.heap_bytes(), Some("kstep_k4"));
+        let mut engines = vec![
             Engine {
-                label: "1step",
+                label: "1step".to_string(),
                 k: 1,
                 kind: Kind::OneStep(&self.one),
                 build_secs: self.build_secs[0],
                 heap_bytes: self.one.heap_bytes(),
                 shares_index_with: None,
+                threads: None,
             },
             Engine {
-                label: "kstep_k2",
+                label: "kstep_k2".to_string(),
                 k: 2,
                 kind: Kind::KStep(&self.k2),
                 build_secs: self.build_secs[1],
                 heap_bytes: self.k2.heap_bytes(),
                 shares_index_with: None,
+                threads: None,
             },
             Engine {
-                label: "kstep_k4",
+                label: "kstep_k4".to_string(),
                 k: 4,
                 kind: Kind::KStep(&self.k4),
                 build_secs: self.build_secs[2],
                 heap_bytes: self.k4.heap_bytes(),
                 shares_index_with: None,
+                threads: None,
             },
             Engine {
-                label: "batched_k2",
+                label: "batched_k2".to_string(),
                 k: 2,
-                kind: Kind::Batched(&self.k2),
-                build_secs: self.build_secs[1],
-                heap_bytes: self.k2.heap_bytes(),
-                shares_index_with: Some("kstep_k2"),
+                kind: Kind::Batched(&self.k2, BatchConfig::default()),
+                build_secs: share_k2.0,
+                heap_bytes: share_k2.1,
+                shares_index_with: share_k2.2,
+                threads: None,
             },
             Engine {
-                label: "batched_k4",
+                label: "batched_k4".to_string(),
                 k: 4,
-                kind: Kind::Batched(&self.k4),
-                build_secs: self.build_secs[2],
-                heap_bytes: self.k4.heap_bytes(),
-                shares_index_with: Some("kstep_k4"),
+                kind: Kind::Batched(&self.k4, BatchConfig::default()),
+                build_secs: share_k4.0,
+                heap_bytes: share_k4.1,
+                shares_index_with: share_k4.2,
+                threads: None,
             },
-        ]
+            Engine {
+                label: "batched_sorted_k4".to_string(),
+                k: 4,
+                kind: Kind::Batched(&self.k4, BatchConfig::sorted()),
+                build_secs: share_k4.0,
+                heap_bytes: share_k4.1,
+                shares_index_with: share_k4.2,
+                threads: None,
+            },
+            Engine {
+                label: "batched_prefetch_k4".to_string(),
+                k: 4,
+                kind: Kind::Batched(&self.k4, BatchConfig::locality()),
+                build_secs: share_k4.0,
+                heap_bytes: share_k4.1,
+                shares_index_with: share_k4.2,
+                threads: None,
+            },
+        ];
+        for &threads in thread_counts {
+            engines.push(Engine {
+                label: format!("sharded_k4_t{threads}"),
+                k: 4,
+                kind: Kind::Sharded(&self.k4, threads),
+                build_secs: share_k4.0,
+                heap_bytes: share_k4.1,
+                shares_index_with: share_k4.2,
+                threads: Some(threads),
+            });
+        }
+        engines
+    }
+}
+
+/// A k = 4 index built at a swept `k_occ_sample_rate`, measured through
+/// the sorted+prefetching batch schedule (the headline engine).
+pub struct SweepPoint {
+    pub index: KStepFmIndex,
+    pub build_secs: f64,
+}
+
+impl SweepPoint {
+    /// Builds the k = 4 index with everything default except the k-mer
+    /// checkpoint spacing — the paper's central memory/latency knob.
+    pub fn build(text: &[Symbol], k_occ_sample_rate: usize) -> SweepPoint {
+        let config = KStepBuildConfig {
+            k_occ_sample_rate,
+            ..KStepBuildConfig::for_k(4)
+        };
+        let start = Instant::now();
+        let index = KStepFmIndex::from_text_with_config(text, config);
+        SweepPoint {
+            index,
+            build_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The measured engine entry for this sweep point.
+    pub fn engine(&self) -> Engine<'_> {
+        Engine {
+            label: "batched_prefetch_k4".to_string(),
+            k: 4,
+            kind: Kind::Batched(&self.index, BatchConfig::locality()),
+            build_secs: self.build_secs,
+            heap_bytes: self.index.heap_bytes(),
+            shares_index_with: None,
+            threads: None,
+        }
     }
 }
 
 enum Kind<'a> {
     OneStep(&'a FmIndex),
     KStep(&'a KStepFmIndex),
-    Batched(&'a KStepFmIndex),
+    Batched(&'a KStepFmIndex, BatchConfig),
+    Sharded(&'a KStepFmIndex, usize),
 }
 
 /// One measured engine entry.
 pub struct Engine<'a> {
-    pub label: &'static str,
+    pub label: String,
     pub k: usize,
     kind: Kind<'a>,
     pub build_secs: f64,
     pub heap_bytes: usize,
     pub shares_index_with: Option<&'static str>,
+    /// Worker threads for sharded entries, `None` for single-threaded.
+    pub threads: Option<usize>,
 }
 
 impl Engine<'_> {
@@ -117,14 +198,25 @@ impl Engine<'_> {
         match self.kind {
             Kind::OneStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
             Kind::KStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
-            Kind::Batched(fm) => BatchEngine::new(fm).count_batch(patterns),
+            Kind::Batched(fm, config) => BatchEngine::with_config(fm, config).count_batch(patterns),
+            Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).count_batch(patterns),
         }
     }
 
     /// Sorted occurrence positions for every pattern. Sequential engines
-    /// recycle one buffer through `locate_into`; the batched engine
-    /// resolves its intervals after the lockstep search.
+    /// recycle one buffer through `locate_into`; batched and sharded
+    /// engines resolve their intervals after the lockstep search.
     pub fn locate_all(&self, patterns: &[Vec<Base>]) -> Vec<Vec<u32>> {
+        let sequential = |fm: &KStepFmIndex| {
+            let mut buf = Vec::new();
+            patterns
+                .iter()
+                .map(|p| {
+                    fm.locate_into(p, &mut buf);
+                    buf.clone()
+                })
+                .collect()
+        };
         match self.kind {
             Kind::OneStep(fm) => {
                 let mut buf = Vec::new();
@@ -136,23 +228,18 @@ impl Engine<'_> {
                     })
                     .collect()
             }
-            Kind::KStep(fm) => {
-                let mut buf = Vec::new();
-                patterns
-                    .iter()
-                    .map(|p| {
-                        fm.locate_into(p, &mut buf);
-                        buf.clone()
-                    })
-                    .collect()
+            Kind::KStep(fm) => sequential(fm),
+            Kind::Batched(fm, config) => {
+                BatchEngine::with_config(fm, config).locate_batch(patterns)
             }
-            Kind::Batched(fm) => BatchEngine::new(fm).locate_batch(patterns),
+            Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).locate_batch(patterns),
         }
     }
 
     /// Checksummed count sweep for timing (results folded so the optimizer
     /// cannot discard the work).
     pub fn count_checksum(&self, patterns: &[Vec<Base>]) -> u64 {
+        let fold = |counts: Vec<usize>| counts.iter().map(|&c| c as u64).sum();
         match self.kind {
             Kind::OneStep(fm) => patterns
                 .iter()
@@ -162,11 +249,12 @@ impl Engine<'_> {
                 .iter()
                 .map(|p| black_box(fm.count(black_box(p))) as u64)
                 .sum(),
-            Kind::Batched(fm) => BatchEngine::new(fm)
-                .count_batch(black_box(patterns))
-                .iter()
-                .map(|&c| c as u64)
-                .sum(),
+            Kind::Batched(fm, config) => {
+                fold(BatchEngine::with_config(fm, config).count_batch(black_box(patterns)))
+            }
+            Kind::Sharded(fm, threads) => {
+                fold(ShardedEngine::new(fm, threads).count_batch(black_box(patterns)))
+            }
         }
     }
 
@@ -175,6 +263,8 @@ impl Engine<'_> {
         let fold = |positions: &[u32]| -> u64 {
             positions.iter().map(|&p| p as u64).sum::<u64>() + positions.len() as u64
         };
+        let fold_all =
+            |located: Vec<Vec<u32>>| located.iter().map(|positions| fold(positions)).sum();
         match self.kind {
             Kind::OneStep(fm) => {
                 let mut buf = Vec::new();
@@ -196,11 +286,26 @@ impl Engine<'_> {
                     })
                     .sum()
             }
-            Kind::Batched(fm) => BatchEngine::new(fm)
-                .locate_batch(black_box(patterns))
-                .iter()
-                .map(|positions| fold(positions))
-                .sum(),
+            Kind::Batched(fm, config) => {
+                fold_all(BatchEngine::with_config(fm, config).locate_batch(black_box(patterns)))
+            }
+            Kind::Sharded(fm, threads) => {
+                fold_all(ShardedEngine::new(fm, threads).locate_batch(black_box(patterns)))
+            }
+        }
+    }
+
+    /// `BatchStats.steps` of a batched count over `patterns`, for the
+    /// harness's scheduling sanity gate. `None` for non-batched engines.
+    pub fn batch_steps(&self, patterns: &[Vec<Base>]) -> Option<usize> {
+        match self.kind {
+            Kind::Batched(fm, config) => Some(
+                BatchEngine::with_config(fm, config)
+                    .search_batch_with_stats(patterns)
+                    .1
+                    .steps,
+            ),
+            _ => None,
         }
     }
 }
@@ -217,7 +322,8 @@ mod tests {
         let patterns: Vec<Vec<Base>> = (0..40)
             .map(|i| genome.seq().slice(i * 37, 9 + i % 13))
             .collect();
-        let engines = set.engines();
+        let engines = set.engines(&[1, 2, 4]);
+        assert_eq!(engines.len(), 10);
         let oracle_counts = engines[0].count_all(&patterns);
         let oracle_locs = engines[0].locate_all(&patterns);
         for engine in &engines[1..] {
@@ -241,7 +347,7 @@ mod tests {
         let genome = Genome::synthesize(&GenomeProfile::toy(), 7);
         let set = EngineSet::build(&genome.text_with_sentinel());
         let patterns: Vec<Vec<Base>> = (0..25).map(|i| genome.seq().slice(i * 11, 14)).collect();
-        let engines = set.engines();
+        let engines = set.engines(&[2]);
         let count_sum = engines[0].count_checksum(&patterns);
         let locate_sum = engines[0].locate_checksum(&patterns);
         for engine in &engines[1..] {
@@ -258,5 +364,19 @@ mod tests {
                 engine.label
             );
         }
+    }
+
+    #[test]
+    fn sweep_points_agree_with_the_oracle_and_shrink_with_rate() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 11);
+        let text = genome.text_with_sentinel();
+        let one = FmIndex::from_text(&text);
+        let patterns: Vec<Vec<Base>> = (0..30).map(|i| genome.seq().slice(i * 23, 12)).collect();
+        let expected: Vec<usize> = patterns.iter().map(|p| one.count(p)).collect();
+        let fine = SweepPoint::build(&text, 64);
+        let coarse = SweepPoint::build(&text, 1024);
+        assert_eq!(fine.engine().count_all(&patterns), expected);
+        assert_eq!(coarse.engine().count_all(&patterns), expected);
+        assert!(coarse.engine().heap_bytes < fine.engine().heap_bytes);
     }
 }

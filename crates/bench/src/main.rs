@@ -3,14 +3,17 @@
 //! The ROADMAP's north star demands *measured* hot-path speedups; this
 //! binary produces the measurements. It synthesizes the paper's genome
 //! profiles at relative scale, simulates Illumina and ONT read workloads,
-//! times `build`/`count`/`locate` through the 1-step, k-step (k = 2, 4)
-//! and batched engines, and writes `BENCH_exma.json` (median ns/query,
-//! queries/sec, heap bytes). Every engine's answers are cross-checked
-//! against the 1-step oracle; any divergence makes the process exit
-//! non-zero, which is what the `bench-smoke` CI job gates on.
+//! times `build`/`count`/`locate` through the 1-step, k-step (k = 2, 4),
+//! batched (plain, interval-sorted, sorted+prefetching) and sharded
+//! (multi-threaded) engines, sweeps the k-mer checkpoint spacing, and
+//! writes `BENCH_exma.json` (median ns/query, queries/sec, heap bytes).
+//! Every engine's answers are cross-checked against the 1-step oracle and
+//! the sorted schedule is checked to issue no extra LF steps; any
+//! violation makes the process exit non-zero, which is what the
+//! `bench-smoke` CI job gates on.
 //!
 //! ```text
-//! cargo run --release -p exma-bench              # full run (~20 s)
+//! cargo run --release -p exma-bench              # full run (~2 min)
 //! cargo run --release -p exma-bench -- --smoke   # CI-sized run (< 60 s budget)
 //! ```
 
@@ -25,7 +28,7 @@ use exma_genome::{
     Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
 };
 
-use crate::engines::EngineSet;
+use crate::engines::{Engine, EngineSet, SweepPoint};
 use crate::json::Json;
 
 /// Seed window taken from each simulated ONT read. 51 is deliberately odd:
@@ -35,24 +38,36 @@ const ONT_SEED_LEN: usize = 51;
 /// Illumina template read length (the paper's short-read workload).
 const ILLUMINA_LEN: usize = 100;
 
-const USAGE: &str = "exma-bench: benchmark 1-step vs k-step vs batched FM-index engines
+/// `k_occ_sample_rate` values covered by `--sweep-sample-rate` (the
+/// default full-mode k = 4 spacing is 256).
+const SWEEP_RATES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+const USAGE: &str = "exma-bench: benchmark 1-step vs k-step vs batched/sharded FM-index engines
 
 USAGE:
     cargo run --release -p exma-bench [-- OPTIONS]
 
 OPTIONS:
-    --smoke        CI-sized run: small genomes, fewer queries, < 60 s
-    --out PATH     output JSON path (default: BENCH_exma.json)
-    --seed N       master seed for genomes and read sets (default: 42)
-    --help         print this help
+    --smoke               CI-sized run: small genomes, fewer queries, < 60 s
+    --out PATH            output JSON path (default: BENCH_exma.json)
+    --seed N              master seed for genomes and read sets (default: 42)
+    --threads LIST        sharded-engine thread counts, comma-separated
+                          (default: 1,2,4,8 full / 1,2 smoke)
+    --sweep-sample-rate   also sweep k_occ_sample_rate over 64..1024 on the
+                          picea profile (k = 4, sorted+prefetching engine)
+    --help                print this help
 
 Exits non-zero if any engine's count/locate results diverge from the
-1-step FmIndex oracle.";
+1-step FmIndex oracle, or if the interval-sorted schedule issues more LF
+steps than the plain one.";
 
 struct Args {
     smoke: bool,
     out: PathBuf,
     seed: u64,
+    /// Empty means "use the mode's default thread counts".
+    threads: Vec<usize>,
+    sweep: bool,
 }
 
 /// Everything that differs between `--smoke` and the full run.
@@ -66,17 +81,26 @@ struct RunSpec {
     locate_reps: usize,
     /// How many patterns per workload get full locate verification.
     verify_locates: usize,
+    /// Sharded-engine thread counts measured by default.
+    thread_counts: Vec<usize>,
 }
 
 fn full_spec() -> RunSpec {
     RunSpec {
         mode: "full",
-        genomes: vec![GenomeProfile::human_rel(), GenomeProfile::picea_rel()],
+        genomes: vec![
+            GenomeProfile::human_rel(),
+            GenomeProfile::picea_rel(),
+            GenomeProfile::pinus_rel(),
+        ],
         illumina_reads: 5_000,
         ont_reads: 2_000,
-        count_reps: 5,
-        locate_reps: 3,
+        // The bench box is a shared single-core VM with bursty neighbor
+        // noise; 9 repetitions keep the median out of a noise burst.
+        count_reps: 9,
+        locate_reps: 5,
         verify_locates: 200,
+        thread_counts: vec![1, 2, 4, 8],
     }
 }
 
@@ -99,6 +123,7 @@ fn smoke_spec() -> RunSpec {
         count_reps: 3,
         locate_reps: 3,
         verify_locates: 100,
+        thread_counts: vec![1, 2],
     }
 }
 
@@ -138,23 +163,9 @@ fn workloads(genome: &Genome, spec: &RunSpec, seed: u64) -> Vec<Workload> {
     ]
 }
 
-/// Times `sweep` `reps` times; returns (median seconds, last checksum).
-fn time_sweep(reps: usize, mut sweep: impl FnMut() -> u64) -> (f64, u64) {
-    let mut times = Vec::with_capacity(reps);
-    let mut checksum = 0u64;
-    for _ in 0..reps {
-        let start = Instant::now();
-        checksum = sweep();
-        times.push(start.elapsed().as_secs_f64());
-    }
-    times.sort_by(f64::total_cmp);
-    (times[reps / 2], checksum)
-}
-
 /// Checks every engine's answers against the 1-step oracle. Returns the
 /// number of divergent (engine, workload) pairs, reporting each to stderr.
-fn verify(set: &EngineSet, loads: &[Workload], verify_locates: usize, genome: &str) -> usize {
-    let engines = set.engines();
+fn verify(engines: &[Engine], loads: &[Workload], verify_locates: usize, genome: &str) -> usize {
     let (oracle, rest) = engines.split_first().expect("engine set is never empty");
     let mut divergences = 0;
     for load in loads {
@@ -180,15 +191,149 @@ fn verify(set: &EngineSet, loads: &[Workload], verify_locates: usize, genome: &s
     divergences
 }
 
+/// Scheduling sanity gate: interval sorting reorders a round's work but
+/// must never add refinements. Compares `BatchStats.steps` of the sorted
+/// schedule against the plain one on every workload; returns the number
+/// of violations, reporting each to stderr.
+fn check_sorted_steps(engines: &[Engine], loads: &[Workload], genome: &str) -> usize {
+    let steps_of = |label: &str, load: &Workload| {
+        engines
+            .iter()
+            .find(|e| e.label == label)
+            .and_then(|e| e.batch_steps(&load.patterns))
+    };
+    let mut violations = 0;
+    for load in loads {
+        let (Some(plain), Some(sorted)) = (
+            steps_of("batched_k4", load),
+            steps_of("batched_sorted_k4", load),
+        ) else {
+            continue;
+        };
+        if sorted > plain {
+            eprintln!(
+                "SCHEDULING REGRESSION: {genome}/{}: sorted schedule issued {sorted} LF steps, plain {plain}",
+                load.name
+            );
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Accumulated timings of one (engine, workload, op) cell.
+#[derive(Default, Clone)]
+struct OpTiming {
+    times: Vec<f64>,
+    checksum: u64,
+}
+
+impl OpTiming {
+    fn median_secs(&self) -> f64 {
+        let mut times = self.times.clone();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+}
+
+/// Times every engine on every workload with repetitions *interleaved*
+/// across engines (rep 1 of every engine, then rep 2, ...): the bench box
+/// is a shared VM with bursty neighbor noise, and consecutive per-engine
+/// reps would let one burst land entirely on whichever engine was being
+/// measured. Returns `timings[engine][load * 2 + op]` (op 0 = count,
+/// 1 = locate).
+fn measure_interleaved(
+    engines: &[Engine],
+    loads: &[Workload],
+    spec: &RunSpec,
+) -> Vec<Vec<OpTiming>> {
+    let mut timings = vec![vec![OpTiming::default(); loads.len() * 2]; engines.len()];
+    for (li, load) in loads.iter().enumerate() {
+        for (op, reps) in [(0, spec.count_reps), (1, spec.locate_reps)] {
+            for _ in 0..reps {
+                for (ei, engine) in engines.iter().enumerate() {
+                    let start = Instant::now();
+                    let checksum = if op == 0 {
+                        engine.count_checksum(&load.patterns)
+                    } else {
+                        engine.locate_checksum(&load.patterns)
+                    };
+                    let cell = &mut timings[ei][li * 2 + op];
+                    cell.times.push(start.elapsed().as_secs_f64());
+                    cell.checksum = checksum;
+                }
+            }
+        }
+    }
+    timings
+}
+
+/// Assembles one engine's JSON entry from its accumulated timings.
+fn engine_entry(
+    engine: &Engine,
+    timings: &[OpTiming],
+    loads: &[Workload],
+    spec: &RunSpec,
+    genome: &Genome,
+) -> Json {
+    let mut ops: Vec<Json> = Vec::new();
+    for (li, load) in loads.iter().enumerate() {
+        let queries = load.patterns.len();
+        for (op, name) in [(0usize, "count"), (1, "locate")] {
+            let cell = &timings[li * 2 + op];
+            let ns_per_query = cell.median_secs() * 1e9 / queries as f64;
+            ops.push(
+                Json::obj()
+                    .field("op", name)
+                    .field("workload", load.name.as_str())
+                    .field("queries", queries)
+                    .field("reps", cell.times.len())
+                    .field("median_ns_per_query", ns_per_query)
+                    .field("queries_per_sec", 1e9 / ns_per_query)
+                    .field("checksum", cell.checksum),
+            );
+        }
+        eprintln!(
+            "[{}] {}/{}/{}: count {:.0} ns/q, locate {:.0} ns/q",
+            spec.mode,
+            genome.profile().name,
+            engine.label,
+            load.name,
+            timings[li * 2].median_secs() * 1e9 / queries as f64,
+            timings[li * 2 + 1].median_secs() * 1e9 / queries as f64,
+        );
+    }
+    let mut entry = Json::obj()
+        .field("genome", genome.profile().name.as_str())
+        .field("genome_len", genome.len())
+        .field("engine", engine.label.as_str())
+        .field("k", engine.k)
+        .field("build_ms", engine.build_secs * 1e3)
+        .field("heap_bytes", engine.heap_bytes);
+    if let Some(threads) = engine.threads {
+        entry = entry.field("threads", threads);
+    }
+    if let Some(shared) = engine.shares_index_with {
+        entry = entry.field("shares_index_with", shared);
+    }
+    entry.field("ops", ops)
+}
+
 fn run(args: &Args) -> ExitCode {
     let spec = if args.smoke {
         smoke_spec()
     } else {
         full_spec()
     };
+    let thread_counts = if args.threads.is_empty() {
+        spec.thread_counts.clone()
+    } else {
+        args.threads.clone()
+    };
     let started = Instant::now();
     let mut results: Vec<Json> = Vec::new();
-    let mut divergences = 0usize;
+    let mut sweep_results: Vec<Json> = Vec::new();
+    let mut violations = 0usize;
 
     for profile in &spec.genomes {
         eprintln!(
@@ -197,70 +342,71 @@ fn run(args: &Args) -> ExitCode {
         );
         let genome = Genome::synthesize(profile, args.seed);
         let loads = workloads(&genome, &spec, args.seed);
+        let text = genome.text_with_sentinel();
 
         eprintln!("[{}] building 1-step, k=2, k=4 indexes...", spec.mode);
-        let set = EngineSet::build(&genome.text_with_sentinel());
+        let set = EngineSet::build(&text);
+        let engines = set.engines(&thread_counts);
 
-        divergences += verify(&set, &loads, spec.verify_locates, &profile.name);
+        violations += verify(&engines, &loads, spec.verify_locates, &profile.name);
+        violations += check_sorted_steps(&engines, &loads, &profile.name);
 
-        for engine in set.engines() {
-            let mut ops: Vec<Json> = Vec::new();
-            for load in &loads {
-                let queries = load.patterns.len();
-                let (count_secs, count_sum) =
-                    time_sweep(spec.count_reps, || engine.count_checksum(&load.patterns));
-                let (locate_secs, locate_sum) =
-                    time_sweep(spec.locate_reps, || engine.locate_checksum(&load.patterns));
-                for (op, secs, reps, checksum) in [
-                    ("count", count_secs, spec.count_reps, count_sum),
-                    ("locate", locate_secs, spec.locate_reps, locate_sum),
-                ] {
-                    let ns_per_query = secs * 1e9 / queries as f64;
-                    ops.push(
-                        Json::obj()
-                            .field("op", op)
-                            .field("workload", load.name.as_str())
-                            .field("queries", queries)
-                            .field("reps", reps)
-                            .field("median_ns_per_query", ns_per_query)
-                            .field("queries_per_sec", 1e9 / ns_per_query)
-                            .field("checksum", checksum),
-                    );
+        let timings = measure_interleaved(&engines, &loads, &spec);
+        for (engine, engine_timings) in engines.iter().zip(&timings) {
+            results.push(engine_entry(engine, engine_timings, &loads, &spec, &genome));
+        }
+
+        // The sample-rate sweep runs on the picea profile — the paper's
+        // headline memory/latency trade-off genome — reusing this
+        // genome's oracle and workloads.
+        if args.sweep && profile.name.starts_with("picea") {
+            // Oracle counts are invariant across sweep rates; compute once.
+            let oracle_counts: Vec<Vec<usize>> = loads
+                .iter()
+                .map(|load| engines[0].count_all(&load.patterns))
+                .collect();
+            for rate in SWEEP_RATES {
+                eprintln!("[{}] sweep: k=4, k_occ_sample_rate={rate}...", spec.mode);
+                let point = SweepPoint::build(&text, rate);
+                let sweep_engine = [point.engine()];
+                for (load, expected) in loads.iter().zip(&oracle_counts) {
+                    if sweep_engine[0].count_all(&load.patterns) != *expected {
+                        eprintln!(
+                            "DIVERGENCE: {}/sweep_rate_{rate}/{}: count differs from 1-step oracle",
+                            profile.name, load.name
+                        );
+                        violations += 1;
+                    }
                 }
-                eprintln!(
-                    "[{}] {}/{}/{}: count {:.0} ns/q, locate {:.0} ns/q",
-                    spec.mode,
-                    profile.name,
-                    engine.label,
-                    load.name,
-                    count_secs * 1e9 / queries as f64,
-                    locate_secs * 1e9 / queries as f64,
+                let timings = measure_interleaved(&sweep_engine, &loads, &spec);
+                sweep_results.push(
+                    engine_entry(&sweep_engine[0], &timings[0], &loads, &spec, &genome)
+                        .field("k_occ_sample_rate", rate),
                 );
             }
-            let mut entry = Json::obj()
-                .field("genome", profile.name.as_str())
-                .field("genome_len", genome.len())
-                .field("engine", engine.label)
-                .field("k", engine.k)
-                .field("build_ms", engine.build_secs * 1e3)
-                .field("heap_bytes", engine.heap_bytes);
-            if let Some(shared) = engine.shares_index_with {
-                entry = entry.field("shares_index_with", shared);
-            }
-            results.push(entry.field("ops", ops));
         }
     }
 
-    let verified = divergences == 0;
-    let doc = Json::obj()
-        .field("schema_version", 1u64)
+    let verified = violations == 0;
+    let mut doc = Json::obj()
+        .field("schema_version", 2u64)
         .field("mode", spec.mode)
         .field("seed", args.seed)
         .field("illumina_read_len", ILLUMINA_LEN)
         .field("ont_seed_len", ONT_SEED_LEN)
+        .field(
+            "thread_counts",
+            thread_counts
+                .iter()
+                .map(|&t| Json::Int(t as u64))
+                .collect::<Vec<_>>(),
+        )
         .field("verified_against_oracle", verified)
         .field("wall_clock_secs", started.elapsed().as_secs_f64())
         .field("results", results);
+    if args.sweep {
+        doc = doc.field("sample_rate_sweep", sweep_results);
+    }
     let rendered = format!("{doc}\n");
     if let Err(err) = std::fs::write(&args.out, rendered) {
         eprintln!("failed to write {}: {err}", args.out.display());
@@ -271,7 +417,7 @@ fn run(args: &Args) -> ExitCode {
     if verified {
         ExitCode::SUCCESS
     } else {
-        eprintln!("{divergences} engine/workload pair(s) diverged from the 1-step oracle");
+        eprintln!("{violations} oracle divergence(s) / scheduling regression(s)");
         ExitCode::FAILURE
     }
 }
@@ -281,11 +427,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         smoke: false,
         out: PathBuf::from("BENCH_exma.json"),
         seed: 42,
+        threads: Vec::new(),
+        sweep: false,
     };
     let mut argv = argv.peekable();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--sweep-sample-rate" => args.sweep = true,
             "--out" => {
                 let path = argv.next().ok_or("--out requires a path")?;
                 args.out = PathBuf::from(path);
@@ -293,6 +442,19 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--seed" => {
                 let raw = argv.next().ok_or("--seed requires a number")?;
                 args.seed = raw.parse().map_err(|_| format!("bad seed '{raw}'"))?;
+            }
+            "--threads" => {
+                let raw = argv.next().ok_or("--threads requires a list like 1,2,4")?;
+                args.threads = raw
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t > 0)
+                            .ok_or_else(|| format!("bad thread count '{part}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
@@ -325,17 +487,30 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(!args.smoke);
+        assert!(!args.sweep);
+        assert!(args.threads.is_empty());
         assert_eq!(args.out, PathBuf::from("BENCH_exma.json"));
         assert_eq!(args.seed, 42);
 
         let args = parse_args(
-            ["--smoke", "--out", "/tmp/b.json", "--seed", "7"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--smoke",
+                "--out",
+                "/tmp/b.json",
+                "--seed",
+                "7",
+                "--threads",
+                "1,2,8",
+                "--sweep-sample-rate",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap()
         .unwrap();
         assert!(args.smoke);
+        assert!(args.sweep);
+        assert_eq!(args.threads, vec![1, 2, 8]);
         assert_eq!(args.out, PathBuf::from("/tmp/b.json"));
         assert_eq!(args.seed, 7);
     }
@@ -344,6 +519,8 @@ mod tests {
     fn bad_args_are_rejected() {
         assert!(parse_args(["--frobnicate".to_string()].into_iter()).is_err());
         assert!(parse_args(["--seed".to_string(), "x".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--threads".to_string(), "1,x".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--threads".to_string(), "0".to_string()].into_iter()).is_err());
         assert!(parse_args(["--help".to_string()].into_iter())
             .unwrap()
             .is_none());
@@ -354,6 +531,13 @@ mod tests {
         let spec = smoke_spec();
         assert!(spec.genomes.iter().all(|g| g.len <= 200_000));
         assert!(spec.count_reps % 2 == 1, "median needs odd reps");
+        assert!(spec.thread_counts.contains(&2), "CI runs sharded at 2");
+    }
+
+    #[test]
+    fn full_spec_covers_all_three_references() {
+        let names: Vec<_> = full_spec().genomes.iter().map(|g| g.name.clone()).collect();
+        assert_eq!(names, ["human_rel", "picea_rel", "pinus_rel"]);
     }
 
     #[test]
@@ -366,12 +550,10 @@ mod tests {
 
     #[test]
     fn median_of_odd_reps_is_middle_observation() {
-        let mut calls = 0usize;
-        let (_, checksum) = time_sweep(3, || {
-            calls += 1;
-            calls as u64
-        });
-        assert_eq!(calls, 3);
-        assert_eq!(checksum, 3);
+        let cell = OpTiming {
+            times: vec![9.0, 1.0, 5.0],
+            checksum: 7,
+        };
+        assert_eq!(cell.median_secs(), 5.0);
     }
 }

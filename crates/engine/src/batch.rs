@@ -1,9 +1,59 @@
-//! Lockstep batched backward search with dead-query dropping.
+//! Lockstep batched backward search with dead-query dropping, interval
+//! sorting, and software prefetch.
 
 use std::ops::Range;
 
-use exma_genome::{Base, Kmer};
+use exma_genome::{Base, Kmer, Symbol};
 use exma_index::KStepFmIndex;
+
+/// How many queries ahead of the one being refined the engine prefetches
+/// when [`BatchConfig::prefetch_distance`] is left to the default. Far
+/// enough that a DRAM fetch (~100 ns) completes before the refinement
+/// loop reaches the query, near enough that the lines are not evicted
+/// again first.
+pub const DEFAULT_PREFETCH_DISTANCE: usize = 8;
+
+/// Scheduling knobs of a [`BatchEngine`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Sort live queries by their interval's `lo` each round, so the
+    /// round's occurrence-table accesses walk memory in address order
+    /// instead of jumping wherever the previous refinement landed.
+    pub sort_by_interval: bool,
+    /// While refining query `j`, prefetch the table blocks query `j + d`
+    /// will touch (`0` disables prefetching).
+    pub prefetch_distance: usize,
+}
+
+impl Default for BatchConfig {
+    /// Plain lockstep rounds: input order, no prefetch — the PR 2
+    /// baseline scheduling.
+    fn default() -> BatchConfig {
+        BatchConfig {
+            sort_by_interval: false,
+            prefetch_distance: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Interval-sorted rounds without prefetch (isolates the sort).
+    pub fn sorted() -> BatchConfig {
+        BatchConfig {
+            sort_by_interval: true,
+            prefetch_distance: 0,
+        }
+    }
+
+    /// The full locality schedule: interval-sorted rounds plus software
+    /// prefetch at [`DEFAULT_PREFETCH_DISTANCE`].
+    pub fn locality() -> BatchConfig {
+        BatchConfig {
+            sort_by_interval: true,
+            prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
+        }
+    }
+}
 
 /// Execution counters of one batched search, for tests and benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +70,7 @@ pub struct BatchStats {
 
 /// In-flight state of one query between rounds. Rows fit `u32` because the
 /// suffix array itself stores `u32` positions.
+#[derive(Clone, Copy)]
 struct LiveQuery {
     pattern: u32,
     /// Pattern symbols not yet consumed (a suffix of this length remains).
@@ -33,21 +84,35 @@ struct LiveQuery {
 /// All queries advance together: each round issues one k-step refinement
 /// per live query (1-step refinements once a query is into its sub-k
 /// tail), then drops queries that finished or died. See the crate docs for
-/// why this ordering matters to the paper.
+/// why this ordering matters to the paper. A [`BatchConfig`] additionally
+/// sorts each round by suffix-array interval and software-prefetches
+/// upcoming queries' table blocks, turning the round's dependent memory
+/// round-trips into overlapped, mostly-ordered fetches.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchEngine<'a> {
     index: &'a KStepFmIndex,
+    config: BatchConfig,
 }
 
 impl<'a> BatchEngine<'a> {
-    /// An engine borrowing `index`.
+    /// An engine borrowing `index`, with the plain round schedule.
     pub fn new(index: &'a KStepFmIndex) -> BatchEngine<'a> {
-        BatchEngine { index }
+        BatchEngine::with_config(index, BatchConfig::default())
+    }
+
+    /// An engine borrowing `index` with an explicit round schedule.
+    pub fn with_config(index: &'a KStepFmIndex, config: BatchConfig) -> BatchEngine<'a> {
+        BatchEngine { index, config }
     }
 
     /// The index this engine queries.
     pub fn index(&self) -> &'a KStepFmIndex {
         self.index
+    }
+
+    /// The round schedule this engine runs.
+    pub fn config(&self) -> BatchConfig {
+        self.config
     }
 
     /// Suffix-array intervals for every pattern, in input order — each
@@ -64,6 +129,7 @@ impl<'a> BatchEngine<'a> {
     ) -> (Vec<Range<usize>>, BatchStats) {
         let k = self.index.k();
         let n = self.index.text_len();
+        assert!(patterns.len() < u32::MAX as usize, "batch too large");
         let mut results: Vec<Range<usize>> = Vec::with_capacity(patterns.len());
         let mut live: Vec<LiveQuery> = Vec::new();
         for (i, pattern) in patterns.iter().enumerate() {
@@ -84,10 +150,24 @@ impl<'a> BatchEngine<'a> {
             peak_live: live.len(),
             ..BatchStats::default()
         };
+        // Survivors of each round are double-buffered into `next` instead
+        // of compacted in place, so the prefetch look-ahead below can peek
+        // at untouched entries.
+        let mut next: Vec<LiveQuery> = Vec::with_capacity(live.len());
         while !live.is_empty() {
             stats.rounds += 1;
             stats.steps += live.len();
-            live.retain_mut(|q| {
+            if self.config.sort_by_interval {
+                live.sort_unstable_by_key(|q| q.lo);
+            }
+            let d = self.config.prefetch_distance;
+            for j in 0..live.len() {
+                if d > 0 {
+                    if let Some(ahead) = live.get(j + d) {
+                        self.prefetch_query(patterns, ahead);
+                    }
+                }
+                let q = live[j];
                 let pattern = patterns[q.pattern as usize].as_ref();
                 let rem = q.remaining as usize;
                 let range = q.lo as usize..q.hi as usize;
@@ -98,19 +178,44 @@ impl<'a> BatchEngine<'a> {
                     (self.index.base_index().step(pattern[rem - 1], range), 1)
                 };
                 if range.is_empty() {
-                    return false; // died: its result stays 0..0
+                    continue; // died: its result stays 0..0
                 }
                 if rem == consumed {
-                    results[q.pattern as usize] = range;
-                    return false; // finished
+                    results[q.pattern as usize] = range; // finished
+                    continue;
                 }
-                q.remaining = (rem - consumed) as u32;
-                q.lo = range.start as u32;
-                q.hi = range.end as u32;
-                true
-            });
+                next.push(LiveQuery {
+                    pattern: q.pattern,
+                    remaining: (rem - consumed) as u32,
+                    lo: range.start as u32,
+                    hi: range.end as u32,
+                });
+            }
+            std::mem::swap(&mut live, &mut next);
+            next.clear();
         }
         (results, stats)
+    }
+
+    /// Hints the table blocks `q`'s next refinement will read — both the
+    /// `lo` and `hi` rank blocks, on whichever table (k-mer or 1-step
+    /// tail) the refinement will use.
+    #[inline]
+    fn prefetch_query(&self, patterns: &[impl AsRef<[Base]>], q: &LiveQuery) {
+        let pattern = patterns[q.pattern as usize].as_ref();
+        let rem = q.remaining as usize;
+        let k = self.index.k();
+        if rem >= k {
+            let code = Kmer::from_bases(&pattern[rem - k..rem]).rank() as u16;
+            self.index
+                .kmer_occ()
+                .prefetch_rank_pair(code, q.lo as usize, q.hi as usize);
+        } else {
+            let s = Symbol::Base(pattern[rem - 1]);
+            let occ = self.index.base_index().occ();
+            occ.prefetch_rank(s, q.lo as usize);
+            occ.prefetch_rank(s, q.hi as usize);
+        }
     }
 
     /// Occurrence counts for every pattern, in input order.
@@ -152,13 +257,32 @@ mod tests {
         (index, patterns)
     }
 
+    /// Every schedule the benchmarks exercise.
+    fn all_configs() -> [BatchConfig; 4] {
+        [
+            BatchConfig::default(),
+            BatchConfig::sorted(),
+            BatchConfig::locality(),
+            BatchConfig {
+                sort_by_interval: false,
+                prefetch_distance: 3,
+            },
+        ]
+    }
+
     #[test]
-    fn batch_matches_sequential_search() {
+    fn batch_matches_sequential_search_under_every_schedule() {
         let (index, patterns) = fig3_engine_input();
-        let engine = BatchEngine::new(&index);
-        let got = engine.search_batch(&patterns);
-        for (i, pattern) in patterns.iter().enumerate() {
-            assert_eq!(got[i], index.backward_search(pattern), "pattern #{i}");
+        for config in all_configs() {
+            let engine = BatchEngine::with_config(&index, config);
+            let got = engine.search_batch(&patterns);
+            for (i, pattern) in patterns.iter().enumerate() {
+                assert_eq!(
+                    got[i],
+                    index.backward_search(pattern),
+                    "{config:?}, pattern #{i}"
+                );
+            }
         }
     }
 
@@ -187,6 +311,19 @@ mod tests {
         // (k-step then tail step), "CATAGA" runs all 3 rounds:
         // 5 + 2 + 1 = 8 refinements, strictly fewer than 5 queries x 3.
         assert_eq!(stats.steps, 8);
+    }
+
+    #[test]
+    fn sorting_changes_no_counter() {
+        // Interval sorting reorders work within a round; it must not
+        // create or destroy any (the bench harness gates on this).
+        let (index, patterns) = fig3_engine_input();
+        let (_, plain) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
+        for config in [BatchConfig::sorted(), BatchConfig::locality()] {
+            let (_, stats) =
+                BatchEngine::with_config(&index, config).search_batch_with_stats(&patterns);
+            assert_eq!(stats, plain, "{config:?}");
+        }
     }
 
     #[test]

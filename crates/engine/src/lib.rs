@@ -10,8 +10,13 @@
 //! seeds match nothing) shrinks the working set round over round.
 //!
 //! This crate reproduces that scheduling shape in software on top of
-//! [`exma_index::KStepFmIndex`], and is the seam where sharding and async
-//! backends will plug in.
+//! [`exma_index::KStepFmIndex`] and sharpens it for a cache hierarchy:
+//! a [`BatchConfig`] can sort each round's live queries by suffix-array
+//! interval so table accesses walk memory in address order, and can
+//! software-prefetch the blocks upcoming queries will touch so their DRAM
+//! fetches overlap the current refinement. [`ShardedEngine`] then splits
+//! a batch across scoped threads — queries are independent and the index
+//! is `Sync`, so sharding scales with cores without changing any answer.
 //!
 //! ```
 //! use exma_genome::{Genome, GenomeProfile};
@@ -30,5 +35,7 @@
 //! ```
 
 pub mod batch;
+pub mod shard;
 
-pub use batch::{BatchEngine, BatchStats};
+pub use batch::{BatchConfig, BatchEngine, BatchStats, DEFAULT_PREFETCH_DISTANCE};
+pub use shard::ShardedEngine;

@@ -1,0 +1,234 @@
+//! Multi-threaded query sharding over the batch engine.
+//!
+//! A batch of backward searches is embarrassingly parallel: queries never
+//! exchange state, and the [`exma_index::KStepFmIndex`] is read-only and
+//! `Sync`. This module splits a batch into contiguous shards — one per
+//! worker — and runs each shard's lockstep rounds on its own
+//! [`std::thread::scope`] thread. Scoped threads keep the engine
+//! dependency-free (no rayon, the container builds offline) while still
+//! borrowing the index and patterns without `Arc` plumbing. Results come
+//! back in input order; per-shard [`BatchStats`] are merged.
+
+use std::ops::Range;
+
+use exma_genome::Base;
+use exma_index::KStepFmIndex;
+
+use crate::batch::{BatchConfig, BatchEngine, BatchStats};
+
+/// A sharded, multi-threaded batch engine over a [`KStepFmIndex`].
+///
+/// Each of `threads` workers runs a [`BatchEngine`] (with this engine's
+/// [`BatchConfig`]) on one contiguous shard of the batch. Answers are
+/// identical to single-threaded execution for any thread count — shard
+/// boundaries only move work between workers, never change it — and are
+/// property-tested to be.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngine<'a> {
+    index: &'a KStepFmIndex,
+    threads: usize,
+    config: BatchConfig,
+}
+
+impl<'a> ShardedEngine<'a> {
+    /// An engine borrowing `index`, sharding across `threads` workers with
+    /// the full locality schedule ([`BatchConfig::locality`]) per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(index: &'a KStepFmIndex, threads: usize) -> ShardedEngine<'a> {
+        ShardedEngine::with_config(index, threads, BatchConfig::locality())
+    }
+
+    /// An engine with an explicit per-shard round schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_config(
+        index: &'a KStepFmIndex,
+        threads: usize,
+        config: BatchConfig,
+    ) -> ShardedEngine<'a> {
+        assert!(threads > 0, "thread count must be positive");
+        ShardedEngine {
+            index,
+            threads,
+            config,
+        }
+    }
+
+    /// The index this engine queries.
+    pub fn index(&self) -> &'a KStepFmIndex {
+        self.index
+    }
+
+    /// Number of worker threads a batch is sharded across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The per-shard round schedule.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// Runs `work` on every shard concurrently and concatenates the
+    /// shards' output `Vec`s back into input order. `patterns.chunks`
+    /// yields shards in order, threads are joined in spawn order, so
+    /// concatenation restores the input permutation exactly.
+    fn run_sharded<P, T>(
+        &self,
+        patterns: &[P],
+        work: impl Fn(BatchEngine<'a>, &[P]) -> (Vec<T>, BatchStats) + Sync,
+    ) -> (Vec<T>, BatchStats)
+    where
+        P: AsRef<[Base]> + Sync,
+        T: Send,
+    {
+        let engine = BatchEngine::with_config(self.index, self.config);
+        if self.threads == 1 || patterns.len() <= 1 {
+            return work(engine, patterns);
+        }
+        let shard_len = patterns.len().div_ceil(self.threads);
+        let shards: Vec<(Vec<T>, BatchStats)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = patterns
+                .chunks(shard_len)
+                .map(|shard| {
+                    let work = &work;
+                    scope.spawn(move || work(engine, shard))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut merged = Vec::with_capacity(patterns.len());
+        let mut stats = BatchStats::default();
+        for (results, shard_stats) in shards {
+            merged.extend(results);
+            // Workers run concurrently: total work (`steps`) and in-flight
+            // queries (`peak_live`) add up across shards, while rounds —
+            // the depth of the longest shard's lockstep schedule — is the
+            // maximum, matching wall-clock intuition.
+            stats.steps += shard_stats.steps;
+            stats.peak_live += shard_stats.peak_live;
+            stats.rounds = stats.rounds.max(shard_stats.rounds);
+        }
+        (merged, stats)
+    }
+
+    /// Suffix-array intervals for every pattern, in input order — each
+    /// identical to `index.backward_search(pattern)` regardless of thread
+    /// count.
+    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<Range<usize>> {
+        self.search_batch_with_stats(patterns).0
+    }
+
+    /// [`ShardedEngine::search_batch`] plus merged execution counters.
+    pub fn search_batch_with_stats(
+        &self,
+        patterns: &[impl AsRef<[Base]> + Sync],
+    ) -> (Vec<Range<usize>>, BatchStats) {
+        self.run_sharded(patterns, |engine, shard| {
+            engine.search_batch_with_stats(shard)
+        })
+    }
+
+    /// Occurrence counts for every pattern, in input order.
+    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<usize> {
+        self.search_batch(patterns)
+            .into_iter()
+            .map(|range| range.len())
+            .collect()
+    }
+
+    /// Sorted occurrence positions for every pattern, in input order.
+    /// Each worker resolves its own shard's interval rows, so `locate`'s
+    /// LF-walks parallelize along with the searches.
+    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<Vec<u32>> {
+        self.run_sharded(patterns, |engine, shard| {
+            (engine.locate_batch(shard), BatchStats::default())
+        })
+        .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::alphabet::parse_bases;
+    use exma_genome::genome::text_from_str;
+
+    fn fig3_engine_input() -> (KStepFmIndex, Vec<Vec<Base>>) {
+        let index = KStepFmIndex::from_text(&text_from_str("CATAGA").unwrap(), 2);
+        let patterns = ["A", "TA", "AGA", "CATAGA", "GG", ""]
+            .iter()
+            .map(|p| parse_bases(p).unwrap())
+            .collect();
+        (index, patterns)
+    }
+
+    #[test]
+    fn any_thread_count_matches_the_batch_engine() {
+        let (index, patterns) = fig3_engine_input();
+        let expected = BatchEngine::new(&index).search_batch(&patterns);
+        for threads in [1, 2, 3, 6, 9] {
+            let sharded = ShardedEngine::new(&index, threads);
+            assert_eq!(
+                sharded.search_batch(&patterns),
+                expected,
+                "{threads} threads"
+            );
+            assert_eq!(
+                sharded.count_batch(&patterns),
+                vec![3, 1, 1, 1, 0, 7],
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_shards_in_input_order() {
+        let (index, patterns) = fig3_engine_input();
+        let expected = BatchEngine::new(&index).locate_batch(&patterns);
+        for threads in [2, 4] {
+            assert_eq!(
+                ShardedEngine::new(&index, threads).locate_batch(&patterns),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn merged_stats_preserve_total_work() {
+        let (index, patterns) = fig3_engine_input();
+        let (_, single) = BatchEngine::with_config(&index, BatchConfig::locality())
+            .search_batch_with_stats(&patterns);
+        let (_, merged) = ShardedEngine::new(&index, 3).search_batch_with_stats(&patterns);
+        // Sharding moves refinements between workers but never changes
+        // their total, and no shard can run more rounds than the whole
+        // batch's longest query.
+        assert_eq!(merged.steps, single.steps);
+        assert_eq!(merged.peak_live, single.peak_live);
+        assert!(merged.rounds <= single.rounds);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (index, _) = fig3_engine_input();
+        let empty: Vec<Vec<Base>> = Vec::new();
+        let (results, stats) = ShardedEngine::new(&index, 4).search_batch_with_stats(&empty);
+        assert!(results.is_empty());
+        assert_eq!(stats, BatchStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_is_rejected() {
+        let (index, _) = fig3_engine_input();
+        let _ = ShardedEngine::new(&index, 0);
+    }
+}

@@ -1,10 +1,13 @@
 //! Acceptance property of the batch engine: lockstep execution with
-//! dead-query dropping must be invisible in the answers. For k ∈ {1, 2, 4}
-//! the batched `count`/`locate` results over hundreds of random patterns —
-//! tails with `len % k != 0`, empty patterns, absent patterns — must equal
-//! the sequential 1-step `FmIndex` and the naive oracle.
+//! dead-query dropping must be invisible in the answers, and so must every
+//! scheduling refinement layered on top — interval sorting, software
+//! prefetch, and multi-threaded sharding. For k ∈ {1, 2, 4} the batched
+//! `count`/`locate` results over hundreds of random patterns — tails with
+//! `len % k != 0`, empty patterns, absent patterns — must equal the
+//! sequential 1-step `FmIndex` and the naive oracle, for every schedule
+//! and any thread count.
 
-use exma_engine::BatchEngine;
+use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
 use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
 use exma_index::{naive, FmIndex, KStepFmIndex};
 
@@ -61,6 +64,100 @@ fn batch_agrees_with_one_step_on_600_patterns() {
             stats.steps,
             stats.rounds,
             stats.peak_live
+        );
+    }
+}
+
+#[test]
+fn sorted_and_prefetching_schedules_agree_with_one_step_on_600_patterns() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = pattern_mix(&genome, 600, 61);
+    let expected: Vec<_> = patterns.iter().map(|p| one.backward_search(p)).collect();
+
+    for k in [1usize, 2, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        for config in [
+            BatchConfig::sorted(),
+            BatchConfig::locality(),
+            BatchConfig {
+                sort_by_interval: true,
+                prefetch_distance: 1,
+            },
+        ] {
+            let engine = BatchEngine::with_config(&index, config);
+            assert_eq!(engine.search_batch(&patterns), expected, "k={k} {config:?}");
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_agrees_with_one_step_on_600_patterns() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = pattern_mix(&genome, 600, 67);
+    let expected_intervals: Vec<_> = patterns.iter().map(|p| one.backward_search(p)).collect();
+    let expected_counts: Vec<usize> = expected_intervals.iter().map(|r| r.len()).collect();
+
+    for k in [2usize, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        for threads in [2usize, 4, 8] {
+            let engine = ShardedEngine::new(&index, threads);
+            assert_eq!(
+                engine.search_batch(&patterns),
+                expected_intervals,
+                "k={k}, {threads} threads"
+            );
+            assert_eq!(
+                engine.count_batch(&patterns),
+                expected_counts,
+                "k={k}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_never_changes_answers() {
+    // 1, 2 and 7 threads: 7 does not divide 600, so the last shard is
+    // ragged — results must still come back identical, in input order.
+    let genome = toy_genome();
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let patterns = pattern_mix(&genome, 600, 71);
+    let reference = ShardedEngine::new(&index, 1);
+    let expected_intervals = reference.search_batch(&patterns);
+    let expected_locates = reference.locate_batch(&patterns);
+    for threads in [2usize, 7] {
+        let engine = ShardedEngine::new(&index, threads);
+        assert_eq!(
+            engine.search_batch(&patterns),
+            expected_intervals,
+            "{threads} threads"
+        );
+        assert_eq!(
+            engine.locate_batch(&patterns),
+            expected_locates,
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sorted_schedule_never_issues_more_steps() {
+    // Sorting reorders a round's refinements; it must never add any. The
+    // bench harness gates on the same property at benchmark scale.
+    let genome = toy_genome();
+    let patterns = pattern_mix(&genome, 600, 73);
+    for k in [2usize, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        let (_, plain) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
+        let (_, sorted) = BatchEngine::with_config(&index, BatchConfig::sorted())
+            .search_batch_with_stats(&patterns);
+        assert!(
+            sorted.steps <= plain.steps,
+            "k={k}: sorted issued {} steps, unsorted {}",
+            sorted.steps,
+            plain.steps
         );
     }
 }

@@ -25,11 +25,13 @@ pub struct FmBuildConfig {
 }
 
 impl Default for FmBuildConfig {
-    /// The BWA-style defaults: Occ checkpoints every 64 symbols, SA samples
-    /// every 32 positions.
+    /// Occ checkpoints every 44 symbols — the widest spacing whose
+    /// interleaved block (five `u32` counters + 44 one-byte codes) fits
+    /// exactly one 64-byte cache line, so a `rank` touches one line — and
+    /// BWA-style SA samples every 32 positions.
     fn default() -> FmBuildConfig {
         FmBuildConfig {
-            occ_sample_rate: 64,
+            occ_sample_rate: 44,
             sa_sample_rate: 32,
         }
     }

@@ -1,0 +1,207 @@
+//! Cache-line-aligned backing storage for interleaved rank tables.
+//!
+//! The flat occurrence tables of earlier revisions kept symbol codes and
+//! rank checkpoints in two separate allocations, so every `rank` paid two
+//! distant memory round-trips — exactly the DRAM behaviour the paper
+//! measures as the FM-index bottleneck (§II-C). The interleaved layout
+//! used by [`crate::occ::OccTable`] and [`crate::kocc::KmerOccTable`]
+//! instead packs each checkpoint row together with the codes it covers
+//! into one *block*, sized to a whole number of 64-byte cache lines and
+//! allocated line-aligned, so one `rank` touches one contiguous region.
+//! This module holds the storage primitive those tables share: a `u32`
+//! word buffer whose first word sits on a cache-line boundary, plus the
+//! software-prefetch hint the batch scheduler uses to overlap block
+//! fetches across queries.
+
+/// One 64-byte cache line of sixteen `u32` words.
+///
+/// `repr(C, align(64))` pins both the size and the alignment, so a
+/// `Vec<CacheLine>` is a contiguous, line-aligned `u32` buffer.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheLine([u32; WORDS_PER_LINE]);
+
+/// `u32` words per 64-byte cache line.
+pub const WORDS_PER_LINE: usize = 16;
+
+/// A line-aligned `u32` buffer: the backing store of interleaved tables.
+///
+/// Tables address it as a flat word slice via [`AlignedWords::words`];
+/// the line granularity only matters at allocation time (the word count
+/// is rounded up to whole lines) and for [`AlignedWords::prefetch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedWords {
+    lines: Vec<CacheLine>,
+    words: usize,
+}
+
+impl AlignedWords {
+    /// An all-zero buffer of `words` `u32` words, padded to whole cache
+    /// lines. The allocation is exact: capacity equals length, so
+    /// `heap_bytes` reports true footprint.
+    pub fn zeroed(words: usize) -> AlignedWords {
+        let mut lines = vec![CacheLine([0; WORDS_PER_LINE]); words.div_ceil(WORDS_PER_LINE)];
+        lines.shrink_to_fit();
+        AlignedWords { lines, words }
+    }
+
+    /// Builds the buffer from `words`, padding the allocation to whole
+    /// cache lines.
+    pub fn from_words(words: &[u32]) -> AlignedWords {
+        let mut buf = AlignedWords::zeroed(words.len());
+        buf.words_mut()[..words.len()].copy_from_slice(words);
+        buf
+    }
+
+    /// The buffer reinterpreted as a slice of `T` lanes.
+    ///
+    /// SAFETY (of callers below): `CacheLine` is `repr(C)` over
+    /// `[u32; 16]` with no padding, so a contiguous `[CacheLine]` is
+    /// bit-identical to a contiguous slice of any narrower integer lane;
+    /// 64-byte alignment over-satisfies every lane type. Lane order
+    /// within a word is the machine's native one — fine, because writers
+    /// and readers of a given region always go through the *same* typed
+    /// view.
+    fn lanes<T>(&self) -> &[T] {
+        let per_line = std::mem::size_of::<CacheLine>() / std::mem::size_of::<T>();
+        unsafe {
+            std::slice::from_raw_parts(self.lines.as_ptr().cast::<T>(), self.lines.len() * per_line)
+        }
+    }
+
+    fn lanes_mut<T>(&mut self) -> &mut [T] {
+        let per_line = std::mem::size_of::<CacheLine>() / std::mem::size_of::<T>();
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.lines.as_mut_ptr().cast::<T>(),
+                self.lines.len() * per_line,
+            )
+        }
+    }
+
+    /// The buffer as a flat word slice (padding words included, zeroed).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        self.lanes::<u32>()
+    }
+
+    /// Mutable word view, for builders.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u32] {
+        self.lanes_mut::<u32>()
+    }
+
+    /// The buffer as `u16` half-word lanes (two per word). Word `w` spans
+    /// lanes `2w .. 2w + 2`; regions written through this view must be
+    /// read through it too. The plain-slice element type is what lets
+    /// rank scans over packed codes autovectorize.
+    #[inline]
+    pub fn halves(&self) -> &[u16] {
+        self.lanes::<u16>()
+    }
+
+    /// Mutable half-word view, for builders.
+    #[inline]
+    pub fn halves_mut(&mut self) -> &mut [u16] {
+        self.lanes_mut::<u16>()
+    }
+
+    /// The buffer as byte lanes (four per word). Word `w` spans bytes
+    /// `4w .. 4w + 4`; same write/read-through-one-view rule as
+    /// [`AlignedWords::halves`].
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        self.lanes::<u8>()
+    }
+
+    /// Mutable byte view, for builders.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.lanes_mut::<u8>()
+    }
+
+    /// Number of meaningful words (excluding line padding).
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    /// `true` iff the buffer holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    /// Heap bytes of the backing allocation (padding included — it is
+    /// real, resident memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.lines.capacity() * std::mem::size_of::<CacheLine>()
+    }
+
+    /// Hints the CPU to pull the cache line holding word `index` toward
+    /// L1. A no-op off x86-64 and for out-of-range indices; never faults.
+    #[inline]
+    pub fn prefetch(&self, index: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if index < self.lines.len() * WORDS_PER_LINE {
+            // SAFETY: the index is in bounds of the allocation and
+            // `_mm_prefetch` is a hint with no architectural effect.
+            unsafe {
+                let ptr = self.words().as_ptr().add(index);
+                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_is_cache_line_aligned() {
+        let buf = AlignedWords::from_words(&[1, 2, 3]);
+        assert_eq!(buf.words().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn words_round_trip_with_zero_padding() {
+        let input: Vec<u32> = (0..21).collect();
+        let buf = AlignedWords::from_words(&input);
+        assert_eq!(buf.len(), 21);
+        assert_eq!(&buf.words()[..21], &input[..]);
+        assert_eq!(buf.words().len(), 32); // padded to two lines
+        assert!(buf.words()[21..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn heap_is_exact_whole_lines() {
+        assert_eq!(AlignedWords::from_words(&[]).heap_bytes(), 0);
+        assert_eq!(AlignedWords::from_words(&[0; 16]).heap_bytes(), 64);
+        assert_eq!(AlignedWords::from_words(&[0; 17]).heap_bytes(), 128);
+    }
+
+    #[test]
+    fn typed_views_round_trip() {
+        let mut buf = AlignedWords::zeroed(4);
+        buf.words_mut()[0] = 0xdead_beef;
+        buf.halves_mut()[2] = 0x1234; // first lane of word 1
+        buf.halves_mut()[3] = 0x5678;
+        buf.bytes_mut()[8] = 0x9a; // first lane of word 2
+        assert_eq!(buf.words()[0], 0xdead_beef);
+        assert_eq!(buf.halves()[2], 0x1234);
+        assert_eq!(buf.halves()[3], 0x5678);
+        assert_eq!(buf.bytes()[8], 0x9a);
+        assert_eq!(buf.words().len(), 16);
+        assert_eq!(buf.halves().len(), 32);
+        assert_eq!(buf.bytes().len(), 64);
+    }
+
+    #[test]
+    fn prefetch_tolerates_any_index() {
+        let buf = AlignedWords::from_words(&[7; 40]);
+        buf.prefetch(0);
+        buf.prefetch(39);
+        buf.prefetch(usize::MAX); // out of range: must not fault
+    }
+}

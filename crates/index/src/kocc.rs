@@ -5,25 +5,50 @@
 //! cyclically precede suffix `SA[i]`, packed into one code over the
 //! expanded alphabet of `4^k` base-only k-mers. Contexts that cross the
 //! sentinel cannot equal any query k-mer, so they all share a single
-//! out-of-alphabet code. Rank over these codes is checkpointed exactly like
-//! [`crate::occ::OccTable`], except a checkpoint stores `4^k` counters —
-//! the memory/latency trade-off the paper's hardware layout is built
-//! around.
+//! out-of-alphabet code.
+//!
+//! Rank is checkpointed every `sample_rate` rows, but unlike the flat
+//! two-allocation layout of earlier revisions, checkpoints and codes are
+//! *interleaved*: block `b` packs the `4^k` checkpoint counters for prefix
+//! `b * sample_rate` together with the `sample_rate` codes they cover, in
+//! one cache-line-aligned region (see [`crate::interleave`]). One `rank`
+//! therefore touches one contiguous block — a checkpoint word plus a short
+//! forward code scan — instead of two distant arrays, and the block a
+//! future `rank` will touch can be software-prefetched with
+//! [`KmerOccTable::prefetch_rank`].
 
-/// Checkpointed rank structure over k-BWT codes.
+use crate::interleave::AlignedWords;
+
+/// Checkpointed rank structure over k-BWT codes, interleaved per block.
 ///
 /// Valid codes are `0 .. stride` (k-mer lexicographic ranks); the value
 /// `stride` itself marks a sentinel-crossing context and is never ranked.
+///
+/// Block `b` covers code positions `b * sample_rate ..` and lays out, in
+/// `u32` words:
+///
+/// ```text
+/// [ stride checkpoint words | sample_rate codes, two u16 per word | pad ]
+/// ```
+///
+/// padded so every block starts on a 64-byte cache-line boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KmerOccTable {
-    /// One k-mer code per BWT row; `stride` = sentinel-crossing.
-    codes: Vec<u16>,
-    /// Flattened checkpoints: `checkpoints[b * stride + r]` = occurrences
-    /// of code `r` in `codes[0 .. b * rate]`.
-    checkpoints: Vec<u32>,
+    data: AlignedWords,
+    /// Words per block: `stride + ceil(sample_rate / 2)`, line-rounded.
+    block_words: usize,
+    /// Number of blocks, `len / sample_rate + 1` (the last may cover
+    /// fewer than `sample_rate` codes — possibly zero).
+    blocks: usize,
+    /// Number of code positions (the k-BWT length).
+    len: usize,
     /// Size of the expanded alphabet, `4^k`.
     stride: usize,
     sample_rate: usize,
+    /// Occurrences of every code in the full table: the O(1) answer to
+    /// `rank(r, len)`, which every backward search issues on its first
+    /// refinement (`hi = n`).
+    totals: Vec<u32>,
 }
 
 impl KmerOccTable {
@@ -34,42 +59,60 @@ impl KmerOccTable {
     /// # Panics
     ///
     /// Panics if `sample_rate == 0`, `stride` does not fit the code type,
-    /// or any code exceeds `stride`.
+    /// any code exceeds `stride`, or the table would overflow its `u32`
+    /// counters.
     pub fn new(codes: Vec<u16>, stride: usize, sample_rate: usize) -> KmerOccTable {
         assert!(sample_rate > 0, "sample rate must be positive");
         assert!(
             stride > 0 && stride < u16::MAX as usize,
             "stride {stride} out of range"
         );
-        let mut checkpoints = Vec::with_capacity((codes.len() / sample_rate + 2) * stride);
+        assert!(codes.len() < u32::MAX as usize, "table too large for u32");
+        let len = codes.len();
+        let blocks = len / sample_rate + 1;
+        let block_words =
+            (stride + sample_rate.div_ceil(2)).next_multiple_of(crate::interleave::WORDS_PER_LINE);
+        let mut data = AlignedWords::zeroed(blocks * block_words);
         let mut running = vec![0u32; stride];
         for (i, &c) in codes.iter().enumerate() {
             assert!((c as usize) <= stride, "code {c} exceeds stride {stride}");
-            if i % sample_rate == 0 {
-                checkpoints.extend_from_slice(&running);
+            let block = i / sample_rate;
+            let offset = i - block * sample_rate;
+            let base = block * block_words;
+            if offset == 0 {
+                data.words_mut()[base..base + stride].copy_from_slice(&running);
             }
+            // Codes live in the block's tail as plain u16 lanes.
+            data.halves_mut()[(base + stride) * 2 + offset] = c;
             if (c as usize) < stride {
                 running[c as usize] += 1;
             }
         }
-        // A final checkpoint at position n makes rank(r, n) O(1) too.
-        checkpoints.extend_from_slice(&running);
+        if len % sample_rate == 0 {
+            // The final block covers zero codes; its checkpoint row (the
+            // full counts) was never reached by the loop above.
+            let base = (blocks - 1) * block_words;
+            data.words_mut()[base..base + stride].copy_from_slice(&running);
+        }
         KmerOccTable {
-            codes,
-            checkpoints,
+            data,
+            block_words,
+            blocks,
+            len,
             stride,
             sample_rate,
+            totals: running,
         }
     }
 
     /// Number of rows (the k-BWT length).
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.len
     }
 
     /// `true` iff the table covers no rows.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.len == 0
     }
 
     /// The expanded-alphabet size `4^k` this table was built with.
@@ -88,33 +131,159 @@ impl KmerOccTable {
     ///
     /// Panics if `i >= self.len()`.
     pub fn code(&self, i: usize) -> u16 {
-        self.codes[i]
+        assert!(i < self.len, "code position {i} out of range");
+        let block = i / self.sample_rate;
+        let offset = i - block * self.sample_rate;
+        self.data.halves()[(block * self.block_words + self.stride) * 2 + offset]
+    }
+
+    /// Occurrences of code `r` among the u16 lanes `a..b` of the backing
+    /// buffer. A plain slice scan, so it autovectorizes.
+    #[inline]
+    fn matches(&self, a: usize, b: usize, r: u16) -> u32 {
+        let mut count = 0u32;
+        for &code in &self.data.halves()[a..b] {
+            count += u32::from(code == r);
+        }
+        count
+    }
+
+    /// `true` iff position `i`'s rank is cheaper counted *down* from the
+    /// next block's checkpoint than up from its own: the block is past
+    /// its midpoint and the next checkpoint exists (its block covers
+    /// positions ending at or before `len`).
+    #[inline]
+    fn backward_cheaper(&self, block: usize, offset: usize) -> bool {
+        self.sample_rate - offset < offset && (block + 1) * self.sample_rate <= self.len
     }
 
     /// `Occ_k(r, i)`: occurrences of k-mer code `r` in rows `0..i`
     /// (exclusive of `i`).
+    ///
+    /// Counts from the nearer checkpoint: forward from the block's own
+    /// row, or backward from the next block's, halving the average scan.
     ///
     /// # Panics
     ///
     /// Panics if `i > self.len()` or `r` is not a valid k-mer code.
     #[inline]
     pub fn rank(&self, r: u16, i: usize) -> u32 {
-        assert!(i <= self.codes.len(), "rank position {i} out of range");
+        assert!(i <= self.len, "rank position {i} out of range");
         assert!((r as usize) < self.stride, "code {r} out of alphabet");
-        // The nearest checkpoint at or below i, then a short forward scan
-        // (same block arithmetic as OccTable::rank).
-        let blocks = self.checkpoints.len() / self.stride;
-        let block = (i / self.sample_rate).min(blocks - 1);
-        let mut count = self.checkpoints[block * self.stride + r as usize];
-        for &c in &self.codes[block * self.sample_rate..i] {
-            count += u32::from(c == r);
+        if i == self.len {
+            return self.totals[r as usize];
         }
-        count
+        let block = i / self.sample_rate;
+        let base = block * self.block_words;
+        let offset = i - block * self.sample_rate;
+        let code_base = (base + self.stride) * 2;
+        if self.backward_cheaper(block, offset) {
+            let next = self.data.words()[base + self.block_words + r as usize];
+            next - self.matches(code_base + offset, code_base + self.sample_rate, r)
+        } else {
+            self.data.words()[base + r as usize] + self.matches(code_base, code_base + offset, r)
+        }
     }
 
-    /// Heap bytes used by the codes and checkpoints.
+    /// `(rank(r, lo), rank(r, hi))` in one pass: when both positions fall
+    /// in the same block — the common case once a backward search has
+    /// narrowed its interval below `sample_rate` — the shared scan prefix
+    /// is counted once instead of twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, `hi > self.len()`, or `r` is invalid.
+    #[inline]
+    pub fn rank_pair(&self, r: u16, lo: usize, hi: usize) -> (u32, u32) {
+        assert!(lo <= hi, "rank pair {lo}..{hi} inverted");
+        let (block, offset_hi) = (hi / self.sample_rate, hi % self.sample_rate);
+        if hi >= self.len || lo / self.sample_rate != block {
+            return (self.rank(r, lo), self.rank(r, hi));
+        }
+        assert!((r as usize) < self.stride, "code {r} out of alphabet");
+        let base = block * self.block_words;
+        let offset_lo = lo - block * self.sample_rate;
+        let code_base = (base + self.stride) * 2;
+        let between = self.matches(code_base + offset_lo, code_base + offset_hi, r);
+        // Beyond `between` (shared by both directions), forward costs
+        // `offset_lo` more lanes and backward `sample_rate - offset_hi`
+        // more; equivalently, pick backward when the total backward span
+        // `sample_rate - offset_lo` undercuts the forward span `offset_hi`.
+        let backward =
+            self.sample_rate - offset_lo < offset_hi && (block + 1) * self.sample_rate <= self.len;
+        if backward {
+            let next = self.data.words()[base + self.block_words + r as usize];
+            let hi_count =
+                next - self.matches(code_base + offset_hi, code_base + self.sample_rate, r);
+            (hi_count - between, hi_count)
+        } else {
+            let lo_count = self.data.words()[base + r as usize]
+                + self.matches(code_base, code_base + offset_lo, r);
+            (lo_count, lo_count + between)
+        }
+    }
+
+    /// Hints the CPU to pull what a later `rank(r, i)` will touch first
+    /// toward L1: the cache line holding the checkpoint word it will read
+    /// and the line where its code scan starts — mirroring `rank`'s
+    /// forward/backward choice. The rest of the scan is sequential, which
+    /// the hardware prefetcher follows on its own; issuing more hints
+    /// here costs more than it hides. Never faults; a no-op off x86-64
+    /// and for the `i == len` totals fast path.
+    #[inline]
+    pub fn prefetch_rank(&self, r: u16, i: usize) {
+        if i >= self.len {
+            return; // answered from `totals`, which stays cache-hot
+        }
+        let block = i / self.sample_rate;
+        let base = block * self.block_words;
+        let offset = i - block * self.sample_rate;
+        let r = (r as usize).min(self.stride - 1);
+        let code_words = base + self.stride;
+        if self.backward_cheaper(block, offset) {
+            self.data.prefetch(base + self.block_words + r);
+            self.data.prefetch(code_words + offset / 2);
+        } else {
+            self.data.prefetch(base + r);
+            self.data.prefetch(code_words);
+        }
+    }
+
+    /// [`KmerOccTable::prefetch_rank`] for both ends of an interval, as
+    /// later consumed by a `rank_pair(r, lo, hi)`: two hints when the
+    /// ends fall in different blocks; in the same-block case (the
+    /// narrow-interval common path) it mirrors `rank_pair`'s own
+    /// direction test — which weighs the *pair*, not either endpoint
+    /// alone — so the hinted checkpoint line is the one the fused rank
+    /// will actually read.
+    #[inline]
+    pub fn prefetch_rank_pair(&self, r: u16, lo: usize, hi: usize) {
+        let block = lo / self.sample_rate;
+        if hi >= self.len || hi / self.sample_rate != block {
+            self.prefetch_rank(r, lo);
+            self.prefetch_rank(r, hi);
+            return;
+        }
+        let base = block * self.block_words;
+        let offset_lo = lo - block * self.sample_rate;
+        let offset_hi = hi - block * self.sample_rate;
+        let r = (r as usize).min(self.stride - 1);
+        let code_words = base + self.stride;
+        if self.sample_rate - offset_lo < offset_hi && (block + 1) * self.sample_rate <= self.len {
+            // Backward fused scan: next block's checkpoint, lanes
+            // `offset_lo .. sample_rate`.
+            self.data.prefetch(base + self.block_words + r);
+            self.data.prefetch(code_words + offset_lo / 2);
+        } else {
+            // Forward fused scan: own checkpoint, lanes `0 .. offset_hi`.
+            self.data.prefetch(base + r);
+            self.data.prefetch(code_words);
+        }
+    }
+
+    /// Heap bytes of the interleaved blocks and the totals row.
     pub fn heap_bytes(&self) -> usize {
-        self.codes.capacity() * 2 + self.checkpoints.capacity() * 4
+        self.data.heap_bytes() + self.totals.capacity() * 4
     }
 }
 
@@ -156,6 +325,36 @@ mod tests {
     }
 
     #[test]
+    fn rank_pair_matches_naive_at_every_interval() {
+        let codes = fixture(137, 9);
+        for rate in [1, 2, 5, 16, 200] {
+            let occ = KmerOccTable::new(codes.clone(), 9, rate);
+            for lo in 0..=codes.len() {
+                for hi in lo..=codes.len() {
+                    for r in [0u16, 3, 8] {
+                        assert_eq!(
+                            occ.rank_pair(r, lo, hi),
+                            (naive_krank(&codes, r, lo), naive_krank(&codes, r, hi)),
+                            "rate {rate}, code {r}, interval {lo}..{hi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_round_trip_through_the_interleaved_layout() {
+        let codes = fixture(137, 9);
+        for rate in [1, 2, 5, 16, 200] {
+            let occ = KmerOccTable::new(codes.clone(), 9, rate);
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(occ.code(i), c, "rate {rate}, position {i}");
+            }
+        }
+    }
+
+    #[test]
     fn invalid_codes_are_stored_but_never_counted() {
         let occ = KmerOccTable::new(vec![0u16, 4, 1, 4, 2], 4, 2);
         assert_eq!(occ.code(1), 4);
@@ -166,11 +365,30 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_is_a_safe_no_op_everywhere() {
+        let occ = KmerOccTable::new(fixture(137, 9), 9, 16);
+        for i in [0usize, 1, 16, 136, 137, 500] {
+            for r in 0..9u16 {
+                occ.prefetch_rank(r, i); // must never fault or panic
+            }
+        }
+        assert_eq!(occ.rank(3, 137), naive_krank(&fixture(137, 9), 3, 137));
+    }
+
+    #[test]
     fn coarser_sampling_uses_less_memory() {
         let codes = fixture(4096, 16);
         let fine = KmerOccTable::new(codes.clone(), 16, 4);
         let coarse = KmerOccTable::new(codes, 16, 256);
         assert!(coarse.heap_bytes() < fine.heap_bytes());
+    }
+
+    #[test]
+    fn heap_is_exact_block_multiples() {
+        // stride 4 + ceil(3/2) = 6 words -> one line per block; 10 codes at
+        // rate 3 -> 4 blocks -> 256 bytes, plus the 4-word totals row.
+        let occ = KmerOccTable::new(fixture(10, 4), 4, 3);
+        assert_eq!(occ.heap_bytes(), 4 * 64 + 4 * 4);
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub struct KStepBuildConfig {
 }
 
 impl KStepBuildConfig {
-    /// Defaults for a given step width: BWA-style 1-step rates, and a k-mer
-    /// checkpoint spacing of `64k` so checkpoint memory grows sublinearly
-    /// in the `4^k` alphabet expansion.
+    /// Defaults for a given step width: the 1-step rates of
+    /// [`crate::FmBuildConfig::default`] (one cache line per Occ block),
+    /// and a k-mer checkpoint spacing of `64k` so checkpoint memory grows
+    /// sublinearly in the `4^k` alphabet expansion.
     ///
     /// # Panics
     ///
@@ -55,7 +56,7 @@ impl KStepBuildConfig {
         );
         KStepBuildConfig {
             k,
-            occ_sample_rate: 64,
+            occ_sample_rate: 44,
             sa_sample_rate: 32,
             k_occ_sample_rate: 64 * k,
         }
@@ -234,8 +235,9 @@ impl KStepFmIndex {
         assert_eq!(kmer.k(), self.k, "kmer width mismatch");
         let r = kmer.rank() as u16;
         let start = self.kstarts[r as usize] as usize;
-        let lo = start + self.kocc.rank(r, range.start) as usize;
-        let hi = start + self.kocc.rank(r, range.end) as usize;
+        let (rank_lo, rank_hi) = self.kocc.rank_pair(r, range.start, range.end);
+        let lo = start + rank_lo as usize;
+        let hi = start + rank_hi as usize;
         if lo >= hi {
             0..0
         } else {

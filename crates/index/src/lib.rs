@@ -24,6 +24,7 @@
 //! ```
 
 pub mod fm;
+pub mod interleave;
 pub mod kocc;
 pub mod kstep;
 pub mod naive;

@@ -8,17 +8,45 @@
 //! `sample_rate - 1` BWT symbols. The sampling rate is the paper's central
 //! memory/latency trade-off: EXMA's whole contribution is removing the
 //! DRAM-unfriendly scan this table forces on a CPU.
+//!
+//! This revision interleaves the table (see [`crate::interleave`]): block
+//! `b` packs the five checkpoint counters for prefix `b * sample_rate`
+//! together with the `sample_rate` BWT codes they cover in one cache-line
+//! -aligned region, so a `rank` touches one contiguous block instead of
+//! the two distant arrays of the flat layout. At the default
+//! [`crate::FmBuildConfig`] spacing of 44 the whole block — counters and
+//! codes — is exactly one 64-byte cache line: one `rank`, one line.
 
 use exma_genome::Symbol;
 
-/// Checkpointed rank structure over a BWT.
+use crate::interleave::AlignedWords;
+
+/// `u32` words occupied by a block's checkpoint row (one per symbol code).
+const HEADER_WORDS: usize = 5;
+
+/// Checkpointed rank structure over a BWT, interleaved per block.
+///
+/// Block `b` covers BWT positions `b * sample_rate ..` and lays out, in
+/// `u32` words:
+///
+/// ```text
+/// [ 5 checkpoint words | sample_rate codes, four u8 per word | pad ]
+/// ```
+///
+/// padded so every block starts on a 64-byte cache-line boundary.
+/// Checkpoints are `u32`: the workspace addresses texts through `u32`
+/// suffix-array positions, so per-symbol counts always fit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OccTable {
-    /// BWT symbol codes (`0..=4`), one byte per symbol.
-    bwt: Vec<u8>,
-    /// `checkpoints[b][c]` = occurrences of code `c` in `bwt[0 .. b * rate]`.
-    checkpoints: Vec<[u64; 5]>,
+    data: AlignedWords,
+    /// Words per block: `5 + ceil(sample_rate / 4)`, line-rounded.
+    block_words: usize,
+    /// Length of the underlying BWT.
+    len: usize,
     sample_rate: usize,
+    /// Occurrences of every symbol in the full BWT: the O(1) answer to
+    /// `rank(s, len)`, issued by every backward search's first step.
+    totals: [u32; 5],
 }
 
 impl OccTable {
@@ -27,35 +55,51 @@ impl OccTable {
     ///
     /// # Panics
     ///
-    /// Panics if `sample_rate == 0`.
+    /// Panics if `sample_rate == 0` or the BWT is too long for `u32`
+    /// counters.
     pub fn new(bwt: &[Symbol], sample_rate: usize) -> OccTable {
         assert!(sample_rate > 0, "sample rate must be positive");
-        let codes: Vec<u8> = bwt.iter().map(|s| s.code()).collect();
-        let mut checkpoints = Vec::with_capacity(codes.len() / sample_rate + 1);
-        let mut running = [0u64; 5];
-        for (i, &c) in codes.iter().enumerate() {
-            if i % sample_rate == 0 {
-                checkpoints.push(running);
+        assert!(bwt.len() < u32::MAX as usize, "table too large for u32");
+        let len = bwt.len();
+        let blocks = len / sample_rate + 1;
+        let block_words = (HEADER_WORDS + sample_rate.div_ceil(4))
+            .next_multiple_of(crate::interleave::WORDS_PER_LINE);
+        let mut data = AlignedWords::zeroed(blocks * block_words);
+        let mut running = [0u32; 5];
+        for (i, &s) in bwt.iter().enumerate() {
+            let block = i / sample_rate;
+            let offset = i - block * sample_rate;
+            let base = block * block_words;
+            if offset == 0 {
+                data.words_mut()[base..base + HEADER_WORDS].copy_from_slice(&running);
             }
-            running[c as usize] += 1;
+            // Codes live in the block's tail as plain byte lanes.
+            data.bytes_mut()[(base + HEADER_WORDS) * 4 + offset] = s.code();
+            running[s.code() as usize] += 1;
         }
-        // A final checkpoint at position n makes rank(s, n) O(1) too.
-        checkpoints.push(running);
+        if len % sample_rate == 0 {
+            // The final block covers zero codes; its checkpoint row (the
+            // full counts) was never reached by the loop above.
+            let base = (blocks - 1) * block_words;
+            data.words_mut()[base..base + HEADER_WORDS].copy_from_slice(&running);
+        }
         OccTable {
-            bwt: codes,
-            checkpoints,
+            data,
+            block_words,
+            len,
             sample_rate,
+            totals: running,
         }
     }
 
     /// Length of the underlying BWT.
     pub fn len(&self) -> usize {
-        self.bwt.len()
+        self.len
     }
 
     /// `true` iff the BWT is empty.
     pub fn is_empty(&self) -> bool {
-        self.bwt.is_empty()
+        self.len == 0
     }
 
     /// The checkpoint spacing this table was built with.
@@ -69,7 +113,10 @@ impl OccTable {
     ///
     /// Panics if `i >= self.len()`.
     pub fn symbol(&self, i: usize) -> Symbol {
-        Symbol::from_code(self.bwt[i])
+        assert!(i < self.len, "symbol position {i} out of range");
+        let block = i / self.sample_rate;
+        let offset = i - block * self.sample_rate;
+        Symbol::from_code(self.data.bytes()[(block * self.block_words + HEADER_WORDS) * 4 + offset])
     }
 
     /// `Occ(s, i)`: occurrences of `s` in `BWT[0..i]` (exclusive of `i`).
@@ -77,34 +124,64 @@ impl OccTable {
     /// # Panics
     ///
     /// Panics if `i > self.len()`.
+    #[inline]
     pub fn rank(&self, s: Symbol, i: usize) -> u64 {
-        assert!(i <= self.bwt.len(), "rank position {i} out of range");
+        assert!(i <= self.len, "rank position {i} out of range");
         let code = s.code();
-        // The nearest checkpoint at or below i, then a short forward scan.
-        // `checkpoints[n / rate + 1]` (the final one) is only reachable via
-        // i == n when n % rate == 0; min() keeps the block index valid.
-        let block = (i / self.sample_rate).min(self.checkpoints.len() - 1);
-        let mut count = self.checkpoints[block][code as usize];
-        for &c in &self.bwt[block * self.sample_rate..i] {
-            count += u64::from(c == code);
+        if i == self.len {
+            return u64::from(self.totals[code as usize]);
         }
-        count
+        // The block's checkpoint word, then a short forward scan over the
+        // codes interleaved right behind it — one contiguous region. The
+        // codes are plain byte lanes, so the scan autovectorizes.
+        let block = i / self.sample_rate;
+        let base = block * self.block_words;
+        let mut count = self.data.words()[base + code as usize];
+        let scan = i - block * self.sample_rate;
+        let code_base = (base + HEADER_WORDS) * 4;
+        for &c in &self.data.bytes()[code_base..code_base + scan] {
+            count += u32::from(c == code);
+        }
+        u64::from(count)
     }
 
     /// Occurrences of every symbol in `BWT[0..i]`, one scan for all five.
     pub fn rank_all(&self, i: usize) -> [u64; 5] {
-        assert!(i <= self.bwt.len(), "rank position {i} out of range");
-        let block = (i / self.sample_rate).min(self.checkpoints.len() - 1);
-        let mut counts = self.checkpoints[block];
-        for &c in &self.bwt[block * self.sample_rate..i] {
+        assert!(i <= self.len, "rank position {i} out of range");
+        if i == self.len {
+            return self.totals.map(u64::from);
+        }
+        let block = i / self.sample_rate;
+        let base = block * self.block_words;
+        let mut counts: [u32; 5] = self.data.words()[base..base + HEADER_WORDS]
+            .try_into()
+            .unwrap();
+        let scan = i - block * self.sample_rate;
+        let code_base = (base + HEADER_WORDS) * 4;
+        for &c in &self.data.bytes()[code_base..code_base + scan] {
             counts[c as usize] += 1;
         }
-        counts
+        counts.map(u64::from)
     }
 
-    /// Heap bytes used by the BWT and its checkpoints.
+    /// Hints the CPU to pull the block a later `rank(s, i)` will touch
+    /// toward L1 — at the default spacing the whole block is one line.
+    /// Never faults; a no-op off x86-64 and for the `i == len` totals
+    /// fast path.
+    #[inline]
+    pub fn prefetch_rank(&self, _s: Symbol, i: usize) {
+        if i >= self.len {
+            return; // answered from `totals`, which stays cache-hot
+        }
+        // The five checkpoint words and the scan's first codes share the
+        // block's first line, whichever symbol is asked for.
+        self.data
+            .prefetch((i / self.sample_rate) * self.block_words);
+    }
+
+    /// Heap bytes of the interleaved blocks.
     pub fn heap_bytes(&self) -> usize {
-        self.bwt.capacity() + self.checkpoints.capacity() * std::mem::size_of::<[u64; 5]>()
+        self.data.heap_bytes()
     }
 }
 
@@ -128,7 +205,7 @@ mod tests {
     #[test]
     fn rank_matches_naive_at_every_position() {
         let bwt = bwt_of("CATAGACATTAGACCATAGGA");
-        for rate in [1, 2, 3, 7, 64] {
+        for rate in [1, 2, 3, 5, 7, 16, 44, 64, 200] {
             let occ = OccTable::new(&bwt, rate);
             for i in 0..=bwt.len() {
                 for &s in &SYMBOL_ALPHABET {
@@ -161,6 +238,25 @@ mod tests {
         assert_eq!(occ.len(), bwt.len());
         for (i, &s) in bwt.iter().enumerate() {
             assert_eq!(occ.symbol(i), s);
+        }
+    }
+
+    #[test]
+    fn default_rate_blocks_are_one_cache_line() {
+        // 5 header words + ceil(44 / 4) code words = 16 words = 64 bytes.
+        let bwt = bwt_of(&"ACGT".repeat(100));
+        let occ = OccTable::new(&bwt, 44);
+        assert_eq!(occ.heap_bytes(), (bwt.len() / 44 + 1) * 64);
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_everywhere() {
+        let bwt = bwt_of("CATAGACATTAGACCATAGGA");
+        let occ = OccTable::new(&bwt, 7);
+        for i in [0usize, 3, 21, 22, 1000] {
+            for &s in &SYMBOL_ALPHABET {
+                occ.prefetch_rank(s, i); // must never fault or panic
+            }
         }
     }
 

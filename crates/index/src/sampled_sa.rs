@@ -103,11 +103,14 @@ impl SampledSuffixArray {
     pub fn new(sa: &[u32], sample_rate: usize) -> SampledSuffixArray {
         assert!(sample_rate > 0, "sample rate must be positive");
         let marks = RankBits::from_fn(sa.len(), |row| sa[row] as usize % sample_rate == 0);
-        let samples = sa
+        // `filter` hides the exact size from `collect`, which can nearly
+        // double the allocation; shrink so `heap_bytes` reports true cost.
+        let mut samples: Vec<u32> = sa
             .iter()
             .copied()
             .filter(|&v| v as usize % sample_rate == 0)
             .collect();
+        samples.shrink_to_fit();
         SampledSuffixArray {
             marks,
             samples,
