@@ -4,8 +4,12 @@
 //! baseline (`FmIndex`), the sequential k-step index (k ∈ {2, 4}), the
 //! batched lockstep engine, its interval-sorted and sorted+prefetching
 //! schedules, and the multi-threaded sharded engine at several thread
-//! counts. Every entry past the k-step ones *shares* its index with the
-//! matching k-step entry — scheduling and threading, not the data
+//! counts. The `locate_*` entries isolate the locate pipeline: identical
+//! k = 4 searches, differing only in how interval rows resolve (serial
+//! per-row walks vs the lockstep batch resolver, plain / sorted+prefetch
+//! / sharded) — so they are measured on the `locate` op alone. Every
+//! entry past the k-step ones *shares* its index with the matching
+//! k-step entry — scheduling, threading and resolution, not the data
 //! structure, are what they isolate — so build time and heap bytes are
 //! reported from the shared index.
 
@@ -14,7 +18,7 @@ use std::time::Instant;
 
 use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
 use exma_genome::{Base, Symbol};
-use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex};
+use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex, ResolveConfig};
 
 /// One genome's worth of built indexes, shared across engine entries.
 pub struct EngineSet {
@@ -64,6 +68,7 @@ impl EngineSet {
                 heap_bytes: self.one.heap_bytes(),
                 shares_index_with: None,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "kstep_k2".to_string(),
@@ -73,6 +78,7 @@ impl EngineSet {
                 heap_bytes: self.k2.heap_bytes(),
                 shares_index_with: None,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "kstep_k4".to_string(),
@@ -82,6 +88,7 @@ impl EngineSet {
                 heap_bytes: self.k4.heap_bytes(),
                 shares_index_with: None,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "batched_k2".to_string(),
@@ -91,6 +98,7 @@ impl EngineSet {
                 heap_bytes: share_k2.1,
                 shares_index_with: share_k2.2,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "batched_k4".to_string(),
@@ -100,6 +108,7 @@ impl EngineSet {
                 heap_bytes: share_k4.1,
                 shares_index_with: share_k4.2,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "batched_sorted_k4".to_string(),
@@ -109,6 +118,7 @@ impl EngineSet {
                 heap_bytes: share_k4.1,
                 shares_index_with: share_k4.2,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
             Engine {
                 label: "batched_prefetch_k4".to_string(),
@@ -118,6 +128,7 @@ impl EngineSet {
                 heap_bytes: share_k4.1,
                 shares_index_with: share_k4.2,
                 threads: None,
+                measure: Measure::CountAndLocate,
             },
         ];
         for &threads in thread_counts {
@@ -129,7 +140,53 @@ impl EngineSet {
                 heap_bytes: share_k4.1,
                 shares_index_with: share_k4.2,
                 threads: Some(threads),
+                measure: Measure::CountAndLocate,
             });
+        }
+        // The locate pipeline variants: identical k = 4 locality searches,
+        // only the interval-row resolution differs.
+        fn locate<'a>(
+            label: &str,
+            kind: Kind<'a>,
+            threads: Option<usize>,
+            share: (f64, usize, Option<&'static str>),
+        ) -> Engine<'a> {
+            Engine {
+                label: label.to_string(),
+                k: 4,
+                kind,
+                build_secs: share.0,
+                heap_bytes: share.1,
+                shares_index_with: share.2,
+                threads,
+                measure: Measure::LocateOnly,
+            }
+        }
+        engines.push(locate(
+            "locate_plain",
+            Kind::LocatePerRow(&self.k4),
+            None,
+            share_k4,
+        ));
+        engines.push(locate(
+            "locate_batched_k4",
+            Kind::LocateResolve(&self.k4, ResolveConfig::default()),
+            None,
+            share_k4,
+        ));
+        engines.push(locate(
+            "locate_sorted_prefetch_k4",
+            Kind::LocateResolve(&self.k4, ResolveConfig::locality()),
+            None,
+            share_k4,
+        ));
+        for &threads in thread_counts {
+            engines.push(locate(
+                &format!("locate_sharded_k4_t{threads}"),
+                Kind::LocateSharded(&self.k4, threads),
+                Some(threads),
+                share_k4,
+            ));
         }
         engines
     }
@@ -168,6 +225,50 @@ impl SweepPoint {
             heap_bytes: self.index.heap_bytes(),
             shares_index_with: None,
             threads: None,
+            measure: Measure::CountAndLocate,
+        }
+    }
+}
+
+/// A k = 4 index built at a swept `sa_sample_rate`, measured through the
+/// sorted+prefetching locate resolver (the headline locate engine) — the
+/// locate-latency / heap trade-off the sampled suffix array controls.
+pub struct SaSweepPoint {
+    pub index: KStepFmIndex,
+    pub build_secs: f64,
+    pub sa_sample_rate: usize,
+}
+
+impl SaSweepPoint {
+    /// Builds the k = 4 index with everything default except the SA
+    /// sampling rate: coarser rates shrink the sample vector but lengthen
+    /// every resolver cursor's LF-walk.
+    pub fn build(text: &[Symbol], sa_sample_rate: usize) -> SaSweepPoint {
+        let config = KStepBuildConfig {
+            sa_sample_rate,
+            ..KStepBuildConfig::for_k(4)
+        };
+        let start = Instant::now();
+        let index = KStepFmIndex::from_text_with_config(text, config);
+        SaSweepPoint {
+            index,
+            build_secs: start.elapsed().as_secs_f64(),
+            sa_sample_rate,
+        }
+    }
+
+    /// The measured engine entry for this sweep point (locate only — the
+    /// SA rate does not touch the count path).
+    pub fn engine(&self) -> Engine<'_> {
+        Engine {
+            label: "locate_sorted_prefetch_k4".to_string(),
+            k: 4,
+            kind: Kind::LocateResolve(&self.index, ResolveConfig::locality()),
+            build_secs: self.build_secs,
+            heap_bytes: self.index.heap_bytes(),
+            shares_index_with: None,
+            threads: None,
+            measure: Measure::LocateOnly,
         }
     }
 }
@@ -177,6 +278,46 @@ enum Kind<'a> {
     KStep(&'a KStepFmIndex),
     Batched(&'a KStepFmIndex, BatchConfig),
     Sharded(&'a KStepFmIndex, usize),
+    /// Locality search, serial per-row interval resolution — the locate
+    /// pipeline's measured baseline.
+    LocatePerRow(&'a KStepFmIndex),
+    /// Locality search, lockstep batch resolver at the given schedule.
+    LocateResolve(&'a KStepFmIndex, ResolveConfig),
+    /// Sharded `run_locate`: per-shard resolver worklists on N threads.
+    LocateSharded(&'a KStepFmIndex, usize),
+}
+
+impl Kind<'_> {
+    /// The locality-scheduled batch engine the locate variants search
+    /// with, resolver schedule swapped per variant.
+    fn locate_engine<'a>(fm: &'a KStepFmIndex, resolve: ResolveConfig) -> BatchEngine<'a> {
+        BatchEngine::with_config(
+            fm,
+            BatchConfig {
+                resolve,
+                ..BatchConfig::locality()
+            },
+        )
+    }
+}
+
+/// Which ops an engine entry is timed on. Locate pipeline variants share
+/// their `count` path with `batched_prefetch_k4`, so re-timing it would
+/// only pad the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    CountAndLocate,
+    LocateOnly,
+}
+
+impl Measure {
+    /// Whether op `op` (0 = count, 1 = locate) is timed for this entry.
+    pub fn includes(self, op: usize) -> bool {
+        match self {
+            Measure::CountAndLocate => true,
+            Measure::LocateOnly => op == 1,
+        }
+    }
 }
 
 /// One measured engine entry.
@@ -189,6 +330,8 @@ pub struct Engine<'a> {
     pub shares_index_with: Option<&'static str>,
     /// Worker threads for sharded entries, `None` for single-threaded.
     pub threads: Option<usize>,
+    /// Ops this entry is timed on (all entries still *verify* both ops).
+    pub measure: Measure,
 }
 
 impl Engine<'_> {
@@ -200,6 +343,14 @@ impl Engine<'_> {
             Kind::KStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
             Kind::Batched(fm, config) => BatchEngine::with_config(fm, config).count_batch(patterns),
             Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).count_batch(patterns),
+            // The locate variants share the locality count path; they are
+            // only ever timed on locate, but verification counts them too.
+            Kind::LocatePerRow(fm) | Kind::LocateSharded(fm, _) => {
+                BatchEngine::with_config(fm, BatchConfig::locality()).count_batch(patterns)
+            }
+            Kind::LocateResolve(fm, resolve) => {
+                Kind::locate_engine(fm, resolve).count_batch(patterns)
+            }
         }
     }
 
@@ -233,6 +384,17 @@ impl Engine<'_> {
                 BatchEngine::with_config(fm, config).locate_batch(patterns)
             }
             Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).locate_batch(patterns),
+            Kind::LocatePerRow(fm) => {
+                BatchEngine::with_config(fm, BatchConfig::locality()).locate_batch_per_row(patterns)
+            }
+            Kind::LocateResolve(fm, resolve) => Kind::locate_engine(fm, resolve)
+                .run_locate(patterns)
+                .0
+                .into_vecs(),
+            Kind::LocateSharded(fm, threads) => ShardedEngine::new(fm, threads)
+                .run_locate(patterns)
+                .0
+                .into_vecs(),
         }
     }
 
@@ -254,6 +416,11 @@ impl Engine<'_> {
             }
             Kind::Sharded(fm, threads) => {
                 fold(ShardedEngine::new(fm, threads).count_batch(black_box(patterns)))
+            }
+            // Never timed on count (Measure::LocateOnly), but kept total
+            // so the uniform face stays uniform.
+            Kind::LocatePerRow(_) | Kind::LocateResolve(..) | Kind::LocateSharded(..) => {
+                fold(self.count_all(black_box(patterns)))
             }
         }
     }
@@ -287,10 +454,25 @@ impl Engine<'_> {
                     .sum()
             }
             Kind::Batched(fm, config) => {
-                fold_all(BatchEngine::with_config(fm, config).locate_batch(black_box(patterns)))
+                let (results, _) =
+                    BatchEngine::with_config(fm, config).run_locate(black_box(patterns));
+                fold(black_box(results.all_positions()))
             }
             Kind::Sharded(fm, threads) => {
-                fold_all(ShardedEngine::new(fm, threads).locate_batch(black_box(patterns)))
+                let (results, _) = ShardedEngine::new(fm, threads).run_locate(black_box(patterns));
+                fold(black_box(results.all_positions()))
+            }
+            Kind::LocatePerRow(fm) => fold_all(
+                BatchEngine::with_config(fm, BatchConfig::locality())
+                    .locate_batch_per_row(black_box(patterns)),
+            ),
+            Kind::LocateResolve(fm, resolve) => {
+                let (results, _) = Kind::locate_engine(fm, resolve).run_locate(black_box(patterns));
+                fold(black_box(results.all_positions()))
+            }
+            Kind::LocateSharded(fm, threads) => {
+                let (results, _) = ShardedEngine::new(fm, threads).run_locate(black_box(patterns));
+                fold(black_box(results.all_positions()))
             }
         }
     }
@@ -323,7 +505,16 @@ mod tests {
             .map(|i| genome.seq().slice(i * 37, 9 + i % 13))
             .collect();
         let engines = set.engines(&[1, 2, 4]);
-        assert_eq!(engines.len(), 10);
+        // 7 count engines + 3 sharded + 3 locate variants + 3 sharded
+        // locate variants.
+        assert_eq!(engines.len(), 16);
+        assert_eq!(
+            engines
+                .iter()
+                .filter(|e| e.measure == Measure::LocateOnly)
+                .count(),
+            6
+        );
         let oracle_counts = engines[0].count_all(&patterns);
         let oracle_locs = engines[0].locate_all(&patterns);
         for engine in &engines[1..] {
@@ -364,6 +555,22 @@ mod tests {
                 engine.label
             );
         }
+    }
+
+    #[test]
+    fn sa_sweep_points_agree_with_the_oracle_and_shrink_with_rate() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 13);
+        let text = genome.text_with_sentinel();
+        let one = FmIndex::from_text(&text);
+        let patterns: Vec<Vec<Base>> = (0..30).map(|i| genome.seq().slice(i * 19, 11)).collect();
+        let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
+        let fine = SaSweepPoint::build(&text, 8);
+        let coarse = SaSweepPoint::build(&text, 64);
+        assert_eq!(fine.engine().locate_all(&patterns), expected);
+        assert_eq!(coarse.engine().locate_all(&patterns), expected);
+        assert!(coarse.engine().heap_bytes < fine.engine().heap_bytes);
+        assert!(!fine.engine().measure.includes(0));
+        assert!(fine.engine().measure.includes(1));
     }
 
     #[test]

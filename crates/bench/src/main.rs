@@ -27,8 +27,9 @@ use std::time::Instant;
 use exma_genome::{
     Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
 };
+use exma_index::KStepBuildConfig;
 
-use crate::engines::{Engine, EngineSet, SweepPoint};
+use crate::engines::{Engine, EngineSet, SaSweepPoint, SweepPoint};
 use crate::json::Json;
 
 /// Seed window taken from each simulated ONT read. 51 is deliberately odd:
@@ -41,6 +42,12 @@ const ILLUMINA_LEN: usize = 100;
 /// `k_occ_sample_rate` values covered by `--sweep-sample-rate` (the
 /// default full-mode k = 4 spacing is 256).
 const SWEEP_RATES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// `sa_sample_rate` values covered by `--sweep-sa-sample-rate` (the
+/// default is 32). Coarser rates shrink the sampled suffix array but
+/// lengthen every locate cursor's LF-walk — the locate-latency / heap
+/// trade-off the sweep maps.
+const SA_SWEEP_RATES: [usize; 4] = [8, 16, 32, 64];
 
 const USAGE: &str = "exma-bench: benchmark 1-step vs k-step vs batched/sharded FM-index engines
 
@@ -55,6 +62,9 @@ OPTIONS:
                           (default: 1,2,4,8 full / 1,2 smoke)
     --sweep-sample-rate   also sweep k_occ_sample_rate over 64..1024 on the
                           picea profile (k = 4, sorted+prefetching engine)
+    --sweep-sa-sample-rate
+                          also sweep sa_sample_rate over 8..64 on the picea
+                          profile (k = 4, sorted+prefetching locate resolver)
     --help                print this help
 
 Exits non-zero if any engine's count/locate results diverge from the
@@ -68,6 +78,7 @@ struct Args {
     /// Empty means "use the mode's default thread counts".
     threads: Vec<usize>,
     sweep: bool,
+    sweep_sa: bool,
 }
 
 /// Everything that differs between `--smoke` and the full run.
@@ -252,6 +263,9 @@ fn measure_interleaved(
         for (op, reps) in [(0, spec.count_reps), (1, spec.locate_reps)] {
             for _ in 0..reps {
                 for (ei, engine) in engines.iter().enumerate() {
+                    if !engine.measure.includes(op) {
+                        continue; // locate-only entries skip the count op
+                    }
                     let start = Instant::now();
                     let checksum = if op == 0 {
                         engine.count_checksum(&load.patterns)
@@ -279,9 +293,14 @@ fn engine_entry(
     let mut ops: Vec<Json> = Vec::new();
     for (li, load) in loads.iter().enumerate() {
         let queries = load.patterns.len();
+        let mut shown: Vec<String> = Vec::new();
         for (op, name) in [(0usize, "count"), (1, "locate")] {
             let cell = &timings[li * 2 + op];
+            if cell.times.is_empty() {
+                continue; // op not measured for this entry
+            }
             let ns_per_query = cell.median_secs() * 1e9 / queries as f64;
+            shown.push(format!("{name} {ns_per_query:.0} ns/q"));
             ops.push(
                 Json::obj()
                     .field("op", name)
@@ -294,13 +313,12 @@ fn engine_entry(
             );
         }
         eprintln!(
-            "[{}] {}/{}/{}: count {:.0} ns/q, locate {:.0} ns/q",
+            "[{}] {}/{}/{}: {}",
             spec.mode,
             genome.profile().name,
             engine.label,
             load.name,
-            timings[li * 2].median_secs() * 1e9 / queries as f64,
-            timings[li * 2 + 1].median_secs() * 1e9 / queries as f64,
+            shown.join(", "),
         );
     }
     let mut entry = Json::obj()
@@ -333,6 +351,7 @@ fn run(args: &Args) -> ExitCode {
     let started = Instant::now();
     let mut results: Vec<Json> = Vec::new();
     let mut sweep_results: Vec<Json> = Vec::new();
+    let mut sa_sweep_results: Vec<Json> = Vec::new();
     let mut violations = 0usize;
 
     for profile in &spec.genomes {
@@ -385,11 +404,47 @@ fn run(args: &Args) -> ExitCode {
                 );
             }
         }
+
+        // The SA-rate sweep also runs on picea: the sampled suffix array
+        // is the locate-latency / heap knob, measured through the
+        // sorted+prefetching locate resolver against this genome's
+        // per-row oracle locates.
+        if args.sweep_sa && profile.name.starts_with("picea") {
+            // Oracle locates are invariant across sweep rates; compute
+            // once over each workload's verification head.
+            let oracle_locs: Vec<Vec<Vec<u32>>> = loads
+                .iter()
+                .map(|load| {
+                    let head = &load.patterns[..load.patterns.len().min(spec.verify_locates)];
+                    engines[0].locate_all(head)
+                })
+                .collect();
+            for rate in SA_SWEEP_RATES {
+                eprintln!("[{}] sa sweep: k=4, sa_sample_rate={rate}...", spec.mode);
+                let point = SaSweepPoint::build(&text, rate);
+                let sweep_engine = [point.engine()];
+                for (load, expected) in loads.iter().zip(&oracle_locs) {
+                    let head = &load.patterns[..load.patterns.len().min(spec.verify_locates)];
+                    if sweep_engine[0].locate_all(head) != *expected {
+                        eprintln!(
+                            "DIVERGENCE: {}/sa_sweep_rate_{rate}/{}: locate differs from 1-step oracle",
+                            profile.name, load.name
+                        );
+                        violations += 1;
+                    }
+                }
+                let timings = measure_interleaved(&sweep_engine, &loads, &spec);
+                sa_sweep_results.push(
+                    engine_entry(&sweep_engine[0], &timings[0], &loads, &spec, &genome)
+                        .field("sa_sample_rate", point.sa_sample_rate),
+                );
+            }
+        }
     }
 
     let verified = violations == 0;
     let mut doc = Json::obj()
-        .field("schema_version", 2u64)
+        .field("schema_version", 3u64)
         .field("mode", spec.mode)
         .field("seed", args.seed)
         .field("illumina_read_len", ILLUMINA_LEN)
@@ -401,11 +456,16 @@ fn run(args: &Args) -> ExitCode {
                 .map(|&t| Json::Int(t as u64))
                 .collect::<Vec<_>>(),
         )
+        // The SA sampling rate every non-sweep engine is built at.
+        .field("sa_sample_rate", KStepBuildConfig::for_k(4).sa_sample_rate)
         .field("verified_against_oracle", verified)
         .field("wall_clock_secs", started.elapsed().as_secs_f64())
         .field("results", results);
     if args.sweep {
         doc = doc.field("sample_rate_sweep", sweep_results);
+    }
+    if args.sweep_sa {
+        doc = doc.field("sa_rate_sweep", sa_sweep_results);
     }
     let rendered = format!("{doc}\n");
     if let Err(err) = std::fs::write(&args.out, rendered) {
@@ -429,12 +489,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         seed: 42,
         threads: Vec::new(),
         sweep: false,
+        sweep_sa: false,
     };
     let mut argv = argv.peekable();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
             "--sweep-sample-rate" => args.sweep = true,
+            "--sweep-sa-sample-rate" => args.sweep_sa = true,
             "--out" => {
                 let path = argv.next().ok_or("--out requires a path")?;
                 args.out = PathBuf::from(path);
@@ -488,6 +550,7 @@ mod tests {
             .unwrap();
         assert!(!args.smoke);
         assert!(!args.sweep);
+        assert!(!args.sweep_sa);
         assert!(args.threads.is_empty());
         assert_eq!(args.out, PathBuf::from("BENCH_exma.json"));
         assert_eq!(args.seed, 42);
@@ -502,6 +565,7 @@ mod tests {
                 "--threads",
                 "1,2,8",
                 "--sweep-sample-rate",
+                "--sweep-sa-sample-rate",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -510,6 +574,7 @@ mod tests {
         .unwrap();
         assert!(args.smoke);
         assert!(args.sweep);
+        assert!(args.sweep_sa);
         assert_eq!(args.threads, vec![1, 2, 8]);
         assert_eq!(args.out, PathBuf::from("/tmp/b.json"));
         assert_eq!(args.seed, 7);

@@ -1,10 +1,14 @@
 //! Lockstep batched backward search with dead-query dropping, interval
-//! sorting, and software prefetch.
+//! sorting, and software prefetch — plus the batched `locate` pipeline
+//! ([`BatchEngine::run_locate`]) that feeds every finished query's
+//! suffix-array interval into one shared lockstep resolver worklist.
 
 use std::ops::Range;
 
 use exma_genome::{Base, Kmer, Symbol};
-use exma_index::KStepFmIndex;
+use exma_index::{BatchResolver, KStepFmIndex, ResolveConfig};
+
+use crate::locate::LocateResults;
 
 /// How many queries ahead of the one being refined the engine prefetches
 /// when [`BatchConfig::prefetch_distance`] is left to the default. Far
@@ -23,6 +27,11 @@ pub struct BatchConfig {
     /// While refining query `j`, prefetch the table blocks query `j + d`
     /// will touch (`0` disables prefetching).
     pub prefetch_distance: usize,
+    /// Round schedule of the locate resolver [`BatchEngine::run_locate`]
+    /// hands finished intervals to. The presets keep it in step with the
+    /// search schedule: plain search resolves plain, sorted sorts cursor
+    /// rows, locality adds cursor prefetch.
+    pub resolve: ResolveConfig,
 }
 
 impl Default for BatchConfig {
@@ -32,25 +41,30 @@ impl Default for BatchConfig {
         BatchConfig {
             sort_by_interval: false,
             prefetch_distance: 0,
+            resolve: ResolveConfig::default(),
         }
     }
 }
 
 impl BatchConfig {
-    /// Interval-sorted rounds without prefetch (isolates the sort).
+    /// Interval-sorted rounds without prefetch (isolates the sort), with
+    /// row-sorted resolve rounds to match.
     pub fn sorted() -> BatchConfig {
         BatchConfig {
             sort_by_interval: true,
             prefetch_distance: 0,
+            resolve: ResolveConfig::sorted(),
         }
     }
 
     /// The full locality schedule: interval-sorted rounds plus software
-    /// prefetch at [`DEFAULT_PREFETCH_DISTANCE`].
+    /// prefetch at [`DEFAULT_PREFETCH_DISTANCE`], and the resolver's own
+    /// locality schedule for `locate`.
     pub fn locality() -> BatchConfig {
         BatchConfig {
             sort_by_interval: true,
             prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
+            resolve: ResolveConfig::locality(),
         }
     }
 }
@@ -66,6 +80,31 @@ pub struct BatchStats {
     pub steps: usize,
     /// Queries live in the widest round (the initial non-empty batch).
     pub peak_live: usize,
+    /// Resolver rounds of a [`BatchEngine::run_locate`] (zero for plain
+    /// searches) — bounded by the SA sampling rate.
+    pub resolve_rounds: usize,
+    /// LF steps the locate resolver issued across all cursors and rounds.
+    pub resolve_lf_steps: usize,
+    /// Cursors the locate resolver retired — the batch's total occurrence
+    /// positions. Divided by `resolve_rounds` this is the mean cursors
+    /// retired per round.
+    pub cursors_retired: usize,
+}
+
+impl BatchStats {
+    /// Folds a shard's counters into a batch-wide total: work counters
+    /// (`steps`, `peak_live`, resolver steps and retirements) add up
+    /// across concurrent workers, while the round counters — each the
+    /// depth of the longest shard's lockstep schedule — take the maximum,
+    /// matching wall-clock intuition.
+    pub(crate) fn absorb_shard(&mut self, shard: BatchStats) {
+        self.steps += shard.steps;
+        self.peak_live += shard.peak_live;
+        self.rounds = self.rounds.max(shard.rounds);
+        self.resolve_lf_steps += shard.resolve_lf_steps;
+        self.cursors_retired += shard.cursors_retired;
+        self.resolve_rounds = self.resolve_rounds.max(shard.resolve_rounds);
+    }
 }
 
 /// In-flight state of one query between rounds. Rows fit `u32` because the
@@ -226,10 +265,36 @@ impl<'a> BatchEngine<'a> {
             .collect()
     }
 
-    /// Sorted occurrence positions for every pattern, in input order.
-    /// Interval rows are resolved through the shared reuse path
-    /// [`exma_index::FmIndex::resolve_range_into`].
+    /// The first-class batched `locate` path: lockstep backward searches,
+    /// then every finished query's suffix-array interval feeds one shared
+    /// resolver worklist ([`exma_index::BatchResolver`], scheduled by
+    /// [`BatchConfig::resolve`]) whose cursors LF-walk in lockstep rounds
+    /// into a pooled output buffer. Answer-identical — ordering included —
+    /// to resolving each interval through the per-row path
+    /// ([`BatchEngine::locate_batch_per_row`]).
+    pub fn run_locate(&self, patterns: &[impl AsRef<[Base]>]) -> (LocateResults, BatchStats) {
+        let (intervals, mut stats) = self.search_batch_with_stats(patterns);
+        let mut resolver = BatchResolver::with_config(self.index.base_index(), self.config.resolve);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        let resolve = resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        stats.resolve_rounds = resolve.rounds;
+        stats.resolve_lf_steps = resolve.lf_steps;
+        stats.cursors_retired = resolve.retired;
+        (LocateResults::from_parts(flat, offsets), stats)
+    }
+
+    /// Sorted occurrence positions for every pattern, in input order —
+    /// [`BatchEngine::run_locate`] exploded into one `Vec` per query.
     pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
+        self.run_locate(patterns).0.into_vecs()
+    }
+
+    /// The pre-resolver `locate` path, kept as the measured baseline: each
+    /// interval row LF-walks serially through
+    /// [`exma_index::FmIndex::resolve_range_into`] — one dependent cache
+    /// miss per step. [`BatchEngine::run_locate`] must return exactly
+    /// these answers in exactly this order.
+    pub fn locate_batch_per_row(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
         let base = self.index.base_index();
         self.search_batch(patterns)
             .into_iter()
@@ -266,6 +331,10 @@ mod tests {
             BatchConfig {
                 sort_by_interval: false,
                 prefetch_distance: 3,
+                resolve: ResolveConfig {
+                    sort_by_row: true,
+                    prefetch_distance: 2,
+                },
             },
         ]
     }
@@ -295,6 +364,33 @@ mod tests {
         assert_eq!(located[0], vec![1, 3, 5]);
         assert_eq!(located[3], vec![0]);
         assert_eq!(located[4], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn run_locate_matches_the_per_row_path_under_every_schedule() {
+        let (index, patterns) = fig3_engine_input();
+        for config in all_configs() {
+            let engine = BatchEngine::with_config(&index, config);
+            let expected = engine.locate_batch_per_row(&patterns);
+            let (results, stats) = engine.run_locate(&patterns);
+            assert_eq!(results.len(), patterns.len(), "{config:?}");
+            for (i, expect) in expected.iter().enumerate() {
+                assert_eq!(results.positions(i), &expect[..], "{config:?}, #{i}");
+            }
+            // Every interval row becomes exactly one retired cursor.
+            let total: usize = expected.iter().map(Vec::len).sum();
+            assert_eq!(stats.cursors_retired, total, "{config:?}");
+            assert!(stats.resolve_rounds >= 1, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn search_stats_never_touch_resolve_counters() {
+        let (index, patterns) = fig3_engine_input();
+        let (_, stats) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
+        assert_eq!(stats.resolve_rounds, 0);
+        assert_eq!(stats.resolve_lf_steps, 0);
+        assert_eq!(stats.cursors_retired, 0);
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! a [`BatchConfig`] can sort each round's live queries by suffix-array
 //! interval so table accesses walk memory in address order, and can
 //! software-prefetch the blocks upcoming queries will touch so their DRAM
-//! fetches overlap the current refinement. [`ShardedEngine`] then splits
-//! a batch across scoped threads — queries are independent and the index
-//! is `Sync`, so sharding scales with cores without changing any answer.
+//! fetches overlap the current refinement. The same treatment extends to
+//! `locate`: [`BatchEngine::run_locate`] feeds every finished query's
+//! suffix-array interval into one shared lockstep resolver worklist
+//! ([`exma_index::BatchResolver`]) with a pooled output buffer
+//! ([`LocateResults`]), converting the per-row LF-walks' dependent-miss
+//! chains into overlapped independent streams. [`ShardedEngine`] then
+//! splits a batch across scoped threads — queries are independent and the
+//! index is `Sync`, so sharding scales with cores without changing any
+//! answer.
 //!
 //! ```
 //! use exma_genome::{Genome, GenomeProfile};
@@ -35,7 +41,9 @@
 //! ```
 
 pub mod batch;
+pub mod locate;
 pub mod shard;
 
 pub use batch::{BatchConfig, BatchEngine, BatchStats, DEFAULT_PREFETCH_DISTANCE};
+pub use locate::LocateResults;
 pub use shard::ShardedEngine;

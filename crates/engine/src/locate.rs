@@ -1,0 +1,167 @@
+//! Pooled output of a batched `locate` run.
+//!
+//! A `Vec<Vec<u32>>` costs one allocation per query — tens of thousands
+//! for a read set — and scatters the answers across the heap. The batch
+//! resolver instead writes every query's positions into one flat pooled
+//! buffer; [`LocateResults`] wraps that buffer with per-query offsets, so
+//! the whole batch's answers live in two exact-sized allocations and a
+//! query's positions are one contiguous slice.
+
+/// Sorted occurrence positions of every query in a batch, pooled.
+///
+/// Query `i`'s positions are `positions(i)` — sorted ascending, identical
+/// to what [`exma_index::FmIndex::locate`] returns for that pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocateResults {
+    /// All queries' positions, concatenated in query order.
+    flat: Vec<u32>,
+    /// `offsets[i]..offsets[i + 1]` delimits query `i` in `flat`; empty
+    /// only before any batch ran (a 0-query batch still yields `[0]`).
+    offsets: Vec<usize>,
+}
+
+impl LocateResults {
+    /// Assembles results from a resolver's pooled output. `offsets` must
+    /// be a non-decreasing prefix-sum vector delimiting `flat`.
+    pub(crate) fn from_parts(flat: Vec<u32>, offsets: Vec<usize>) -> LocateResults {
+        debug_assert!(offsets.first() == Some(&0) && offsets.last() == Some(&flat.len()));
+        LocateResults { flat, offsets }
+    }
+
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` iff the batch held no queries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Query `i`'s occurrence positions, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn positions(&self, i: usize) -> &[u32] {
+        &self.flat[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Every query's positions, in query order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets.windows(2).map(|w| &self.flat[w[0]..w[1]])
+    }
+
+    /// Total positions across all queries (the pooled buffer's length).
+    pub fn total_positions(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// The pooled buffer itself: every query's positions concatenated in
+    /// query order. Checksum and aggregation passes can fold this directly
+    /// instead of iterating per query.
+    pub fn all_positions(&self) -> &[u32] {
+        &self.flat
+    }
+
+    /// Explodes into one `Vec` per query, for callers and tests that want
+    /// the shape of the per-row [`exma_index::FmIndex::locate`] API.
+    pub fn into_vecs(self) -> Vec<Vec<u32>> {
+        self.iter().map(<[u32]>::to_vec).collect()
+    }
+
+    /// Reserves exact capacity for a merge of `positions` total positions
+    /// over `queries` queries, so the subsequent [`LocateResults::append`]
+    /// calls never grow the buffers by amortized doubling — keeping
+    /// [`LocateResults::heap_bytes`]'s exact-footprint promise.
+    pub(crate) fn reserve_exact(&mut self, positions: usize, queries: usize) {
+        self.flat.reserve_exact(positions);
+        self.offsets.reserve_exact(queries + 1);
+    }
+
+    /// Appends another batch's results after this one's, rebasing its
+    /// offsets — how the sharded engine stitches per-shard pools back
+    /// into input order.
+    pub(crate) fn append(&mut self, other: &LocateResults) {
+        let base = self.flat.len();
+        self.flat.extend_from_slice(&other.flat);
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+    }
+
+    /// Heap bytes of the pooled buffers (both exact-sized by the
+    /// resolver's contract, so this is true footprint).
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.capacity() * 4 + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LocateResults {
+        LocateResults::from_parts(vec![3, 7, 9, 2], vec![0, 2, 2, 4])
+    }
+
+    #[test]
+    fn slices_line_up_with_offsets() {
+        let results = sample();
+        assert_eq!(results.len(), 3);
+        assert!(!results.is_empty());
+        assert_eq!(results.positions(0), &[3, 7]);
+        assert_eq!(results.positions(1), &[] as &[u32]);
+        assert_eq!(results.positions(2), &[9, 2]);
+        assert_eq!(results.total_positions(), 4);
+        assert_eq!(results.all_positions(), &[3, 7, 9, 2]);
+        assert_eq!(
+            results.iter().collect::<Vec<_>>(),
+            vec![&[3, 7][..], &[][..], &[9, 2][..]]
+        );
+        assert_eq!(
+            results.into_vecs(),
+            vec![vec![3, 7], Vec::new(), vec![9, 2]]
+        );
+    }
+
+    #[test]
+    fn append_rebases_offsets() {
+        let mut merged = LocateResults::default();
+        assert_eq!(merged.len(), 0);
+        merged.append(&sample());
+        merged.append(&LocateResults::from_parts(vec![5], vec![0, 1]));
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.positions(2), &[9, 2]);
+        assert_eq!(merged.positions(3), &[5]);
+    }
+
+    #[test]
+    fn reserved_merge_stays_exact_sized() {
+        // Pre-reserving the merged totals keeps heap_bytes honest: the
+        // appends must not grow the buffers past their contents.
+        let shards = [sample(), LocateResults::from_parts(vec![5], vec![0, 1])];
+        let mut merged = LocateResults::default();
+        merged.reserve_exact(
+            shards.iter().map(LocateResults::total_positions).sum(),
+            shards.iter().map(LocateResults::len).sum(),
+        );
+        for shard in &shards {
+            merged.append(shard);
+        }
+        assert_eq!(merged.flat.capacity(), merged.flat.len());
+        assert_eq!(merged.offsets.capacity(), merged.offsets.len());
+        assert_eq!(
+            merged.heap_bytes(),
+            merged.total_positions() * 4 + (merged.len() + 1) * std::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_query_panics() {
+        let _ = sample().positions(3);
+    }
+}

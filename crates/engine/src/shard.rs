@@ -15,6 +15,7 @@ use exma_genome::Base;
 use exma_index::KStepFmIndex;
 
 use crate::batch::{BatchConfig, BatchEngine, BatchStats};
+use crate::locate::LocateResults;
 
 /// A sharded, multi-threaded batch engine over a [`KStepFmIndex`].
 ///
@@ -109,13 +110,7 @@ impl<'a> ShardedEngine<'a> {
         let mut stats = BatchStats::default();
         for (results, shard_stats) in shards {
             merged.extend(results);
-            // Workers run concurrently: total work (`steps`) and in-flight
-            // queries (`peak_live`) add up across shards, while rounds —
-            // the depth of the longest shard's lockstep schedule — is the
-            // maximum, matching wall-clock intuition.
-            stats.steps += shard_stats.steps;
-            stats.peak_live += shard_stats.peak_live;
-            stats.rounds = stats.rounds.max(shard_stats.rounds);
+            stats.absorb_shard(shard_stats);
         }
         (merged, stats)
     }
@@ -145,14 +140,51 @@ impl<'a> ShardedEngine<'a> {
             .collect()
     }
 
-    /// Sorted occurrence positions for every pattern, in input order.
+    /// The sharded batched `locate` pipeline: each worker runs
+    /// [`BatchEngine::run_locate`] on its shard — lockstep searches, then
+    /// a shared resolver worklist over the shard's intervals with a pooled
+    /// output buffer — and the per-shard pools are stitched back into
+    /// input order. Shard boundaries only move cursors between workers'
+    /// worklists, so answers (ordering included) are identical to
+    /// single-threaded execution at any thread count.
+    pub fn run_locate(
+        &self,
+        patterns: &[impl AsRef<[Base]> + Sync],
+    ) -> (LocateResults, BatchStats) {
+        let engine = BatchEngine::with_config(self.index, self.config);
+        if self.threads == 1 || patterns.len() <= 1 {
+            return engine.run_locate(patterns);
+        }
+        let shard_len = patterns.len().div_ceil(self.threads);
+        let shards: Vec<(LocateResults, BatchStats)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = patterns
+                .chunks(shard_len)
+                .map(|shard| scope.spawn(move || engine.run_locate(shard)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut merged = LocateResults::default();
+        merged.reserve_exact(
+            shards.iter().map(|(r, _)| r.total_positions()).sum(),
+            shards.iter().map(|(r, _)| r.len()).sum(),
+        );
+        let mut stats = BatchStats::default();
+        for (results, shard_stats) in &shards {
+            merged.append(results);
+            stats.absorb_shard(*shard_stats);
+        }
+        (merged, stats)
+    }
+
+    /// Sorted occurrence positions for every pattern, in input order —
+    /// [`ShardedEngine::run_locate`] exploded into one `Vec` per query.
     /// Each worker resolves its own shard's interval rows, so `locate`'s
-    /// LF-walks parallelize along with the searches.
+    /// lockstep LF-walks parallelize along with the searches.
     pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<Vec<u32>> {
-        self.run_sharded(patterns, |engine, shard| {
-            (engine.locate_batch(shard), BatchStats::default())
-        })
-        .0
+        self.run_locate(patterns).0.into_vecs()
     }
 }
 
@@ -199,6 +231,23 @@ mod tests {
                 ShardedEngine::new(&index, threads).locate_batch(&patterns),
                 expected
             );
+        }
+    }
+
+    #[test]
+    fn run_locate_merges_shard_pools_in_input_order() {
+        let (index, patterns) = fig3_engine_input();
+        let (single, single_stats) =
+            BatchEngine::with_config(&index, BatchConfig::locality()).run_locate(&patterns);
+        for threads in [2usize, 3, 5] {
+            let (merged, stats) = ShardedEngine::new(&index, threads).run_locate(&patterns);
+            assert_eq!(merged, single, "{threads} threads");
+            // Resolver work moves between workers but never changes in
+            // total; no shard can run more resolve rounds than the whole
+            // batch's deepest cursor walk.
+            assert_eq!(stats.cursors_retired, single_stats.cursors_retired);
+            assert_eq!(stats.resolve_lf_steps, single_stats.resolve_lf_steps);
+            assert!(stats.resolve_rounds <= single_stats.resolve_rounds);
         }
     }
 

@@ -83,6 +83,7 @@ fn sorted_and_prefetching_schedules_agree_with_one_step_on_600_patterns() {
             BatchConfig {
                 sort_by_interval: true,
                 prefetch_distance: 1,
+                ..BatchConfig::default()
             },
         ] {
             let engine = BatchEngine::with_config(&index, config);

@@ -1,0 +1,214 @@
+//! Acceptance property of the batched locate pipeline: converting serial
+//! per-row LF-walks into lockstep resolver rounds — with or without row
+//! sorting, software prefetch, or thread sharding — must be invisible in
+//! the answers. For k ∈ {1, 2, 4} and every resolve schedule, `run_locate`
+//! over hundreds of random patterns (tails with `len % k != 0`, empty
+//! patterns, absent patterns, and high-occurrence short repeats) must
+//! equal the sequential 1-step `FmIndex::locate`, the naive text scan,
+//! and the per-row `locate_batch_per_row` path — ordering included, per
+//! the `resolve_range_into` sorted-ascending contract.
+
+use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::{naive, FmIndex, KStepFmIndex, ResolveConfig};
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+/// Half reference-sampled (hits, often multi-occurrence thanks to the toy
+/// profile's repeats), half uniform-random (mostly absent), with empty
+/// patterns sprinkled in. Every 13th pattern is 1–3 bases long — a
+/// high-occurrence repeat whose interval holds hundreds of rows, the
+/// worklist shape that distinguishes the lockstep resolver from the
+/// per-row walk. Lengths otherwise span 1..40, covering every residue
+/// mod 2 and 4.
+fn locate_pattern_mix(genome: &Genome, total: usize, seed: u64) -> Vec<Vec<Base>> {
+    let mut rng = SeededRng::new(seed);
+    (0..total)
+        .map(|i| {
+            if i % 101 == 0 {
+                return Vec::new();
+            }
+            let len = if i % 13 == 0 {
+                rng.range(1, 4) // short repeat: large interval
+            } else {
+                rng.range(1, 40)
+            };
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        })
+        .collect()
+}
+
+/// Every resolver schedule the benchmarks exercise, layered on the full
+/// locality search schedule.
+fn resolve_configs() -> [ResolveConfig; 4] {
+    [
+        ResolveConfig::default(),
+        ResolveConfig::sorted(),
+        ResolveConfig::locality(),
+        ResolveConfig {
+            sort_by_row: false,
+            prefetch_distance: 1,
+        },
+    ]
+}
+
+fn engine_with_resolve(index: &KStepFmIndex, resolve: ResolveConfig) -> BatchEngine<'_> {
+    BatchEngine::with_config(
+        index,
+        BatchConfig {
+            resolve,
+            ..BatchConfig::locality()
+        },
+    )
+}
+
+#[test]
+fn run_locate_agrees_with_one_step_locate_on_600_patterns() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = locate_pattern_mix(&genome, 600, 83);
+    let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
+
+    for k in [1usize, 2, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        for config in resolve_configs() {
+            let engine = engine_with_resolve(&index, config);
+            let (results, stats) = engine.run_locate(&patterns);
+            assert_eq!(results.len(), patterns.len());
+            for (i, expect) in expected.iter().enumerate() {
+                assert_eq!(
+                    results.positions(i),
+                    &expect[..],
+                    "k={k}, {config:?}, pattern #{i}"
+                );
+            }
+            // Every interval row retired exactly one cursor, within the
+            // SA sampling rate's round bound.
+            let total: usize = expected.iter().map(Vec::len).sum();
+            assert_eq!(stats.cursors_retired, total, "k={k}, {config:?}");
+            assert!(
+                stats.resolve_rounds <= index.base_index().sampled_sa().sample_rate(),
+                "k={k}, {config:?}: {} rounds",
+                stats.resolve_rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn run_locate_agrees_with_naive_scan() {
+    let genome = toy_genome();
+    let patterns = locate_pattern_mix(&genome, 200, 89);
+    for k in [2usize, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        let (results, _) =
+            engine_with_resolve(&index, ResolveConfig::locality()).run_locate(&patterns);
+        for (i, pattern) in patterns.iter().enumerate() {
+            assert_eq!(
+                results.positions(i),
+                &naive::occurrences(genome.seq(), pattern)[..],
+                "k={k}, pattern #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_locate_is_ordering_identical_to_the_per_row_path() {
+    // The resolver retires cursors in whatever round their walk ends, so
+    // ordering agreement with the serial path is a real property, not a
+    // tautology — `resolve_range_into`'s contract is sorted ascending.
+    let genome = toy_genome();
+    let patterns = locate_pattern_mix(&genome, 400, 97);
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    for config in resolve_configs() {
+        let engine = engine_with_resolve(&index, config);
+        let per_row = engine.locate_batch_per_row(&patterns);
+        let (results, _) = engine.run_locate(&patterns);
+        for (i, expect) in per_row.iter().enumerate() {
+            assert_eq!(results.positions(i), &expect[..], "{config:?}, #{i}");
+            let mut sorted = expect.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, expect, "per-row output not ascending at #{i}");
+        }
+    }
+}
+
+#[test]
+fn every_positions_slice_is_sorted_ascending() {
+    let genome = toy_genome();
+    let patterns = locate_pattern_mix(&genome, 300, 101);
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let (results, _) = engine_with_resolve(&index, ResolveConfig::locality()).run_locate(&patterns);
+    for i in 0..results.len() {
+        assert!(
+            results.positions(i).windows(2).all(|w| w[0] < w[1]),
+            "positions of pattern #{i} not strictly ascending"
+        );
+    }
+}
+
+#[test]
+fn sharded_locate_is_thread_count_invariant() {
+    // 1, 2 and 7 threads: 7 does not divide 600, so the last shard is
+    // ragged — pooled results must still stitch back identical, in input
+    // order, with identical per-query ordering.
+    let genome = toy_genome();
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let patterns = locate_pattern_mix(&genome, 600, 103);
+    let reference = ShardedEngine::new(&index, 1);
+    let (expected, expected_stats) = reference.run_locate(&patterns);
+    for threads in [2usize, 7] {
+        let engine = ShardedEngine::new(&index, threads);
+        let (results, stats) = engine.run_locate(&patterns);
+        assert_eq!(results, expected, "{threads} threads");
+        // Sharding moves cursors between workers but never changes the
+        // total resolution work.
+        assert_eq!(stats.cursors_retired, expected_stats.cursors_retired);
+        assert_eq!(stats.resolve_lf_steps, expected_stats.resolve_lf_steps);
+        assert!(stats.resolve_rounds <= expected_stats.resolve_rounds);
+    }
+}
+
+#[test]
+fn sharded_locate_batch_agrees_with_one_step() {
+    let genome = toy_genome();
+    let one = FmIndex::from_genome(&genome);
+    let patterns = locate_pattern_mix(&genome, 300, 107);
+    let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
+    for k in [2usize, 4] {
+        let index = KStepFmIndex::from_genome(&genome, k);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                ShardedEngine::new(&index, threads).locate_batch(&patterns),
+                expected,
+                "k={k}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sorted_resolver_issues_identical_work() {
+    // Row sorting reorders a round's cursor walks; it must never add or
+    // remove any — the same acceptance shape the search scheduler has.
+    let genome = toy_genome();
+    let patterns = locate_pattern_mix(&genome, 600, 109);
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let stats_of =
+        |resolve: ResolveConfig| engine_with_resolve(&index, resolve).run_locate(&patterns).1;
+    let plain = stats_of(ResolveConfig::default());
+    for config in [ResolveConfig::sorted(), ResolveConfig::locality()] {
+        let stats = stats_of(config);
+        assert_eq!(stats.resolve_lf_steps, plain.resolve_lf_steps, "{config:?}");
+        assert_eq!(stats.resolve_rounds, plain.resolve_rounds, "{config:?}");
+        assert_eq!(stats.cursors_retired, plain.cursors_retired, "{config:?}");
+    }
+}

@@ -123,8 +123,8 @@ impl FmIndex {
     ///
     /// Panics if `row >= self.text_len()`.
     pub fn lf(&self, row: usize) -> usize {
-        let s = self.occ.symbol(row);
-        (self.counts.count(s) + self.occ.rank(s, row)) as usize
+        let (s, rank) = self.occ.lf_data(row);
+        (self.counts.count(s) + rank) as usize
     }
 
     /// One LF refinement: narrows `range` (rows whose suffixes start with
@@ -188,6 +188,12 @@ impl FmIndex {
     /// Resolves every row of a suffix-array interval (as returned by
     /// [`FmIndex::backward_search`]) into `out`, sorted ascending. `out` is
     /// cleared first.
+    ///
+    /// Each row LF-walks serially — one dependent cache miss per step.
+    /// Batch callers with many rows in flight should use
+    /// [`crate::resolve::BatchResolver`], which runs the same walks in
+    /// lockstep rounds with sorting and prefetch; its output is
+    /// element-identical to this method, interval by interval.
     pub fn resolve_range_into(&self, rows: Range<usize>, out: &mut Vec<u32>) {
         out.clear();
         out.extend(rows.map(|row| self.resolve_row(row)));

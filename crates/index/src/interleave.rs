@@ -140,18 +140,27 @@ impl AlignedWords {
     /// L1. A no-op off x86-64 and for out-of-range indices; never faults.
     #[inline]
     pub fn prefetch(&self, index: usize) {
-        #[cfg(target_arch = "x86_64")]
-        if index < self.lines.len() * WORDS_PER_LINE {
-            // SAFETY: the index is in bounds of the allocation and
-            // `_mm_prefetch` is a hint with no architectural effect.
-            unsafe {
-                let ptr = self.words().as_ptr().add(index);
-                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
-            }
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = index;
+        prefetch_element(self.words(), index);
     }
+}
+
+/// Hints the CPU to pull the cache line holding `slice[index]` toward L1.
+/// The unaligned sibling of [`AlignedWords::prefetch`], for structures
+/// backed by ordinary `Vec`s (e.g. the sampled suffix array's rank bitset).
+/// A no-op off x86-64 and for out-of-range indices; never faults.
+#[inline]
+pub fn prefetch_element<T>(slice: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < slice.len() {
+        // SAFETY: the index is in bounds of the allocation and
+        // `_mm_prefetch` is a hint with no architectural effect.
+        unsafe {
+            let ptr = slice.as_ptr().add(index);
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, index);
 }
 
 #[cfg(test)]
@@ -203,5 +212,14 @@ mod tests {
         buf.prefetch(0);
         buf.prefetch(39);
         buf.prefetch(usize::MAX); // out of range: must not fault
+    }
+
+    #[test]
+    fn slice_prefetch_tolerates_any_index() {
+        let plain: Vec<u64> = vec![3; 10];
+        prefetch_element(&plain, 0);
+        prefetch_element(&plain, 9);
+        prefetch_element(&plain, usize::MAX); // out of range: must not fault
+        prefetch_element::<u32>(&[], 0); // empty: must not fault
     }
 }

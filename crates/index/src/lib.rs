@@ -29,10 +29,12 @@ pub mod kocc;
 pub mod kstep;
 pub mod naive;
 pub mod occ;
+pub mod resolve;
 pub mod sampled_sa;
 
 pub use fm::{FmBuildConfig, FmIndex};
 pub use kocc::KmerOccTable;
 pub use kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};
 pub use occ::OccTable;
+pub use resolve::{BatchResolver, ResolveConfig, ResolveStats, DEFAULT_RESOLVE_PREFETCH_DISTANCE};
 pub use sampled_sa::{RankBits, SampledSuffixArray};

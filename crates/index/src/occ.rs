@@ -145,6 +145,30 @@ impl OccTable {
         u64::from(count)
     }
 
+    /// The BWT symbol at `i` together with `Occ(symbol, i)` — the two
+    /// loads of one LF step fused into a single block visit: the symbol
+    /// read, the checkpoint word, and the code scan all touch the same
+    /// interleaved block, so deriving it once halves the per-step work of
+    /// the locate resolver's LF-walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn lf_data(&self, i: usize) -> (Symbol, u64) {
+        assert!(i < self.len, "LF position {i} out of range");
+        let block = i / self.sample_rate;
+        let base = block * self.block_words;
+        let offset = i - block * self.sample_rate;
+        let code_base = (base + HEADER_WORDS) * 4;
+        let code = self.data.bytes()[code_base + offset];
+        let mut count = self.data.words()[base + code as usize];
+        for &c in &self.data.bytes()[code_base..code_base + offset] {
+            count += u32::from(c == code);
+        }
+        (Symbol::from_code(code), u64::from(count))
+    }
+
     /// Occurrences of every symbol in `BWT[0..i]`, one scan for all five.
     pub fn rank_all(&self, i: usize) -> [u64; 5] {
         assert!(i <= self.len, "rank position {i} out of range");
@@ -215,6 +239,19 @@ mod tests {
                         "rate {rate}, symbol {s}, prefix {i}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lf_data_fuses_symbol_and_rank() {
+        let bwt = bwt_of("CATAGACATTAGACCATAGGA");
+        for rate in [1, 3, 7, 44] {
+            let occ = OccTable::new(&bwt, rate);
+            for i in 0..bwt.len() {
+                let (s, rank) = occ.lf_data(i);
+                assert_eq!(s, occ.symbol(i), "rate {rate}, position {i}");
+                assert_eq!(rank, occ.rank(s, i), "rate {rate}, position {i}");
             }
         }
     }

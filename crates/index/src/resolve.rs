@@ -1,0 +1,392 @@
+//! Lockstep batched resolution of suffix-array intervals — `locate`'s
+//! counterpart to the batch engine's lockstep backward search.
+//!
+//! The per-row path ([`FmIndex::resolve_row`]) LF-walks each interval row
+//! serially: every step loads the occurrence block the previous step's
+//! answer points at, so the whole walk is one dependent cache-miss chain —
+//! the exact DRAM pattern the paper's measurements blame for FM-index
+//! latency (§II-C), resurfacing in `locate` after the batched `count`
+//! path eliminated it there. This module converts those serial walks into
+//! overlapped independent streams: every row of one or many intervals
+//! becomes a *cursor* `(row, steps, output slot)` on a shared worklist,
+//! and each round (1) checks every live cursor against the sampled
+//! suffix-array marks, retiring resolved cursors into their output slot,
+//! (2) LF-steps the survivors, and (3) while handling cursor `j`,
+//! software-prefetches the occurrence block *and* the mark word cursor
+//! `j + d` will touch — so by the time the loop reaches a cursor, its
+//! lines are in flight or resident. Optionally each round first sorts the
+//! cursors by row, so the round's table accesses walk memory in address
+//! order (block locality) instead of jumping wherever the previous LF
+//! landed.
+//!
+//! Answers are identical to the per-row path by construction — the same
+//! rows take the same LF-walks, only interleaved — and each interval's
+//! output is sorted ascending per the [`FmIndex::resolve_range_into`]
+//! contract; both properties are property-tested at the engine layer.
+
+use std::ops::Range;
+
+use exma_genome::Symbol;
+
+use crate::fm::FmIndex;
+
+/// How many cursors ahead of the one being stepped the resolver
+/// prefetches when [`ResolveConfig::prefetch_distance`] is left to the
+/// preset. Matches the batch engine's query look-ahead: far enough that a
+/// DRAM fetch (~100 ns) completes before the round loop reaches the
+/// cursor, near enough that the lines are not evicted again first.
+pub const DEFAULT_RESOLVE_PREFETCH_DISTANCE: usize = 8;
+
+/// Scheduling knobs of a [`BatchResolver`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolveConfig {
+    /// Sort live cursors by suffix-array row each round, so the round's
+    /// occurrence-table and mark-bitset accesses walk memory in address
+    /// order instead of the order the previous round's LF steps produced.
+    pub sort_by_row: bool,
+    /// While retiring or stepping cursor `j`, prefetch the occ block and
+    /// mark word cursor `j + d` will touch (`0` disables prefetching).
+    pub prefetch_distance: usize,
+}
+
+impl Default for ResolveConfig {
+    /// Plain lockstep rounds: worklist order, no prefetch.
+    fn default() -> ResolveConfig {
+        ResolveConfig {
+            sort_by_row: false,
+            prefetch_distance: 0,
+        }
+    }
+}
+
+impl ResolveConfig {
+    /// Row-sorted rounds without prefetch (isolates the sort).
+    pub fn sorted() -> ResolveConfig {
+        ResolveConfig {
+            sort_by_row: true,
+            prefetch_distance: 0,
+        }
+    }
+
+    /// The full locality schedule: row-sorted rounds plus software
+    /// prefetch at [`DEFAULT_RESOLVE_PREFETCH_DISTANCE`].
+    pub fn locality() -> ResolveConfig {
+        ResolveConfig {
+            sort_by_row: true,
+            prefetch_distance: DEFAULT_RESOLVE_PREFETCH_DISTANCE,
+        }
+    }
+}
+
+/// Execution counters of one batched resolution, for tests and the bench
+/// harness's `BatchStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResolveStats {
+    /// Lockstep rounds executed — bounded by the SA sampling rate, since
+    /// every cursor resolves within `sa_sample_rate - 1` LF steps.
+    pub rounds: usize,
+    /// Total LF steps issued across all cursors and rounds.
+    pub lf_steps: usize,
+    /// Cursors retired (equals the total interval rows resolved). Divided
+    /// by `rounds` this is the mean cursors retired per round.
+    pub retired: usize,
+    /// Cursors live in the widest round (the initial worklist).
+    pub peak_live: usize,
+}
+
+/// In-flight state of one interval row between rounds. Rows and output
+/// slots fit `u32` because the suffix array itself stores `u32` positions
+/// and the worklist size is asserted below it.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    row: u32,
+    /// LF steps taken so far — added back to the sampled position.
+    steps: u32,
+    /// Index into the flat output buffer.
+    slot: u32,
+}
+
+/// A lockstep multi-row resolver over a [`FmIndex`]'s sampled suffix
+/// array and occurrence table.
+///
+/// Worklist scratch is owned by the resolver and reused across calls, so
+/// a long-lived resolver resolves many batches without reallocating.
+///
+/// ```
+/// use exma_genome::alphabet::parse_bases;
+/// use exma_genome::genome::text_from_str;
+/// use exma_index::{BatchResolver, FmIndex, ResolveConfig};
+///
+/// let fm = FmIndex::from_text(&text_from_str("CATAGACATTAGA").unwrap());
+/// let intervals = [fm.backward_search(&parse_bases("ATA").unwrap())];
+/// let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+/// let mut resolver = BatchResolver::with_config(&fm, ResolveConfig::locality());
+/// resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+///
+/// let mut expect = Vec::new();
+/// fm.resolve_range_into(intervals[0].clone(), &mut expect);
+/// assert_eq!(flat, expect); // answer-identical to the per-row path
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchResolver<'a> {
+    fm: &'a FmIndex,
+    config: ResolveConfig,
+    /// Round worklist, double-buffered into `next` so the prefetch
+    /// look-ahead can peek at untouched entries.
+    live: Vec<Cursor>,
+    next: Vec<Cursor>,
+}
+
+impl<'a> BatchResolver<'a> {
+    /// A resolver borrowing `fm`'s tables, with the plain round schedule.
+    pub fn new(fm: &'a FmIndex) -> BatchResolver<'a> {
+        BatchResolver::with_config(fm, ResolveConfig::default())
+    }
+
+    /// A resolver with an explicit round schedule.
+    pub fn with_config(fm: &'a FmIndex, config: ResolveConfig) -> BatchResolver<'a> {
+        BatchResolver {
+            fm,
+            config,
+            live: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// The index whose tables this resolver walks.
+    pub fn index(&self) -> &'a FmIndex {
+        self.fm
+    }
+
+    /// The round schedule this resolver runs.
+    pub fn config(&self) -> ResolveConfig {
+        self.config
+    }
+
+    /// Resolves every row of every interval into one pooled output: after
+    /// the call, `flat[offsets[i]..offsets[i + 1]]` holds interval `i`'s
+    /// text positions sorted ascending — element-identical to running
+    /// [`FmIndex::resolve_range_into`] on each interval. Both buffers are
+    /// cleared first and sized exactly, so callers can pool them across
+    /// batches without the allocations drifting past the answer size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interval extends past the text or the total row count
+    /// does not fit the `u32` cursor slots.
+    pub fn resolve_intervals(
+        &mut self,
+        intervals: &[Range<usize>],
+        flat: &mut Vec<u32>,
+        offsets: &mut Vec<usize>,
+    ) -> ResolveStats {
+        offsets.clear();
+        offsets.reserve_exact(intervals.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for interval in intervals {
+            total += interval.len();
+            offsets.push(total);
+        }
+        assert!(
+            total < u32::MAX as usize,
+            "worklist too large for u32 slots"
+        );
+        flat.clear();
+        flat.reserve_exact(total);
+        flat.resize(total, 0);
+
+        self.live.clear();
+        self.live.reserve(total);
+        for (i, interval) in intervals.iter().enumerate() {
+            assert!(
+                interval.end <= self.fm.text_len(),
+                "interval {interval:?} extends past the text"
+            );
+            for (j, row) in interval.clone().enumerate() {
+                self.live.push(Cursor {
+                    row: row as u32,
+                    steps: 0,
+                    slot: (offsets[i] + j) as u32,
+                });
+            }
+        }
+
+        let mut stats = ResolveStats {
+            retired: total,
+            peak_live: self.live.len(),
+            ..ResolveStats::default()
+        };
+        let ssa = self.fm.sampled_sa();
+        let occ = self.fm.occ();
+        let d = self.config.prefetch_distance;
+        while !self.live.is_empty() {
+            stats.rounds += 1;
+            if self.config.sort_by_row {
+                self.live.sort_unstable_by_key(|c| c.row);
+            }
+            for j in 0..self.live.len() {
+                if d > 0 {
+                    if let Some(ahead) = self.live.get(j + d) {
+                        let row = ahead.row as usize;
+                        // The mark word decides retirement; the occ block
+                        // serves both `symbol(row)` and `rank(s, row)` of
+                        // the LF step (the hint is symbol-independent:
+                        // checkpoint row and codes share the block).
+                        ssa.prefetch(row);
+                        occ.prefetch_rank(Symbol::Sentinel, row);
+                    }
+                }
+                let c = self.live[j];
+                if let Some(pos) = ssa.get(c.row as usize) {
+                    flat[c.slot as usize] = pos + c.steps;
+                    continue; // retired in place
+                }
+                stats.lf_steps += 1;
+                self.next.push(Cursor {
+                    row: self.fm.lf(c.row as usize) as u32,
+                    steps: c.steps + 1,
+                    slot: c.slot,
+                });
+            }
+            std::mem::swap(&mut self.live, &mut self.next);
+            self.next.clear();
+        }
+
+        // Cursors retire in whatever round their walk hits a mark, so a
+        // slot region holds its interval's positions unordered; restore
+        // the ascending order the per-row path guarantees.
+        for window in offsets.windows(2) {
+            flat[window[0]..window[1]].sort_unstable();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::FmBuildConfig;
+    use exma_genome::genome::text_from_str;
+
+    fn small_index() -> FmIndex {
+        FmIndex::from_text_with_config(
+            &text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap(),
+            FmBuildConfig {
+                occ_sample_rate: 7,
+                sa_sample_rate: 5,
+            },
+        )
+    }
+
+    /// Every schedule the benchmarks exercise, plus a short look-ahead.
+    fn all_configs() -> [ResolveConfig; 4] {
+        [
+            ResolveConfig::default(),
+            ResolveConfig::sorted(),
+            ResolveConfig::locality(),
+            ResolveConfig {
+                sort_by_row: false,
+                prefetch_distance: 2,
+            },
+        ]
+    }
+
+    fn intervals_of(fm: &FmIndex) -> Vec<std::ops::Range<usize>> {
+        ["A", "CAT", "TAGA", "CCATAG", "GGG", ""]
+            .iter()
+            .map(|p| fm.backward_search(&exma_genome::alphabet::parse_bases(p).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_per_row_resolution_under_every_schedule() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        let mut expect_flat = Vec::new();
+        let mut expect_offsets = vec![0usize];
+        let mut buf = Vec::new();
+        for interval in &intervals {
+            fm.resolve_range_into(interval.clone(), &mut buf);
+            expect_flat.extend_from_slice(&buf);
+            expect_offsets.push(expect_flat.len());
+        }
+        for config in all_configs() {
+            let mut resolver = BatchResolver::with_config(&fm, config);
+            let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+            resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+            assert_eq!(flat, expect_flat, "{config:?}");
+            assert_eq!(offsets, expect_offsets, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn stats_bound_rounds_by_the_sampling_rate() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        let total: usize = intervals.iter().map(|r| r.len()).sum();
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        let stats = resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        assert_eq!(stats.retired, total);
+        assert_eq!(stats.peak_live, total);
+        assert!(stats.rounds <= fm.sampled_sa().sample_rate());
+        assert!(stats.rounds >= 1);
+        // Every LF step belongs to a cursor that survived a round; a
+        // cursor takes at most rate - 1 steps.
+        assert!(stats.lf_steps <= total * (fm.sampled_sa().sample_rate() - 1));
+    }
+
+    #[test]
+    fn sorting_changes_no_counter() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        let run = |config: ResolveConfig| {
+            let mut resolver = BatchResolver::with_config(&fm, config);
+            let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+            resolver.resolve_intervals(&intervals, &mut flat, &mut offsets)
+        };
+        let plain = run(ResolveConfig::default());
+        for config in [ResolveConfig::sorted(), ResolveConfig::locality()] {
+            assert_eq!(run(config), plain, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn empty_worklists_and_buffers_reset() {
+        let fm = small_index();
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (vec![9u32; 4], vec![7usize; 4]);
+        let stats = resolver.resolve_intervals(&[], &mut flat, &mut offsets);
+        assert_eq!(stats, ResolveStats::default());
+        assert!(flat.is_empty());
+        assert_eq!(offsets, vec![0]);
+
+        // Stale buffer content must not survive a real call either.
+        let stats = resolver.resolve_intervals(&[0..0, 2..2], &mut flat, &mut offsets);
+        assert_eq!(stats.rounds, 0);
+        assert!(flat.is_empty());
+        assert_eq!(offsets, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        let mut resolver = BatchResolver::with_config(&fm, ResolveConfig::locality());
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        let first = flat.clone();
+        resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        assert_eq!(flat, first);
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past the text")]
+    fn out_of_range_interval_panics() {
+        let fm = small_index();
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        resolver.resolve_intervals(&[0..1, 0..fm.text_len() + 1], &mut flat, &mut offsets);
+    }
+}

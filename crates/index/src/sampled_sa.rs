@@ -7,6 +7,8 @@
 //! a marked row is hit, adding the step count back. A rank-enabled bitset
 //! maps marked rows to their slot in the compact sample vector.
 
+use crate::interleave::prefetch_element;
+
 /// A bitset over suffix-array rows with O(1) popcount rank.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankBits {
@@ -79,6 +81,37 @@ impl RankBits {
         full as usize + partial as usize
     }
 
+    /// Combined membership test and rank: `Some(rank(i))` when bit `i` is
+    /// set, else `None` — one word load answers both questions, where
+    /// [`RankBits::get`] followed by [`RankBits::rank`] reads the word
+    /// twice with a branch in between. This is the mark-check fast path of
+    /// the batched locate resolver, which issues it once per live cursor
+    /// per round.
+    ///
+    /// Bounds are checked in debug builds only; in release an `i` inside
+    /// the final word's padding resolves to `None` (padding bits are never
+    /// set) and anything further panics on the word index.
+    #[inline]
+    pub fn rank_if_set(&self, i: usize) -> Option<usize> {
+        debug_assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let (word, bit) = (i / 64, i % 64);
+        let w = self.words[word];
+        if (w >> bit) & 1 == 0 {
+            return None;
+        }
+        // bit is in 0..=63, so the shift cannot overflow.
+        Some(self.prefix[word] as usize + (w & ((1u64 << bit) - 1)).count_ones() as usize)
+    }
+
+    /// Hints the CPU to pull the word and prefix-count entries a later
+    /// [`RankBits::rank_if_set`]`(i)` will read toward L1. Never faults; a
+    /// no-op off x86-64.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        prefetch_element(&self.words, i / 64);
+        prefetch_element(&self.prefix, i / 64);
+    }
+
     /// Heap bytes used.
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * 8 + self.prefix.capacity() * 4
@@ -134,11 +167,23 @@ impl SampledSuffixArray {
     }
 
     /// The SA value at `row` if that row is sampled, else `None`.
+    ///
+    /// Branch-light: one combined word load decides membership *and* the
+    /// sample slot ([`RankBits::rank_if_set`]), so the resolver's per-round
+    /// mark check does not stall on a second rank lookup for the common
+    /// unsampled-row case.
     #[inline]
     pub fn get(&self, row: usize) -> Option<u32> {
-        self.marks
-            .get(row)
-            .then(|| self.samples[self.marks.rank(row)])
+        Some(self.samples[self.marks.rank_if_set(row)?])
+    }
+
+    /// Hints the CPU to pull the mark word a later
+    /// [`SampledSuffixArray::get`]`(row)` will test toward L1 — the batch
+    /// resolver issues this for cursor `j + d` while retiring cursor `j`.
+    /// Never faults; a no-op off x86-64.
+    #[inline]
+    pub fn prefetch(&self, row: usize) {
+        self.marks.prefetch(row);
     }
 
     /// Number of rows actually stored.
@@ -171,6 +216,26 @@ mod tests {
                     expect += usize::from(pattern(i));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn rank_if_set_fuses_get_and_rank() {
+        let pattern = |i: usize| i % 5 == 0 || i % 11 == 3;
+        for len in [1usize, 63, 64, 65, 130, 500] {
+            let bits = RankBits::from_fn(len, pattern);
+            for i in 0..len {
+                let expect = bits.get(i).then(|| bits.rank(i));
+                assert_eq!(bits.rank_if_set(i), expect, "len {len}, bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op() {
+        let bits = RankBits::from_fn(100, |i| i % 2 == 0);
+        for i in [0usize, 63, 99, 1 << 40] {
+            bits.prefetch(i); // must never fault or panic
         }
     }
 
