@@ -1,26 +1,100 @@
-//! The engines under measurement, behind one uniform face.
+//! The engines under measurement, enumerated — not hand-written.
 //!
-//! The query paths compete on identical inputs: the sequential 1-step
-//! baseline (`FmIndex`), the sequential k-step index (k ∈ {2, 4}), the
-//! batched lockstep engine, its interval-sorted and sorted+prefetching
-//! schedules, and the multi-threaded sharded engine at several thread
-//! counts. The `locate_*` entries isolate the locate pipeline: identical
-//! k = 4 searches, differing only in how interval rows resolve (serial
-//! per-row walks vs the lockstep batch resolver, plain / sorted+prefetch
-//! / sharded) — so they are measured on the `locate` op alone. Every
-//! entry past the k-step ones *shares* its index with the matching
-//! k-step entry — scheduling, threading and resolution, not the data
-//! structure, are what they isolate — so build time and heap bytes are
-//! reported from the shared index.
+//! PR 2–4 named every (operation × schedule × threads) combination as
+//! its own variant; this module replaces that list with a **generic
+//! enumeration over [`EngineBuilder`] configurations**: each variant is
+//! a builder plus a measurement policy, its label *derived* from the
+//! builder ([`EngineBuilder::descriptor`]), and its executor attached
+//! through the same builder — one uniform driver for the sequential
+//! baselines, every lockstep schedule, every thread count, and both
+//! sample-rate sweeps. Adding an engine knob now means adding a builder
+//! method, not another hand-named entry (the SPEChpc harness lesson).
+//!
+//! Every variant past the sequential ones *shares* its index with the
+//! matching sequential entry — scheduling, threading and resolution,
+//! not the data structure, are what they isolate — so build time and
+//! heap bytes are reported from the shared index. The first variant is
+//! always the sequential 1-step oracle.
 
-use std::hint::black_box;
+use std::collections::HashSet;
 use std::time::Instant;
 
-use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
-use exma_genome::{Base, Symbol};
-use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex, ResolveConfig};
+use exma_engine::{BatchConfig, EngineBuilder, Executor, QueryResults};
+use exma_genome::Symbol;
+use exma_index::{FmIndex, KStepFmIndex, ResolveConfig};
 
-/// One genome's worth of built indexes, shared across engine entries.
+/// Op indices of the measurement grid.
+pub const OP_COUNT: usize = 0;
+/// The all-locate op.
+pub const OP_LOCATE: usize = 1;
+/// The mixed count+locate(+capped+interval) scenario.
+pub const OP_MIXED: usize = 2;
+/// Ops per workload.
+pub const OP_KINDS: usize = 3;
+/// JSON names of the ops.
+pub const OP_NAMES: [&str; OP_KINDS] = ["count", "locate", "mixed"];
+
+/// Which ops a variant is timed on. Resolver-isolating variants share
+/// their count path with the locality engine, so re-timing counts would
+/// only pad the run; every variant still *verifies* every op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Timed on count, locate, and the mixed scenario.
+    All,
+    /// Timed on locate only.
+    LocateOnly,
+}
+
+impl Measure {
+    /// Whether op `op` is timed for this variant.
+    pub fn includes(self, op: usize) -> bool {
+        match self {
+            Measure::All => true,
+            Measure::LocateOnly => op == OP_LOCATE,
+        }
+    }
+}
+
+/// The builder-config enumeration the whole harness drives off.
+/// Duplicate descriptors (e.g. `--threads 1` reproducing the serial
+/// locality engine, which short-circuits to it anyway) are dropped,
+/// keeping the first occurrence.
+pub fn builder_configs(thread_counts: &[usize]) -> Vec<(EngineBuilder, Measure)> {
+    let mut configs: Vec<(EngineBuilder, Measure)> = Vec::new();
+    // Sequential baselines at every step width; seq_k1 is the oracle
+    // and must stay first.
+    for k in [1usize, 2, 4] {
+        configs.push((EngineBuilder::new().k(k).sequential(), Measure::All));
+    }
+    // Plain lockstep at both widths isolates batching from scheduling.
+    for k in [2usize, 4] {
+        configs.push((
+            EngineBuilder::new().k(k).schedule(BatchConfig::default()),
+            Measure::All,
+        ));
+    }
+    // Scheduling refinements at the headline width (locality is the
+    // builder default).
+    configs.push((
+        EngineBuilder::new().schedule(BatchConfig::sorted()),
+        Measure::All,
+    ));
+    configs.push((EngineBuilder::new(), Measure::All));
+    // Sharding at every requested thread count.
+    for &threads in thread_counts {
+        configs.push((EngineBuilder::new().threads(threads), Measure::All));
+    }
+    // Resolver-schedule isolation: locality search, swapped resolver —
+    // locate timing only (counts are identical to the locality entry).
+    for resolve in [ResolveConfig::default(), ResolveConfig::sorted()] {
+        configs.push((EngineBuilder::new().resolve(resolve), Measure::LocateOnly));
+    }
+    let mut seen = HashSet::new();
+    configs.retain(|(builder, _)| seen.insert(builder.descriptor()));
+    configs
+}
+
+/// One genome's worth of built indexes, shared across variants.
 pub struct EngineSet {
     pub one: FmIndex,
     pub k2: KStepFmIndex,
@@ -37,9 +111,9 @@ impl EngineSet {
         let t0 = Instant::now();
         let one = FmIndex::from_text(text);
         let t1 = Instant::now();
-        let k2 = KStepFmIndex::from_text(text, 2);
+        let k2 = EngineBuilder::new().k(2).build_index(text);
         let t2 = Instant::now();
-        let k4 = KStepFmIndex::from_text(text, 4);
+        let k4 = EngineBuilder::new().k(4).build_index(text);
         let t3 = Instant::now();
         EngineSet {
             one,
@@ -53,524 +127,215 @@ impl EngineSet {
         }
     }
 
-    /// Every engine entry measured against this set. The first entry is
-    /// always the 1-step oracle; `thread_counts` adds one sharded entry
-    /// (k = 4, locality schedule) per count.
-    pub fn engines(&self, thread_counts: &[usize]) -> Vec<Engine<'_>> {
-        let share_k2 = (self.build_secs[1], self.k2.heap_bytes(), Some("kstep_k2"));
-        let share_k4 = (self.build_secs[2], self.k4.heap_bytes(), Some("kstep_k4"));
-        let mut engines = vec![
-            Engine {
-                label: "1step".to_string(),
-                k: 1,
-                kind: Kind::OneStep(&self.one),
-                build_secs: self.build_secs[0],
-                heap_bytes: self.one.heap_bytes(),
-                shares_index_with: None,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "kstep_k2".to_string(),
-                k: 2,
-                kind: Kind::KStep(&self.k2),
-                build_secs: self.build_secs[1],
-                heap_bytes: self.k2.heap_bytes(),
-                shares_index_with: None,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "kstep_k4".to_string(),
-                k: 4,
-                kind: Kind::KStep(&self.k4),
-                build_secs: self.build_secs[2],
-                heap_bytes: self.k4.heap_bytes(),
-                shares_index_with: None,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "batched_k2".to_string(),
-                k: 2,
-                kind: Kind::Batched(&self.k2, BatchConfig::default()),
-                build_secs: share_k2.0,
-                heap_bytes: share_k2.1,
-                shares_index_with: share_k2.2,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "batched_k4".to_string(),
-                k: 4,
-                kind: Kind::Batched(&self.k4, BatchConfig::default()),
-                build_secs: share_k4.0,
-                heap_bytes: share_k4.1,
-                shares_index_with: share_k4.2,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "batched_sorted_k4".to_string(),
-                k: 4,
-                kind: Kind::Batched(&self.k4, BatchConfig::sorted()),
-                build_secs: share_k4.0,
-                heap_bytes: share_k4.1,
-                shares_index_with: share_k4.2,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-            Engine {
-                label: "batched_prefetch_k4".to_string(),
-                k: 4,
-                kind: Kind::Batched(&self.k4, BatchConfig::locality()),
-                build_secs: share_k4.0,
-                heap_bytes: share_k4.1,
-                shares_index_with: share_k4.2,
-                threads: None,
-                measure: Measure::CountAndLocate,
-            },
-        ];
-        for &threads in thread_counts {
-            engines.push(Engine {
-                label: format!("sharded_k4_t{threads}"),
-                k: 4,
-                kind: Kind::Sharded(&self.k4, threads),
-                build_secs: share_k4.0,
-                heap_bytes: share_k4.1,
-                shares_index_with: share_k4.2,
-                threads: Some(threads),
-                measure: Measure::CountAndLocate,
-            });
-        }
-        // The locate pipeline variants: identical k = 4 locality searches,
-        // only the interval-row resolution differs.
-        fn locate<'a>(
-            label: &str,
-            kind: Kind<'a>,
-            threads: Option<usize>,
-            share: (f64, usize, Option<&'static str>),
-        ) -> Engine<'a> {
-            Engine {
-                label: label.to_string(),
-                k: 4,
-                kind,
-                build_secs: share.0,
-                heap_bytes: share.1,
-                shares_index_with: share.2,
-                threads,
-                measure: Measure::LocateOnly,
-            }
-        }
-        engines.push(locate(
-            "locate_plain",
-            Kind::LocatePerRow(&self.k4),
-            None,
-            share_k4,
-        ));
-        engines.push(locate(
-            "locate_batched_k4",
-            Kind::LocateResolve(&self.k4, ResolveConfig::default()),
-            None,
-            share_k4,
-        ));
-        engines.push(locate(
-            "locate_sorted_prefetch_k4",
-            Kind::LocateResolve(&self.k4, ResolveConfig::locality()),
-            None,
-            share_k4,
-        ));
-        for &threads in thread_counts {
-            engines.push(locate(
-                &format!("locate_sharded_k4_t{threads}"),
-                Kind::LocateSharded(&self.k4, threads),
-                Some(threads),
-                share_k4,
-            ));
-        }
-        engines
+    /// Every measured variant: the enumeration of [`builder_configs`]
+    /// attached to this set's shared indexes.
+    pub fn variants(&self, thread_counts: &[usize]) -> Vec<Variant<'_>> {
+        builder_configs(thread_counts)
+            .into_iter()
+            .map(|(builder, measure)| self.attach(builder, measure))
+            .collect()
     }
-}
 
-/// A k = 4 index built at a swept `k_occ_sample_rate`, measured through
-/// the sorted+prefetching batch schedule (the headline engine).
-pub struct SweepPoint {
-    pub index: KStepFmIndex,
-    pub build_secs: f64,
-}
-
-impl SweepPoint {
-    /// Builds the k = 4 index with everything default except the k-mer
-    /// checkpoint spacing — the paper's central memory/latency knob.
-    pub fn build(text: &[Symbol], k_occ_sample_rate: usize) -> SweepPoint {
-        let config = KStepBuildConfig {
-            k_occ_sample_rate,
-            ..KStepBuildConfig::for_k(4)
+    /// Wires one builder config onto the shared index of its width.
+    fn attach(&self, builder: EngineBuilder, measure: Measure) -> Variant<'_> {
+        let k = builder.step_width();
+        let (build_secs, heap_bytes, owner) = match k {
+            1 => (self.build_secs[0], self.one.heap_bytes(), "seq_k1"),
+            2 => (self.build_secs[1], self.k2.heap_bytes(), "seq_k2"),
+            4 => (self.build_secs[2], self.k4.heap_bytes(), "seq_k4"),
+            other => unreachable!("no shared index is built at k={other}"),
         };
-        let start = Instant::now();
-        let index = KStepFmIndex::from_text_with_config(text, config);
-        SweepPoint {
-            index,
-            build_secs: start.elapsed().as_secs_f64(),
-        }
-    }
-
-    /// The measured engine entry for this sweep point.
-    pub fn engine(&self) -> Engine<'_> {
-        Engine {
-            label: "batched_prefetch_k4".to_string(),
-            k: 4,
-            kind: Kind::Batched(&self.index, BatchConfig::locality()),
-            build_secs: self.build_secs,
-            heap_bytes: self.index.heap_bytes(),
-            shares_index_with: None,
-            threads: None,
-            measure: Measure::CountAndLocate,
-        }
-    }
-}
-
-/// A k = 4 index built at a swept `sa_sample_rate`, measured through the
-/// sorted+prefetching locate resolver (the headline locate engine) — the
-/// locate-latency / heap trade-off the sampled suffix array controls.
-pub struct SaSweepPoint {
-    pub index: KStepFmIndex,
-    pub build_secs: f64,
-    pub sa_sample_rate: usize,
-}
-
-impl SaSweepPoint {
-    /// Builds the k = 4 index with everything default except the SA
-    /// sampling rate: coarser rates shrink the sample vector but lengthen
-    /// every resolver cursor's LF-walk.
-    pub fn build(text: &[Symbol], sa_sample_rate: usize) -> SaSweepPoint {
-        let config = KStepBuildConfig {
-            sa_sample_rate,
-            ..KStepBuildConfig::for_k(4)
+        let exec = if builder.is_sequential() && k == 1 {
+            builder.attach_one_step(&self.one)
+        } else {
+            builder.attach(match k {
+                2 => &self.k2,
+                4 => &self.k4,
+                other => unreachable!("no k-step index at k={other}"),
+            })
         };
-        let start = Instant::now();
-        let index = KStepFmIndex::from_text_with_config(text, config);
-        SaSweepPoint {
-            index,
-            build_secs: start.elapsed().as_secs_f64(),
-            sa_sample_rate,
-        }
-    }
-
-    /// The measured engine entry for this sweep point (locate only — the
-    /// SA rate does not touch the count path).
-    pub fn engine(&self) -> Engine<'_> {
-        Engine {
-            label: "locate_sorted_prefetch_k4".to_string(),
-            k: 4,
-            kind: Kind::LocateResolve(&self.index, ResolveConfig::locality()),
-            build_secs: self.build_secs,
-            heap_bytes: self.index.heap_bytes(),
-            shares_index_with: None,
-            threads: None,
-            measure: Measure::LocateOnly,
+        let label = builder.descriptor();
+        Variant {
+            shares_index_with: (label != owner).then(|| owner.to_string()),
+            label,
+            k,
+            exec,
+            build_secs,
+            heap_bytes,
+            threads: (builder.thread_count() > 1).then(|| builder.thread_count()),
+            measure,
         }
     }
 }
 
-enum Kind<'a> {
-    OneStep(&'a FmIndex),
-    KStep(&'a KStepFmIndex),
-    Batched(&'a KStepFmIndex, BatchConfig),
-    Sharded(&'a KStepFmIndex, usize),
-    /// Locality search, serial per-row interval resolution — the locate
-    /// pipeline's measured baseline.
-    LocatePerRow(&'a KStepFmIndex),
-    /// Locality search, lockstep batch resolver at the given schedule.
-    LocateResolve(&'a KStepFmIndex, ResolveConfig),
-    /// Sharded `run_locate`: per-shard resolver worklists on N threads.
-    LocateSharded(&'a KStepFmIndex, usize),
-}
-
-impl Kind<'_> {
-    /// The locality-scheduled batch engine the locate variants search
-    /// with, resolver schedule swapped per variant.
-    fn locate_engine<'a>(fm: &'a KStepFmIndex, resolve: ResolveConfig) -> BatchEngine<'a> {
-        BatchEngine::with_config(
-            fm,
-            BatchConfig {
-                resolve,
-                ..BatchConfig::locality()
-            },
-        )
-    }
-}
-
-/// Which ops an engine entry is timed on. Locate pipeline variants share
-/// their `count` path with `batched_prefetch_k4`, so re-timing it would
-/// only pad the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Measure {
-    CountAndLocate,
-    LocateOnly,
-}
-
-impl Measure {
-    /// Whether op `op` (0 = count, 1 = locate) is timed for this entry.
-    pub fn includes(self, op: usize) -> bool {
-        match self {
-            Measure::CountAndLocate => true,
-            Measure::LocateOnly => op == 1,
-        }
-    }
-}
-
-/// One measured engine entry.
-pub struct Engine<'a> {
+/// One measured variant: a derived label, the executor behind it, and
+/// its reporting metadata.
+pub struct Variant<'a> {
+    /// [`EngineBuilder::descriptor`] of the config — the JSON `engine`
+    /// label.
     pub label: String,
     pub k: usize,
-    kind: Kind<'a>,
+    /// The executor every op runs through.
+    pub exec: Box<dyn Executor + 'a>,
     pub build_secs: f64,
     pub heap_bytes: usize,
-    pub shares_index_with: Option<&'static str>,
-    /// Worker threads for sharded entries, `None` for single-threaded.
+    /// The sequential entry whose index this variant reuses.
+    pub shares_index_with: Option<String>,
+    /// Worker threads for sharded variants, `None` for single-threaded.
     pub threads: Option<usize>,
-    /// Ops this entry is timed on (all entries still *verify* both ops).
+    /// Ops this variant is timed on (it still *verifies* all ops).
     pub measure: Measure,
 }
 
-impl Engine<'_> {
-    /// Occurrence counts for every pattern, through this engine's own
-    /// query path.
-    pub fn count_all(&self, patterns: &[Vec<Base>]) -> Vec<usize> {
-        match self.kind {
-            Kind::OneStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
-            Kind::KStep(fm) => patterns.iter().map(|p| fm.count(p)).collect(),
-            Kind::Batched(fm, config) => BatchEngine::with_config(fm, config).count_batch(patterns),
-            Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).count_batch(patterns),
-            // The locate variants share the locality count path; they are
-            // only ever timed on locate, but verification counts them too.
-            Kind::LocatePerRow(fm) | Kind::LocateSharded(fm, _) => {
-                BatchEngine::with_config(fm, BatchConfig::locality()).count_batch(patterns)
-            }
-            Kind::LocateResolve(fm, resolve) => {
-                Kind::locate_engine(fm, resolve).count_batch(patterns)
-            }
+/// An index built at a swept rate, measured through a builder-derived
+/// variant — how `--sweep-sample-rate` (k-mer checkpoint spacing) and
+/// `--sweep-sa-sample-rate` (SA sampling) reuse the uniform driver.
+pub struct SweepPoint {
+    pub index: KStepFmIndex,
+    pub builder: EngineBuilder,
+    pub build_secs: f64,
+    pub measure: Measure,
+}
+
+impl SweepPoint {
+    /// Builds the swept index and remembers the recipe.
+    pub fn build(text: &[Symbol], builder: EngineBuilder, measure: Measure) -> SweepPoint {
+        let start = Instant::now();
+        let index = builder.build_index(text);
+        SweepPoint {
+            index,
+            builder,
+            build_secs: start.elapsed().as_secs_f64(),
+            measure,
         }
     }
 
-    /// Sorted occurrence positions for every pattern. Sequential engines
-    /// recycle one buffer through `locate_into`; batched and sharded
-    /// engines resolve their intervals after the lockstep search.
-    pub fn locate_all(&self, patterns: &[Vec<Base>]) -> Vec<Vec<u32>> {
-        let sequential = |fm: &KStepFmIndex| {
-            let mut buf = Vec::new();
-            patterns
-                .iter()
-                .map(|p| {
-                    fm.locate_into(p, &mut buf);
-                    buf.clone()
-                })
-                .collect()
-        };
-        match self.kind {
-            Kind::OneStep(fm) => {
-                let mut buf = Vec::new();
-                patterns
-                    .iter()
-                    .map(|p| {
-                        fm.locate_into(p, &mut buf);
-                        buf.clone()
-                    })
-                    .collect()
-            }
-            Kind::KStep(fm) => sequential(fm),
-            Kind::Batched(fm, config) => {
-                BatchEngine::with_config(fm, config).locate_batch(patterns)
-            }
-            Kind::Sharded(fm, threads) => ShardedEngine::new(fm, threads).locate_batch(patterns),
-            Kind::LocatePerRow(fm) => {
-                BatchEngine::with_config(fm, BatchConfig::locality()).locate_batch_per_row(patterns)
-            }
-            Kind::LocateResolve(fm, resolve) => Kind::locate_engine(fm, resolve)
-                .run_locate(patterns)
-                .0
-                .into_vecs(),
-            Kind::LocateSharded(fm, threads) => ShardedEngine::new(fm, threads)
-                .run_locate(patterns)
-                .0
-                .into_vecs(),
+    /// The measured variant for this sweep point (it owns its index, so
+    /// nothing is shared).
+    pub fn variant(&self) -> Variant<'_> {
+        Variant {
+            label: self.builder.descriptor(),
+            k: self.builder.step_width(),
+            exec: self.builder.attach(&self.index),
+            build_secs: self.build_secs,
+            heap_bytes: self.index.heap_bytes(),
+            shares_index_with: None,
+            threads: (self.builder.thread_count() > 1).then(|| self.builder.thread_count()),
+            measure: self.measure,
         }
     }
+}
 
-    /// Checksummed count sweep for timing (results folded so the optimizer
-    /// cannot discard the work).
-    pub fn count_checksum(&self, patterns: &[Vec<Base>]) -> u64 {
-        let fold = |counts: Vec<usize>| counts.iter().map(|&c| c as u64).sum();
-        match self.kind {
-            Kind::OneStep(fm) => patterns
-                .iter()
-                .map(|p| black_box(fm.count(black_box(p))) as u64)
-                .sum(),
-            Kind::KStep(fm) => patterns
-                .iter()
-                .map(|p| black_box(fm.count(black_box(p))) as u64)
-                .sum(),
-            Kind::Batched(fm, config) => {
-                fold(BatchEngine::with_config(fm, config).count_batch(black_box(patterns)))
+/// Folds a result set so the optimizer cannot elide query work and so
+/// runs are comparable across engines: counts, interval bounds, kept
+/// positions and their total all feed the sum.
+pub fn checksum(results: &QueryResults) -> u64 {
+    let mut sum = results.total_positions() as u64;
+    for (i, output) in results.outputs().iter().enumerate() {
+        sum = sum.wrapping_add(match *output {
+            exma_engine::QueryOutput::Count(n) => n as u64,
+            exma_engine::QueryOutput::Interval { lo, hi } => (lo as u64) << 32 | hi as u64,
+            exma_engine::QueryOutput::Located { truncated } => {
+                let fold: u64 = results.positions(i).iter().map(|&p| p as u64).sum();
+                fold + u64::from(truncated)
             }
-            Kind::Sharded(fm, threads) => {
-                fold(ShardedEngine::new(fm, threads).count_batch(black_box(patterns)))
-            }
-            // Never timed on count (Measure::LocateOnly), but kept total
-            // so the uniform face stays uniform.
-            Kind::LocatePerRow(_) | Kind::LocateResolve(..) | Kind::LocateSharded(..) => {
-                fold(self.count_all(black_box(patterns)))
-            }
-        }
+        });
     }
-
-    /// Checksummed locate sweep for timing.
-    pub fn locate_checksum(&self, patterns: &[Vec<Base>]) -> u64 {
-        let fold = |positions: &[u32]| -> u64 {
-            positions.iter().map(|&p| p as u64).sum::<u64>() + positions.len() as u64
-        };
-        let fold_all =
-            |located: Vec<Vec<u32>>| located.iter().map(|positions| fold(positions)).sum();
-        match self.kind {
-            Kind::OneStep(fm) => {
-                let mut buf = Vec::new();
-                patterns
-                    .iter()
-                    .map(|p| {
-                        fm.locate_into(black_box(p), &mut buf);
-                        fold(black_box(&buf))
-                    })
-                    .sum()
-            }
-            Kind::KStep(fm) => {
-                let mut buf = Vec::new();
-                patterns
-                    .iter()
-                    .map(|p| {
-                        fm.locate_into(black_box(p), &mut buf);
-                        fold(black_box(&buf))
-                    })
-                    .sum()
-            }
-            Kind::Batched(fm, config) => {
-                let (results, _) =
-                    BatchEngine::with_config(fm, config).run_locate(black_box(patterns));
-                fold(black_box(results.all_positions()))
-            }
-            Kind::Sharded(fm, threads) => {
-                let (results, _) = ShardedEngine::new(fm, threads).run_locate(black_box(patterns));
-                fold(black_box(results.all_positions()))
-            }
-            Kind::LocatePerRow(fm) => fold_all(
-                BatchEngine::with_config(fm, BatchConfig::locality())
-                    .locate_batch_per_row(black_box(patterns)),
-            ),
-            Kind::LocateResolve(fm, resolve) => {
-                let (results, _) = Kind::locate_engine(fm, resolve).run_locate(black_box(patterns));
-                fold(black_box(results.all_positions()))
-            }
-            Kind::LocateSharded(fm, threads) => {
-                let (results, _) = ShardedEngine::new(fm, threads).run_locate(black_box(patterns));
-                fold(black_box(results.all_positions()))
-            }
-        }
-    }
-
-    /// `BatchStats.steps` of a batched count over `patterns`, for the
-    /// harness's scheduling sanity gate. `None` for non-batched engines.
-    pub fn batch_steps(&self, patterns: &[Vec<Base>]) -> Option<usize> {
-        match self.kind {
-            Kind::Batched(fm, config) => Some(
-                BatchEngine::with_config(fm, config)
-                    .search_batch_with_stats(patterns)
-                    .1
-                    .steps,
-            ),
-            _ => None,
-        }
-    }
+    sum
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exma_genome::{Genome, GenomeProfile};
+    // The harness's own mixed-scenario builder, so this agreement test
+    // always covers exactly the workload the timed runs measure.
+    use crate::mixed_batch;
+    use exma_engine::{QueryBatch, QueryRequest};
+    use exma_genome::{Base, Genome, GenomeProfile};
 
     #[test]
-    fn all_engines_agree_on_a_toy_genome() {
+    fn enumeration_derives_dedupes_and_orders() {
+        let configs = builder_configs(&[1, 2, 4]);
+        let labels: Vec<String> = configs.iter().map(|(b, _)| b.descriptor()).collect();
+        // seq_k1 leads (the oracle), t1 deduped into the serial locality
+        // entry, resolver isolations trail as locate-only.
+        assert_eq!(labels[0], "seq_k1");
+        assert_eq!(
+            labels,
+            [
+                "seq_k1",
+                "seq_k2",
+                "seq_k4",
+                "lockstep_k2_plain",
+                "lockstep_k4_plain",
+                "lockstep_k4_sorted",
+                "lockstep_k4_locality",
+                "lockstep_k4_locality_t2",
+                "lockstep_k4_locality_t4",
+                "lockstep_k4_locality_rplain",
+                "lockstep_k4_locality_rsorted",
+            ]
+        );
+        assert_eq!(
+            configs
+                .iter()
+                .filter(|(_, m)| *m == Measure::LocateOnly)
+                .count(),
+            2
+        );
+        let unique: HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn all_variants_agree_on_a_toy_genome() {
         let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
         let set = EngineSet::build(&genome.text_with_sentinel());
         let patterns: Vec<Vec<Base>> = (0..40)
             .map(|i| genome.seq().slice(i * 37, 9 + i % 13))
             .collect();
-        let engines = set.engines(&[1, 2, 4]);
-        // 7 count engines + 3 sharded + 3 locate variants + 3 sharded
-        // locate variants.
-        assert_eq!(engines.len(), 16);
-        assert_eq!(
-            engines
-                .iter()
-                .filter(|e| e.measure == Measure::LocateOnly)
-                .count(),
-            6
-        );
-        let oracle_counts = engines[0].count_all(&patterns);
-        let oracle_locs = engines[0].locate_all(&patterns);
-        for engine in &engines[1..] {
-            assert_eq!(
-                engine.count_all(&patterns),
-                oracle_counts,
-                "{}",
-                engine.label
-            );
-            assert_eq!(
-                engine.locate_all(&patterns),
-                oracle_locs,
-                "{}",
-                engine.label
-            );
+        let variants = set.variants(&[1, 2, 4]);
+        assert_eq!(variants.len(), 11);
+        let batches = [
+            QueryBatch::uniform(QueryRequest::Count, &patterns),
+            QueryBatch::uniform(QueryRequest::locate(), &patterns),
+            mixed_batch(&patterns),
+        ];
+        for batch in &batches {
+            let (expected, _) = variants[0].exec.run(batch);
+            let expected_sum = checksum(&expected);
+            for variant in &variants[1..] {
+                let (results, _) = variant.exec.run(batch);
+                assert_eq!(results, expected, "{}", variant.label);
+                assert_eq!(checksum(&results), expected_sum, "{}", variant.label);
+            }
         }
     }
 
     #[test]
-    fn checksums_are_consistent_across_engines() {
+    fn sharing_and_measure_metadata_line_up() {
         let genome = Genome::synthesize(&GenomeProfile::toy(), 7);
         let set = EngineSet::build(&genome.text_with_sentinel());
-        let patterns: Vec<Vec<Base>> = (0..25).map(|i| genome.seq().slice(i * 11, 14)).collect();
-        let engines = set.engines(&[2]);
-        let count_sum = engines[0].count_checksum(&patterns);
-        let locate_sum = engines[0].locate_checksum(&patterns);
-        for engine in &engines[1..] {
-            assert_eq!(
-                engine.count_checksum(&patterns),
-                count_sum,
-                "{}",
-                engine.label
-            );
-            assert_eq!(
-                engine.locate_checksum(&patterns),
-                locate_sum,
-                "{}",
-                engine.label
-            );
-        }
-    }
-
-    #[test]
-    fn sa_sweep_points_agree_with_the_oracle_and_shrink_with_rate() {
-        let genome = Genome::synthesize(&GenomeProfile::toy(), 13);
-        let text = genome.text_with_sentinel();
-        let one = FmIndex::from_text(&text);
-        let patterns: Vec<Vec<Base>> = (0..30).map(|i| genome.seq().slice(i * 19, 11)).collect();
-        let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
-        let fine = SaSweepPoint::build(&text, 8);
-        let coarse = SaSweepPoint::build(&text, 64);
-        assert_eq!(fine.engine().locate_all(&patterns), expected);
-        assert_eq!(coarse.engine().locate_all(&patterns), expected);
-        assert!(coarse.engine().heap_bytes < fine.engine().heap_bytes);
-        assert!(!fine.engine().measure.includes(0));
-        assert!(fine.engine().measure.includes(1));
+        let variants = set.variants(&[2]);
+        assert!(variants[0].shares_index_with.is_none());
+        let locality = variants
+            .iter()
+            .find(|v| v.label == "lockstep_k4_locality")
+            .unwrap();
+        assert_eq!(locality.shares_index_with.as_deref(), Some("seq_k4"));
+        assert_eq!(locality.heap_bytes, set.k4.heap_bytes());
+        let sharded = variants
+            .iter()
+            .find(|v| v.label == "lockstep_k4_locality_t2")
+            .unwrap();
+        assert_eq!(sharded.threads, Some(2));
+        let rplain = variants
+            .iter()
+            .find(|v| v.label == "lockstep_k4_locality_rplain")
+            .unwrap();
+        assert!(!rplain.measure.includes(OP_COUNT));
+        assert!(rplain.measure.includes(OP_LOCATE));
+        assert!(!rplain.measure.includes(OP_MIXED));
     }
 
     #[test]
@@ -579,11 +344,52 @@ mod tests {
         let text = genome.text_with_sentinel();
         let one = FmIndex::from_text(&text);
         let patterns: Vec<Vec<Base>> = (0..30).map(|i| genome.seq().slice(i * 23, 12)).collect();
+        let batch = QueryBatch::uniform(QueryRequest::Count, &patterns);
         let expected: Vec<usize> = patterns.iter().map(|p| one.count(p)).collect();
-        let fine = SweepPoint::build(&text, 64);
-        let coarse = SweepPoint::build(&text, 1024);
-        assert_eq!(fine.engine().count_all(&patterns), expected);
-        assert_eq!(coarse.engine().count_all(&patterns), expected);
-        assert!(coarse.engine().heap_bytes < fine.engine().heap_bytes);
+        let fine = SweepPoint::build(
+            &text,
+            EngineBuilder::new().k_occ_sample_rate(64),
+            Measure::All,
+        );
+        let coarse = SweepPoint::build(
+            &text,
+            EngineBuilder::new().k_occ_sample_rate(1024),
+            Measure::All,
+        );
+        for point in [&fine, &coarse] {
+            let (results, _) = point.variant().exec.run(&batch);
+            let counts: Vec<usize> = (0..results.len()).map(|i| results.count(i)).collect();
+            assert_eq!(counts, expected);
+        }
+        assert!(coarse.variant().heap_bytes < fine.variant().heap_bytes);
+    }
+
+    #[test]
+    fn sa_sweep_points_agree_with_the_oracle_and_shrink_with_rate() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 13);
+        let text = genome.text_with_sentinel();
+        let one = FmIndex::from_text(&text);
+        let patterns: Vec<Vec<Base>> = (0..30).map(|i| genome.seq().slice(i * 19, 11)).collect();
+        let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
+        let fine = SweepPoint::build(
+            &text,
+            EngineBuilder::new().sa_sample_rate(8),
+            Measure::LocateOnly,
+        );
+        let coarse = SweepPoint::build(
+            &text,
+            EngineBuilder::new().sa_sample_rate(64),
+            Measure::LocateOnly,
+        );
+        for point in [&fine, &coarse] {
+            let (results, _) = point.variant().exec.run(&batch);
+            for (i, p) in patterns.iter().enumerate() {
+                assert_eq!(results.positions(i), &one.locate(p)[..]);
+            }
+            assert!(!point.variant().measure.includes(OP_COUNT));
+            assert!(point.variant().measure.includes(OP_LOCATE));
+        }
+        assert!(coarse.variant().heap_bytes < fine.variant().heap_bytes);
+        assert_eq!(fine.variant().label, "lockstep_k4_locality_sa8");
     }
 }

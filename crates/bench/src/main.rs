@@ -3,18 +3,22 @@
 //! The ROADMAP's north star demands *measured* hot-path speedups; this
 //! binary produces the measurements. It synthesizes the paper's genome
 //! profiles at relative scale, simulates Illumina and ONT read workloads,
-//! times `build`/`count`/`locate` through the 1-step, k-step (k = 2, 4),
-//! batched (plain, interval-sorted, sorted+prefetching) and sharded
-//! (multi-threaded) engines, sweeps the k-mer checkpoint spacing, and
-//! writes `BENCH_exma.json` (median ns/query, queries/sec, heap bytes).
-//! Every engine's answers are cross-checked against the 1-step oracle and
-//! the sorted schedule is checked to issue no extra LF steps; any
-//! violation makes the process exit non-zero, which is what the
-//! `bench-smoke` CI job gates on.
+//! and drives **every variant through one `Executor` surface**: the
+//! builder-config enumeration of [`engines::builder_configs`] (sequential
+//! baselines, lockstep schedules, sharded thread counts, resolver
+//! isolations) is timed on three ops per workload — an all-`count` batch,
+//! an all-`locate` batch, and a `mixed` scenario interleaving counts,
+//! capped and uncapped locates, and interval requests — then writes
+//! `BENCH_exma.json` (schema v4: derived descriptors as engine labels).
+//! Every variant's answers are cross-checked against the sequential
+//! 1-step oracle and the sorted schedule is checked to issue no extra LF
+//! steps; any violation makes the process exit non-zero, which is what
+//! the `bench-smoke` CI job gates on.
 //!
 //! ```text
-//! cargo run --release -p exma-bench              # full run (~2 min)
-//! cargo run --release -p exma-bench -- --smoke   # CI-sized run (< 60 s budget)
+//! cargo run --release -p exma-bench                 # full run (~2 min)
+//! cargo run --release -p exma-bench -- --smoke      # CI-sized run (< 60 s)
+//! cargo run --release -p exma-bench -- --list-engines  # print the enumeration
 //! ```
 
 mod engines;
@@ -24,12 +28,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use exma_engine::{EngineBuilder, QueryArena, QueryBatch, QueryRequest};
 use exma_genome::{
     Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
 };
 use exma_index::KStepBuildConfig;
 
-use crate::engines::{Engine, EngineSet, SaSweepPoint, SweepPoint};
+use crate::engines::{
+    builder_configs, checksum, EngineSet, Measure, SweepPoint, Variant, OP_COUNT, OP_KINDS,
+    OP_LOCATE, OP_MIXED, OP_NAMES,
+};
 use crate::json::Json;
 
 /// Seed window taken from each simulated ONT read. 51 is deliberately odd:
@@ -38,6 +46,11 @@ const ONT_SEED_LEN: usize = 51;
 
 /// Illumina template read length (the paper's short-read workload).
 const ILLUMINA_LEN: usize = 100;
+
+/// Hit cap of the mixed scenario's capped-locate queries — tight enough
+/// to bite on repeat patterns, loose enough that most 100 bp reads are
+/// untruncated.
+const MIXED_MAX_HITS: u32 = 8;
 
 /// `k_occ_sample_rate` values covered by `--sweep-sample-rate` (the
 /// default full-mode k = 4 spacing is 256).
@@ -49,7 +62,7 @@ const SWEEP_RATES: [usize; 5] = [64, 128, 256, 512, 1024];
 /// trade-off the sweep maps.
 const SA_SWEEP_RATES: [usize; 4] = [8, 16, 32, 64];
 
-const USAGE: &str = "exma-bench: benchmark 1-step vs k-step vs batched/sharded FM-index engines
+const USAGE: &str = "exma-bench: benchmark the builder-config enumeration of FM-index engines
 
 USAGE:
     cargo run --release -p exma-bench [-- OPTIONS]
@@ -61,15 +74,18 @@ OPTIONS:
     --threads LIST        sharded-engine thread counts, comma-separated
                           (default: 1,2,4,8 full / 1,2 smoke)
     --sweep-sample-rate   also sweep k_occ_sample_rate over 64..1024 on the
-                          picea profile (k = 4, sorted+prefetching engine)
+                          picea profile (k = 4, locality engine)
     --sweep-sa-sample-rate
                           also sweep sa_sample_rate over 8..64 on the picea
-                          profile (k = 4, sorted+prefetching locate resolver)
+                          profile (k = 4, locality engine, locate timing)
+    --list-engines        print the derived descriptor of every enumerated
+                          builder config (sweep configs included with the
+                          sweep flags) and exit
     --help                print this help
 
-Exits non-zero if any engine's count/locate results diverge from the
-1-step FmIndex oracle, or if the interval-sorted schedule issues more LF
-steps than the plain one.";
+Exits non-zero if any variant's results diverge from the sequential
+1-step oracle on any op (count, locate, or the mixed scenario), or if
+the interval-sorted schedule issues more LF steps than the plain one.";
 
 struct Args {
     smoke: bool,
@@ -79,6 +95,7 @@ struct Args {
     threads: Vec<usize>,
     sweep: bool,
     sweep_sa: bool,
+    list_engines: bool,
 }
 
 /// Everything that differs between `--smoke` and the full run.
@@ -90,7 +107,7 @@ struct RunSpec {
     /// Odd, so the median is an actual observation.
     count_reps: usize,
     locate_reps: usize,
-    /// How many patterns per workload get full locate verification.
+    /// How many patterns per workload get full locate/mixed verification.
     verify_locates: usize,
     /// Sharded-engine thread counts measured by default.
     thread_counts: Vec<usize>,
@@ -138,17 +155,55 @@ fn smoke_spec() -> RunSpec {
     }
 }
 
-/// A named set of query patterns.
+/// A named pattern set with its three pre-built query batches (one per
+/// timed op) and the verification heads of the position-heavy ops.
 struct Workload {
     name: String,
-    patterns: Vec<Vec<Base>>,
+    queries: usize,
+    /// `batches[op]` for op ∈ {OP_COUNT, OP_LOCATE, OP_MIXED}.
+    batches: [QueryBatch; OP_KINDS],
+    /// First `verify_locates` queries of the locate and mixed batches —
+    /// full-position verification over the whole set would dominate the
+    /// run.
+    locate_head: QueryBatch,
+    mixed_head: QueryBatch,
+}
+
+/// The mixed count+locate scenario: one submission cycling through
+/// every request shape the API offers.
+fn mixed_batch(patterns: &[Vec<Base>]) -> QueryBatch {
+    let mut batch = QueryBatch::new();
+    for (i, pattern) in patterns.iter().enumerate() {
+        match i % 4 {
+            0 => batch.push(QueryRequest::Count, pattern),
+            1 => batch.push(QueryRequest::locate(), pattern),
+            2 => batch.push(QueryRequest::locate_capped(MIXED_MAX_HITS), pattern),
+            _ => batch.push(QueryRequest::Interval, pattern),
+        }
+    }
+    batch
+}
+
+fn workload(name: String, patterns: Vec<Vec<Base>>, verify_locates: usize) -> Workload {
+    let head = patterns.len().min(verify_locates);
+    Workload {
+        name,
+        queries: patterns.len(),
+        locate_head: QueryBatch::uniform(QueryRequest::locate(), &patterns[..head]),
+        mixed_head: mixed_batch(&patterns[..head]),
+        batches: [
+            QueryBatch::uniform(QueryRequest::Count, &patterns),
+            QueryBatch::uniform(QueryRequest::locate(), &patterns),
+            mixed_batch(&patterns),
+        ],
+    }
 }
 
 fn workloads(genome: &Genome, spec: &RunSpec, seed: u64) -> Vec<Workload> {
     // Error-bearing Illumina reads: most are exact substrings (0.12%
     // per-base error), so counts are usually >= 1 — the "mostly hit"
     // workload. Indels make a few lengths odd, which also stresses tails.
-    let illumina = ShortReadSimulator::new(ILLUMINA_LEN, ErrorProfile::illumina())
+    let illumina: Vec<Vec<Base>> = ShortReadSimulator::new(ILLUMINA_LEN, ErrorProfile::illumina())
         .simulate(genome, spec.illumina_reads, seed ^ 0x1111)
         .iter()
         .map(|r| r.bases.to_vec())
@@ -156,46 +211,48 @@ fn workloads(genome: &Genome, spec: &RunSpec, seed: u64) -> Vec<Workload> {
     // Fixed-width seeds clipped from ONT reads: at ~13% per-base error a
     // 51-mer almost never matches exactly, so backward searches die early —
     // the "mostly miss" workload where batched dead-query dropping pays.
-    let ont = LongReadSimulator::new(1_200, 300, ErrorProfile::ont())
+    let ont: Vec<Vec<Base>> = LongReadSimulator::new(1_200, 300, ErrorProfile::ont())
         .simulate(genome, spec.ont_reads, seed ^ 0x2222)
         .iter()
         .filter(|r| r.len() >= ONT_SEED_LEN)
         .map(|r| (0..ONT_SEED_LEN).map(|i| r.bases.get(i)).collect())
         .collect();
     vec![
-        Workload {
-            name: format!("illumina_{ILLUMINA_LEN}bp"),
-            patterns: illumina,
-        },
-        Workload {
-            name: format!("ont_seed_{ONT_SEED_LEN}bp"),
-            patterns: ont,
-        },
+        workload(
+            format!("illumina_{ILLUMINA_LEN}bp"),
+            illumina,
+            spec.verify_locates,
+        ),
+        workload(
+            format!("ont_seed_{ONT_SEED_LEN}bp"),
+            ont,
+            spec.verify_locates,
+        ),
     ]
 }
 
-/// Checks every engine's answers against the 1-step oracle. Returns the
-/// number of divergent (engine, workload) pairs, reporting each to stderr.
-fn verify(engines: &[Engine], loads: &[Workload], verify_locates: usize, genome: &str) -> usize {
-    let (oracle, rest) = engines.split_first().expect("engine set is never empty");
+/// Checks every variant's answers against the sequential 1-step oracle
+/// on all three ops. Returns the number of divergent (variant, workload,
+/// op) triples, reporting each to stderr.
+fn verify(variants: &[Variant], loads: &[Workload], genome: &str) -> usize {
+    let (oracle, rest) = variants.split_first().expect("enumeration is never empty");
     let mut divergences = 0;
     for load in loads {
-        let expect_counts = oracle.count_all(&load.patterns);
-        let head = &load.patterns[..load.patterns.len().min(verify_locates)];
-        let expect_locs = oracle.locate_all(head);
-        for engine in rest {
-            if engine.count_all(&load.patterns) != expect_counts {
-                eprintln!(
-                    "DIVERGENCE: {genome}/{}/{}: count differs from 1-step oracle",
-                    engine.label, load.name
-                );
-                divergences += 1;
-            } else if engine.locate_all(head) != expect_locs {
-                eprintln!(
-                    "DIVERGENCE: {genome}/{}/{}: locate differs from 1-step oracle",
-                    engine.label, load.name
-                );
-                divergences += 1;
+        let checks = [
+            (OP_NAMES[OP_COUNT], &load.batches[OP_COUNT]),
+            (OP_NAMES[OP_LOCATE], &load.locate_head),
+            (OP_NAMES[OP_MIXED], &load.mixed_head),
+        ];
+        for (op, batch) in checks {
+            let (expected, _) = oracle.exec.run(batch);
+            for variant in rest {
+                if variant.exec.run(batch).0 != expected {
+                    eprintln!(
+                        "DIVERGENCE: {genome}/{}/{}: {op} differs from the 1-step oracle",
+                        variant.label, load.name
+                    );
+                    divergences += 1;
+                }
             }
         }
     }
@@ -206,18 +263,19 @@ fn verify(engines: &[Engine], loads: &[Workload], verify_locates: usize, genome:
 /// must never add refinements. Compares `BatchStats.steps` of the sorted
 /// schedule against the plain one on every workload; returns the number
 /// of violations, reporting each to stderr.
-fn check_sorted_steps(engines: &[Engine], loads: &[Workload], genome: &str) -> usize {
-    let steps_of = |label: &str, load: &Workload| {
-        engines
+fn check_sorted_steps(variants: &[Variant], loads: &[Workload], genome: &str) -> usize {
+    let steps_of = |label: &str, batch: &QueryBatch| {
+        variants
             .iter()
-            .find(|e| e.label == label)
-            .and_then(|e| e.batch_steps(&load.patterns))
+            .find(|v| v.label == label)
+            .map(|v| v.exec.run(batch).1.steps)
     };
     let mut violations = 0;
     for load in loads {
+        let batch = &load.batches[OP_COUNT];
         let (Some(plain), Some(sorted)) = (
-            steps_of("batched_k4", load),
-            steps_of("batched_sorted_k4", load),
+            steps_of("lockstep_k4_plain", batch),
+            steps_of("lockstep_k4_sorted", batch),
         ) else {
             continue;
         };
@@ -232,7 +290,7 @@ fn check_sorted_steps(engines: &[Engine], loads: &[Workload], genome: &str) -> u
     violations
 }
 
-/// Accumulated timings of one (engine, workload, op) cell.
+/// Accumulated timings of one (variant, workload, op) cell.
 #[derive(Default, Clone)]
 struct OpTiming {
     times: Vec<f64>,
@@ -247,34 +305,38 @@ impl OpTiming {
     }
 }
 
-/// Times every engine on every workload with repetitions *interleaved*
-/// across engines (rep 1 of every engine, then rep 2, ...): the bench box
-/// is a shared VM with bursty neighbor noise, and consecutive per-engine
-/// reps would let one burst land entirely on whichever engine was being
-/// measured. Returns `timings[engine][load * 2 + op]` (op 0 = count,
-/// 1 = locate).
+/// Times every variant on every workload and op with repetitions
+/// *interleaved* across variants (rep 1 of every variant, then rep 2,
+/// ...): the bench box is a shared VM with bursty neighbor noise, and
+/// consecutive per-variant reps would let one burst land entirely on
+/// whichever variant was being measured. Each variant reuses one
+/// `QueryArena` across all reps — the steady state the pooled API is
+/// designed for. Returns `timings[variant][load * OP_KINDS + op]`.
 fn measure_interleaved(
-    engines: &[Engine],
+    variants: &[Variant],
     loads: &[Workload],
     spec: &RunSpec,
 ) -> Vec<Vec<OpTiming>> {
-    let mut timings = vec![vec![OpTiming::default(); loads.len() * 2]; engines.len()];
+    let mut timings = vec![vec![OpTiming::default(); loads.len() * OP_KINDS]; variants.len()];
+    let mut arenas: Vec<QueryArena> = variants.iter().map(|_| QueryArena::new()).collect();
     for (li, load) in loads.iter().enumerate() {
-        for (op, reps) in [(0, spec.count_reps), (1, spec.locate_reps)] {
+        for op in 0..OP_KINDS {
+            let reps = if op == OP_COUNT {
+                spec.count_reps
+            } else {
+                spec.locate_reps
+            };
             for _ in 0..reps {
-                for (ei, engine) in engines.iter().enumerate() {
-                    if !engine.measure.includes(op) {
-                        continue; // locate-only entries skip the count op
+                for (vi, variant) in variants.iter().enumerate() {
+                    if !variant.measure.includes(op) {
+                        continue; // locate-only variants skip count/mixed
                     }
                     let start = Instant::now();
-                    let checksum = if op == 0 {
-                        engine.count_checksum(&load.patterns)
-                    } else {
-                        engine.locate_checksum(&load.patterns)
-                    };
-                    let cell = &mut timings[ei][li * 2 + op];
-                    cell.times.push(start.elapsed().as_secs_f64());
-                    cell.checksum = checksum;
+                    variant.exec.run_into(&load.batches[op], &mut arenas[vi]);
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let cell = &mut timings[vi][li * OP_KINDS + op];
+                    cell.times.push(elapsed);
+                    cell.checksum = checksum(std::hint::black_box(arenas[vi].results()));
                 }
             }
         }
@@ -282,9 +344,9 @@ fn measure_interleaved(
     timings
 }
 
-/// Assembles one engine's JSON entry from its accumulated timings.
+/// Assembles one variant's JSON entry from its accumulated timings.
 fn engine_entry(
-    engine: &Engine,
+    variant: &Variant,
     timings: &[OpTiming],
     loads: &[Workload],
     spec: &RunSpec,
@@ -292,20 +354,19 @@ fn engine_entry(
 ) -> Json {
     let mut ops: Vec<Json> = Vec::new();
     for (li, load) in loads.iter().enumerate() {
-        let queries = load.patterns.len();
         let mut shown: Vec<String> = Vec::new();
-        for (op, name) in [(0usize, "count"), (1, "locate")] {
-            let cell = &timings[li * 2 + op];
+        for (op, name) in OP_NAMES.iter().enumerate() {
+            let cell = &timings[li * OP_KINDS + op];
             if cell.times.is_empty() {
-                continue; // op not measured for this entry
+                continue; // op not measured for this variant
             }
-            let ns_per_query = cell.median_secs() * 1e9 / queries as f64;
+            let ns_per_query = cell.median_secs() * 1e9 / load.queries as f64;
             shown.push(format!("{name} {ns_per_query:.0} ns/q"));
             ops.push(
                 Json::obj()
-                    .field("op", name)
+                    .field("op", *name)
                     .field("workload", load.name.as_str())
-                    .field("queries", queries)
+                    .field("queries", load.queries)
                     .field("reps", cell.times.len())
                     .field("median_ns_per_query", ns_per_query)
                     .field("queries_per_sec", 1e9 / ns_per_query)
@@ -316,7 +377,7 @@ fn engine_entry(
             "[{}] {}/{}/{}: {}",
             spec.mode,
             genome.profile().name,
-            engine.label,
+            variant.label,
             load.name,
             shown.join(", "),
         );
@@ -324,17 +385,79 @@ fn engine_entry(
     let mut entry = Json::obj()
         .field("genome", genome.profile().name.as_str())
         .field("genome_len", genome.len())
-        .field("engine", engine.label.as_str())
-        .field("k", engine.k)
-        .field("build_ms", engine.build_secs * 1e3)
-        .field("heap_bytes", engine.heap_bytes);
-    if let Some(threads) = engine.threads {
+        .field("engine", variant.label.as_str())
+        .field("k", variant.k)
+        .field("build_ms", variant.build_secs * 1e3)
+        .field("heap_bytes", variant.heap_bytes);
+    if let Some(threads) = variant.threads {
         entry = entry.field("threads", threads);
     }
-    if let Some(shared) = engine.shares_index_with {
-        entry = entry.field("shares_index_with", shared);
+    if let Some(shared) = &variant.shares_index_with {
+        entry = entry.field("shares_index_with", shared.as_str());
     }
     entry.field("ops", ops)
+}
+
+/// The builder configs behind the two sweeps, descriptor-visible in
+/// `--list-engines` and shared with the sweep runners below.
+fn sweep_builders() -> Vec<(EngineBuilder, Measure, usize)> {
+    SWEEP_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                EngineBuilder::new().k_occ_sample_rate(rate),
+                Measure::All,
+                rate,
+            )
+        })
+        .collect()
+}
+
+fn sa_sweep_builders() -> Vec<(EngineBuilder, Measure, usize)> {
+    SA_SWEEP_RATES
+        .iter()
+        .map(|&rate| {
+            (
+                EngineBuilder::new().sa_sample_rate(rate),
+                Measure::LocateOnly,
+                rate,
+            )
+        })
+        .collect()
+}
+
+/// `--list-engines`: print the derived descriptor of every enumerated
+/// builder config (no index is built — descriptors derive from the
+/// recipes alone).
+fn list_engines(args: &Args, thread_counts: &[usize]) {
+    println!("# main enumeration (one entry per genome in a run)");
+    for (builder, measure) in builder_configs(thread_counts) {
+        println!(
+            "{:<34} k={} threads={} measure={:?}",
+            builder.descriptor(),
+            builder.step_width(),
+            builder.thread_count(),
+            measure
+        );
+    }
+    if args.sweep {
+        println!("# --sweep-sample-rate configs (picea profile)");
+        for (builder, measure, rate) in sweep_builders() {
+            println!(
+                "{:<34} k_occ_sample_rate={rate} measure={measure:?}",
+                builder.descriptor()
+            );
+        }
+    }
+    if args.sweep_sa {
+        println!("# --sweep-sa-sample-rate configs (picea profile)");
+        for (builder, measure, rate) in sa_sweep_builders() {
+            println!(
+                "{:<34} sa_sample_rate={rate} measure={measure:?}",
+                builder.descriptor()
+            );
+        }
+    }
 }
 
 fn run(args: &Args) -> ExitCode {
@@ -348,6 +471,10 @@ fn run(args: &Args) -> ExitCode {
     } else {
         args.threads.clone()
     };
+    if args.list_engines {
+        list_engines(args, &thread_counts);
+        return ExitCode::SUCCESS;
+    }
     let started = Instant::now();
     let mut results: Vec<Json> = Vec::new();
     let mut sweep_results: Vec<Json> = Vec::new();
@@ -365,78 +492,79 @@ fn run(args: &Args) -> ExitCode {
 
         eprintln!("[{}] building 1-step, k=2, k=4 indexes...", spec.mode);
         let set = EngineSet::build(&text);
-        let engines = set.engines(&thread_counts);
+        let variants = set.variants(&thread_counts);
 
-        violations += verify(&engines, &loads, spec.verify_locates, &profile.name);
-        violations += check_sorted_steps(&engines, &loads, &profile.name);
+        violations += verify(&variants, &loads, &profile.name);
+        violations += check_sorted_steps(&variants, &loads, &profile.name);
 
-        let timings = measure_interleaved(&engines, &loads, &spec);
-        for (engine, engine_timings) in engines.iter().zip(&timings) {
-            results.push(engine_entry(engine, engine_timings, &loads, &spec, &genome));
+        let timings = measure_interleaved(&variants, &loads, &spec);
+        for (variant, variant_timings) in variants.iter().zip(&timings) {
+            results.push(engine_entry(
+                variant,
+                variant_timings,
+                &loads,
+                &spec,
+                &genome,
+            ));
         }
 
-        // The sample-rate sweep runs on the picea profile — the paper's
+        // The sample-rate sweeps run on the picea profile — the paper's
         // headline memory/latency trade-off genome — reusing this
-        // genome's oracle and workloads.
+        // genome's oracle and workloads. Sweep points verify against the
+        // oracle variant on their measured op before being timed.
+        let oracle = &variants[0];
         if args.sweep && profile.name.starts_with("picea") {
-            // Oracle counts are invariant across sweep rates; compute once.
-            let oracle_counts: Vec<Vec<usize>> = loads
+            // Oracle answers are invariant across sweep rates; compute
+            // them once per workload, not once per (rate, workload).
+            let oracle_counts: Vec<_> = loads
                 .iter()
-                .map(|load| engines[0].count_all(&load.patterns))
+                .map(|load| oracle.exec.run(&load.batches[OP_COUNT]).0)
                 .collect();
-            for rate in SWEEP_RATES {
+            for (builder, measure, rate) in sweep_builders() {
                 eprintln!("[{}] sweep: k=4, k_occ_sample_rate={rate}...", spec.mode);
-                let point = SweepPoint::build(&text, rate);
-                let sweep_engine = [point.engine()];
+                let point = SweepPoint::build(&text, builder, measure);
+                let sweep_variant = [point.variant()];
                 for (load, expected) in loads.iter().zip(&oracle_counts) {
-                    if sweep_engine[0].count_all(&load.patterns) != *expected {
+                    if sweep_variant[0].exec.run(&load.batches[OP_COUNT]).0 != *expected {
                         eprintln!(
-                            "DIVERGENCE: {}/sweep_rate_{rate}/{}: count differs from 1-step oracle",
+                            "DIVERGENCE: {}/kocc_{rate}/{}: count differs from 1-step oracle",
                             profile.name, load.name
                         );
                         violations += 1;
                     }
                 }
-                let timings = measure_interleaved(&sweep_engine, &loads, &spec);
+                let timings = measure_interleaved(&sweep_variant, &loads, &spec);
                 sweep_results.push(
-                    engine_entry(&sweep_engine[0], &timings[0], &loads, &spec, &genome)
+                    engine_entry(&sweep_variant[0], &timings[0], &loads, &spec, &genome)
                         .field("k_occ_sample_rate", rate),
                 );
             }
         }
 
-        // The SA-rate sweep also runs on picea: the sampled suffix array
-        // is the locate-latency / heap knob, measured through the
-        // sorted+prefetching locate resolver against this genome's
-        // per-row oracle locates.
         if args.sweep_sa && profile.name.starts_with("picea") {
-            // Oracle locates are invariant across sweep rates; compute
-            // once over each workload's verification head.
-            let oracle_locs: Vec<Vec<Vec<u32>>> = loads
+            // Oracle locates are likewise rate-invariant; one pass per
+            // workload's verification head.
+            let oracle_locates: Vec<_> = loads
                 .iter()
-                .map(|load| {
-                    let head = &load.patterns[..load.patterns.len().min(spec.verify_locates)];
-                    engines[0].locate_all(head)
-                })
+                .map(|load| oracle.exec.run(&load.locate_head).0)
                 .collect();
-            for rate in SA_SWEEP_RATES {
+            for (builder, measure, rate) in sa_sweep_builders() {
                 eprintln!("[{}] sa sweep: k=4, sa_sample_rate={rate}...", spec.mode);
-                let point = SaSweepPoint::build(&text, rate);
-                let sweep_engine = [point.engine()];
-                for (load, expected) in loads.iter().zip(&oracle_locs) {
-                    let head = &load.patterns[..load.patterns.len().min(spec.verify_locates)];
-                    if sweep_engine[0].locate_all(head) != *expected {
+                let point = SweepPoint::build(&text, builder, measure);
+                let sweep_variant = [point.variant()];
+                for (load, expected) in loads.iter().zip(&oracle_locates) {
+                    if sweep_variant[0].exec.run(&load.locate_head).0 != *expected {
                         eprintln!(
-                            "DIVERGENCE: {}/sa_sweep_rate_{rate}/{}: locate differs from 1-step oracle",
+                            "DIVERGENCE: {}/sa_{rate}/{}: locate differs from 1-step oracle",
                             profile.name, load.name
                         );
                         violations += 1;
                     }
                 }
-                let timings = measure_interleaved(&sweep_engine, &loads, &spec);
+                let timings = measure_interleaved(&sweep_variant, &loads, &spec);
                 sa_sweep_results.push(
-                    engine_entry(&sweep_engine[0], &timings[0], &loads, &spec, &genome)
-                        .field("sa_sample_rate", point.sa_sample_rate),
+                    engine_entry(&sweep_variant[0], &timings[0], &loads, &spec, &genome)
+                        .field("sa_sample_rate", rate),
                 );
             }
         }
@@ -444,11 +572,12 @@ fn run(args: &Args) -> ExitCode {
 
     let verified = violations == 0;
     let mut doc = Json::obj()
-        .field("schema_version", 3u64)
+        .field("schema_version", 4u64)
         .field("mode", spec.mode)
         .field("seed", args.seed)
         .field("illumina_read_len", ILLUMINA_LEN)
         .field("ont_seed_len", ONT_SEED_LEN)
+        .field("mixed_max_hits", MIXED_MAX_HITS as u64)
         .field(
             "thread_counts",
             thread_counts
@@ -456,7 +585,7 @@ fn run(args: &Args) -> ExitCode {
                 .map(|&t| Json::Int(t as u64))
                 .collect::<Vec<_>>(),
         )
-        // The SA sampling rate every non-sweep engine is built at.
+        // The SA sampling rate every non-sweep variant is built at.
         .field("sa_sample_rate", KStepBuildConfig::for_k(4).sa_sample_rate)
         .field("verified_against_oracle", verified)
         .field("wall_clock_secs", started.elapsed().as_secs_f64())
@@ -490,6 +619,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         threads: Vec::new(),
         sweep: false,
         sweep_sa: false,
+        list_engines: false,
     };
     let mut argv = argv.peekable();
     while let Some(arg) = argv.next() {
@@ -497,6 +627,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--smoke" => args.smoke = true,
             "--sweep-sample-rate" => args.sweep = true,
             "--sweep-sa-sample-rate" => args.sweep_sa = true,
+            "--list-engines" => args.list_engines = true,
             "--out" => {
                 let path = argv.next().ok_or("--out requires a path")?;
                 args.out = PathBuf::from(path);
@@ -551,6 +682,7 @@ mod tests {
         assert!(!args.smoke);
         assert!(!args.sweep);
         assert!(!args.sweep_sa);
+        assert!(!args.list_engines);
         assert!(args.threads.is_empty());
         assert_eq!(args.out, PathBuf::from("BENCH_exma.json"));
         assert_eq!(args.seed, 42);
@@ -566,6 +698,7 @@ mod tests {
                 "1,2,8",
                 "--sweep-sample-rate",
                 "--sweep-sa-sample-rate",
+                "--list-engines",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -575,6 +708,7 @@ mod tests {
         assert!(args.smoke);
         assert!(args.sweep);
         assert!(args.sweep_sa);
+        assert!(args.list_engines);
         assert_eq!(args.threads, vec![1, 2, 8]);
         assert_eq!(args.out, PathBuf::from("/tmp/b.json"));
         assert_eq!(args.seed, 7);
@@ -611,6 +745,31 @@ mod tests {
         // engines hit their tail path on the ONT workload.
         assert_eq!(ONT_SEED_LEN % 2, 1);
         assert_eq!(ONT_SEED_LEN % 4, 3);
+    }
+
+    #[test]
+    fn mixed_batches_cycle_every_request_shape() {
+        let patterns: Vec<Vec<exma_genome::Base>> = vec![Vec::new(); 8];
+        let batch = mixed_batch(&patterns);
+        assert_eq!(batch.request(0), QueryRequest::Count);
+        assert_eq!(batch.request(1), QueryRequest::locate());
+        assert_eq!(
+            batch.request(2),
+            QueryRequest::locate_capped(MIXED_MAX_HITS)
+        );
+        assert_eq!(batch.request(3), QueryRequest::Interval);
+        assert_eq!(batch.request(4), QueryRequest::Count);
+    }
+
+    #[test]
+    fn sweep_builders_cover_the_advertised_rates() {
+        let rates: Vec<usize> = sweep_builders().iter().map(|&(_, _, r)| r).collect();
+        assert_eq!(rates, SWEEP_RATES);
+        let sa_rates: Vec<usize> = sa_sweep_builders().iter().map(|&(_, _, r)| r).collect();
+        assert_eq!(sa_rates, SA_SWEEP_RATES);
+        assert!(sa_sweep_builders()
+            .iter()
+            .all(|&(_, m, _)| m == Measure::LocateOnly));
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! Lockstep batched backward search with dead-query dropping, interval
-//! sorting, and software prefetch — plus the batched `locate` pipeline
-//! ([`BatchEngine::run_locate`]) that feeds every finished query's
-//! suffix-array interval into one shared lockstep resolver worklist.
+//! sorting, and software prefetch — the round-loop every
+//! [`crate::Executor`] run of a [`BatchEngine`] goes through, whatever
+//! mix of operations the batch carries.
 
 use std::ops::Range;
 
 use exma_genome::{Base, Kmer, Symbol};
-use exma_index::{BatchResolver, KStepFmIndex, ResolveConfig};
+use exma_index::{KStepFmIndex, ResolveConfig};
 
 use crate::locate::LocateResults;
+use crate::query::{QueryArena, QueryBatch, QueryRequest};
 
 /// How many queries ahead of the one being refined the engine prefetches
 /// when [`BatchConfig::prefetch_distance`] is left to the default. Far
@@ -27,8 +28,8 @@ pub struct BatchConfig {
     /// While refining query `j`, prefetch the table blocks query `j + d`
     /// will touch (`0` disables prefetching).
     pub prefetch_distance: usize,
-    /// Round schedule of the locate resolver [`BatchEngine::run_locate`]
-    /// hands finished intervals to. The presets keep it in step with the
+    /// Round schedule of the locate resolver a mixed batch's locate
+    /// intervals feed into. The presets keep it in step with the
     /// search schedule: plain search resolves plain, sorted sorts cursor
     /// rows, locality adds cursor prefetch.
     pub resolve: ResolveConfig,
@@ -59,7 +60,7 @@ impl BatchConfig {
 
     /// The full locality schedule: interval-sorted rounds plus software
     /// prefetch at [`DEFAULT_PREFETCH_DISTANCE`], and the resolver's own
-    /// locality schedule for `locate`.
+    /// locality schedule for locate intervals.
     pub fn locality() -> BatchConfig {
         BatchConfig {
             sort_by_interval: true,
@@ -69,7 +70,7 @@ impl BatchConfig {
     }
 }
 
-/// Execution counters of one batched search, for tests and benchmarks.
+/// Execution counters of one executed batch, for tests and benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchStats {
     /// Lockstep rounds executed: `⌊m/k⌋` k-step rounds plus `m mod k`
@@ -80,21 +81,25 @@ pub struct BatchStats {
     pub steps: usize,
     /// Queries live in the widest round (the initial non-empty batch).
     pub peak_live: usize,
-    /// Resolver rounds of a [`BatchEngine::run_locate`] (zero for plain
-    /// searches) — bounded by the SA sampling rate.
+    /// Resolver rounds of the batch's locate queries (zero when the
+    /// batch located nothing) — bounded by the SA sampling rate.
     pub resolve_rounds: usize,
     /// LF steps the locate resolver issued across all cursors and rounds.
     pub resolve_lf_steps: usize,
-    /// Cursors the locate resolver retired — the batch's total occurrence
-    /// positions. Divided by `resolve_rounds` this is the mean cursors
-    /// retired per round.
+    /// Cursors the locate resolver retired by hitting a sampled mark.
+    /// Uncapped, this is the batch's total occurrence positions; capped
+    /// locates may retire slightly more than they keep (the cap is
+    /// checked at round boundaries).
     pub cursors_retired: usize,
+    /// Resolver cursors dropped un-walked because their query hit its
+    /// `max_hits` cap — the LF work the cap saved.
+    pub cursors_dropped: usize,
 }
 
 impl BatchStats {
     /// Folds a shard's counters into a batch-wide total: work counters
-    /// (`steps`, `peak_live`, resolver steps and retirements) add up
-    /// across concurrent workers, while the round counters — each the
+    /// (`steps`, `peak_live`, resolver steps, retirements and drops) add
+    /// up across concurrent workers, while the round counters — each the
     /// depth of the longest shard's lockstep schedule — take the maximum,
     /// matching wall-clock intuition.
     pub(crate) fn absorb_shard(&mut self, shard: BatchStats) {
@@ -103,6 +108,7 @@ impl BatchStats {
         self.rounds = self.rounds.max(shard.rounds);
         self.resolve_lf_steps += shard.resolve_lf_steps;
         self.cursors_retired += shard.cursors_retired;
+        self.cursors_dropped += shard.cursors_dropped;
         self.resolve_rounds = self.resolve_rounds.max(shard.resolve_rounds);
     }
 }
@@ -118,6 +124,24 @@ struct LiveQuery {
     hi: u32,
 }
 
+/// Reusable worklists of the lockstep search loop, double-buffered so
+/// the prefetch look-ahead can peek at untouched entries. Lives in a
+/// [`QueryArena`] so steady-state runs allocate nothing.
+#[derive(Default)]
+pub struct SearchScratch {
+    live: Vec<LiveQuery>,
+    next: Vec<LiveQuery>,
+}
+
+impl std::fmt::Debug for SearchScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchScratch")
+            .field("live_capacity", &self.live.capacity())
+            .field("next_capacity", &self.next.capacity())
+            .finish()
+    }
+}
+
 /// A batched query engine over a [`KStepFmIndex`].
 ///
 /// All queries advance together: each round issues one k-step refinement
@@ -127,6 +151,9 @@ struct LiveQuery {
 /// sorts each round by suffix-array interval and software-prefetches
 /// upcoming queries' table blocks, turning the round's dependent memory
 /// round-trips into overlapped, mostly-ordered fetches.
+///
+/// Run it through the [`crate::Executor`] trait with a
+/// [`crate::QueryBatch`]; construct it through [`crate::EngineBuilder`].
 #[derive(Debug, Clone, Copy)]
 pub struct BatchEngine<'a> {
     index: &'a KStepFmIndex,
@@ -154,28 +181,32 @@ impl<'a> BatchEngine<'a> {
         self.config
     }
 
-    /// Suffix-array intervals for every pattern, in input order — each
-    /// identical to `index.backward_search(pattern)`. Empty intervals are
-    /// normalized to `0..0`; empty patterns match every row.
-    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
-        self.search_batch_with_stats(patterns).0
-    }
-
-    /// [`BatchEngine::search_batch`] plus execution counters.
-    pub fn search_batch_with_stats(
+    /// The lockstep search round-loop: suffix-array intervals for every
+    /// pattern, in input order, written into `intervals` (cleared
+    /// first). Every operation of a mixed batch shares this loop —
+    /// counts read the interval width, locates feed the resolver, and
+    /// interval requests return it raw. Empty intervals are normalized
+    /// to `0..0`; empty patterns match every row.
+    pub(crate) fn search_core(
         &self,
         patterns: &[impl AsRef<[Base]>],
-    ) -> (Vec<Range<usize>>, BatchStats) {
+        intervals: &mut Vec<Range<usize>>,
+        scratch: &mut SearchScratch,
+    ) -> BatchStats {
         let k = self.index.k();
         let n = self.index.text_len();
         assert!(patterns.len() < u32::MAX as usize, "batch too large");
-        let mut results: Vec<Range<usize>> = Vec::with_capacity(patterns.len());
-        let mut live: Vec<LiveQuery> = Vec::new();
+        intervals.clear();
+        intervals.reserve(patterns.len());
+        let live = &mut scratch.live;
+        let next = &mut scratch.next;
+        live.clear();
+        next.clear();
         for (i, pattern) in patterns.iter().enumerate() {
             if pattern.as_ref().is_empty() {
-                results.push(0..n); // the empty pattern matches every row
+                intervals.push(0..n); // the empty pattern matches every row
             } else {
-                results.push(0..0);
+                intervals.push(0..0);
                 live.push(LiveQuery {
                     pattern: i as u32,
                     remaining: pattern.as_ref().len() as u32,
@@ -192,7 +223,6 @@ impl<'a> BatchEngine<'a> {
         // Survivors of each round are double-buffered into `next` instead
         // of compacted in place, so the prefetch look-ahead below can peek
         // at untouched entries.
-        let mut next: Vec<LiveQuery> = Vec::with_capacity(live.len());
         while !live.is_empty() {
             stats.rounds += 1;
             stats.steps += live.len();
@@ -220,7 +250,7 @@ impl<'a> BatchEngine<'a> {
                     continue; // died: its result stays 0..0
                 }
                 if rem == consumed {
-                    results[q.pattern as usize] = range; // finished
+                    intervals[q.pattern as usize] = range; // finished
                     continue;
                 }
                 next.push(LiveQuery {
@@ -230,10 +260,10 @@ impl<'a> BatchEngine<'a> {
                     hi: range.end as u32,
                 });
             }
-            std::mem::swap(&mut live, &mut next);
+            std::mem::swap(live, next);
             next.clear();
         }
-        (results, stats)
+        stats
     }
 
     /// Hints the table blocks `q`'s next refinement will read — both the
@@ -257,46 +287,62 @@ impl<'a> BatchEngine<'a> {
         }
     }
 
-    /// Occurrence counts for every pattern, in input order.
-    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
-        self.search_batch(patterns)
-            .into_iter()
-            .map(|range| range.len())
-            .collect()
+    /// Suffix-array intervals for every pattern, in input order — each
+    /// identical to `index.backward_search(pattern)`. Empty intervals are
+    /// normalized to `0..0`; empty patterns match every row.
+    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
+    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
+        let mut intervals = Vec::new();
+        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
+        intervals
     }
 
-    /// The first-class batched `locate` path: lockstep backward searches,
-    /// then every finished query's suffix-array interval feeds one shared
-    /// resolver worklist ([`exma_index::BatchResolver`], scheduled by
-    /// [`BatchConfig::resolve`]) whose cursors LF-walk in lockstep rounds
-    /// into a pooled output buffer. Answer-identical — ordering included —
-    /// to resolving each interval through the per-row path
-    /// ([`BatchEngine::locate_batch_per_row`]).
+    /// Suffix-array intervals plus execution counters.
+    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
+    pub fn search_batch_with_stats(
+        &self,
+        patterns: &[impl AsRef<[Base]>],
+    ) -> (Vec<Range<usize>>, BatchStats) {
+        let mut intervals = Vec::new();
+        let stats = self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
+        (intervals, stats)
+    }
+
+    /// Occurrence counts for every pattern, in input order.
+    #[deprecated(note = "submit a QueryBatch of Count requests through Executor::run")]
+    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
+        let mut intervals = Vec::new();
+        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
+        intervals.into_iter().map(|range| range.len()).collect()
+    }
+
+    /// The batched locate pipeline with pooled output.
+    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
     pub fn run_locate(&self, patterns: &[impl AsRef<[Base]>]) -> (LocateResults, BatchStats) {
-        let (intervals, mut stats) = self.search_batch_with_stats(patterns);
-        let mut resolver = BatchResolver::with_config(self.index.base_index(), self.config.resolve);
-        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
-        let resolve = resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
-        stats.resolve_rounds = resolve.rounds;
-        stats.resolve_lf_steps = resolve.lf_steps;
-        stats.cursors_retired = resolve.retired;
+        let batch = QueryBatch::uniform(QueryRequest::locate(), patterns);
+        let mut arena = QueryArena::new();
+        let stats = self.run_slice(batch.requests(), batch.patterns(), &mut arena);
+        let (flat, offsets) = arena.take_results().into_flat_parts();
         (LocateResults::from_parts(flat, offsets), stats)
     }
 
-    /// Sorted occurrence positions for every pattern, in input order —
-    /// [`BatchEngine::run_locate`] exploded into one `Vec` per query.
+    /// Sorted occurrence positions for every pattern, in input order.
+    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
     pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
+        #[allow(deprecated)]
         self.run_locate(patterns).0.into_vecs()
     }
 
-    /// The pre-resolver `locate` path, kept as the measured baseline: each
-    /// interval row LF-walks serially through
-    /// [`exma_index::FmIndex::resolve_range_into`] — one dependent cache
-    /// miss per step. [`BatchEngine::run_locate`] must return exactly
-    /// these answers in exactly this order.
+    /// The pre-resolver locate path: each interval row LF-walks serially
+    /// through [`exma_index::FmIndex::resolve_range_into`] — one
+    /// dependent cache miss per step. Kept as the measured baseline the
+    /// lockstep resolver must answer identically to.
+    #[deprecated(note = "per-interval resolve_range_into covers the serial baseline")]
     pub fn locate_batch_per_row(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
         let base = self.index.base_index();
-        self.search_batch(patterns)
+        let mut intervals = Vec::new();
+        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
+        intervals
             .into_iter()
             .map(|range| {
                 let mut positions = Vec::new();
@@ -310,6 +356,8 @@ impl<'a> BatchEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Executor;
+    use crate::query::QueryBatch;
     use exma_genome::alphabet::parse_bases;
     use exma_genome::genome::text_from_str;
 
@@ -342,13 +390,14 @@ mod tests {
     #[test]
     fn batch_matches_sequential_search_under_every_schedule() {
         let (index, patterns) = fig3_engine_input();
+        let batch = QueryBatch::uniform(QueryRequest::Interval, &patterns);
         for config in all_configs() {
             let engine = BatchEngine::with_config(&index, config);
-            let got = engine.search_batch(&patterns);
+            let (results, _) = engine.run(&batch);
             for (i, pattern) in patterns.iter().enumerate() {
                 assert_eq!(
-                    got[i],
-                    index.backward_search(pattern),
+                    results.interval(i),
+                    Some(index.backward_search(pattern)),
                     "{config:?}, pattern #{i}"
                 );
             }
@@ -359,20 +408,40 @@ mod tests {
     fn counts_and_locates_line_up() {
         let (index, patterns) = fig3_engine_input();
         let engine = BatchEngine::new(&index);
-        assert_eq!(engine.count_batch(&patterns), vec![3, 1, 1, 1, 0, 7]);
-        let located = engine.locate_batch(&patterns);
-        assert_eq!(located[0], vec![1, 3, 5]);
-        assert_eq!(located[3], vec![0]);
-        assert_eq!(located[4], Vec::<u32>::new());
+        let counts = engine
+            .run(&QueryBatch::uniform(QueryRequest::Count, &patterns))
+            .0;
+        assert_eq!(
+            (0..counts.len())
+                .map(|i| counts.count(i))
+                .collect::<Vec<_>>(),
+            vec![3, 1, 1, 1, 0, 7]
+        );
+        let located = engine
+            .run(&QueryBatch::uniform(QueryRequest::locate(), &patterns))
+            .0;
+        assert_eq!(located.positions(0), &[1, 3, 5]);
+        assert_eq!(located.positions(3), &[0]);
+        assert_eq!(located.positions(4), &[] as &[u32]);
     }
 
     #[test]
     fn run_locate_matches_the_per_row_path_under_every_schedule() {
         let (index, patterns) = fig3_engine_input();
+        let base = index.base_index();
+        let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
         for config in all_configs() {
             let engine = BatchEngine::with_config(&index, config);
-            let expected = engine.locate_batch_per_row(&patterns);
-            let (results, stats) = engine.run_locate(&patterns);
+            // The serial per-row baseline, straight off the index layer.
+            let expected: Vec<Vec<u32>> = patterns
+                .iter()
+                .map(|p| {
+                    let mut out = Vec::new();
+                    base.resolve_range_into(index.backward_search(p), &mut out);
+                    out
+                })
+                .collect();
+            let (results, stats) = engine.run(&batch);
             assert_eq!(results.len(), patterns.len(), "{config:?}");
             for (i, expect) in expected.iter().enumerate() {
                 assert_eq!(results.positions(i), &expect[..], "{config:?}, #{i}");
@@ -380,24 +449,27 @@ mod tests {
             // Every interval row becomes exactly one retired cursor.
             let total: usize = expected.iter().map(Vec::len).sum();
             assert_eq!(stats.cursors_retired, total, "{config:?}");
+            assert_eq!(stats.cursors_dropped, 0, "{config:?}");
             assert!(stats.resolve_rounds >= 1, "{config:?}");
         }
     }
 
     #[test]
-    fn search_stats_never_touch_resolve_counters() {
+    fn pure_search_batches_never_touch_resolve_counters() {
         let (index, patterns) = fig3_engine_input();
-        let (_, stats) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
+        let batch = QueryBatch::uniform(QueryRequest::Count, &patterns);
+        let (_, stats) = BatchEngine::new(&index).run(&batch);
         assert_eq!(stats.resolve_rounds, 0);
         assert_eq!(stats.resolve_lf_steps, 0);
         assert_eq!(stats.cursors_retired, 0);
+        assert_eq!(stats.cursors_dropped, 0);
     }
 
     #[test]
     fn stats_count_rounds_and_dropped_queries() {
         let (index, patterns) = fig3_engine_input();
         let engine = BatchEngine::new(&index);
-        let (_, stats) = engine.search_batch_with_stats(&patterns);
+        let (_, stats) = engine.run(&QueryBatch::uniform(QueryRequest::Count, &patterns));
         // Empty pattern never enters the round-robin.
         assert_eq!(stats.peak_live, 5);
         // Longest pattern is 6 symbols at k = 2 → 3 rounds.
@@ -414,10 +486,10 @@ mod tests {
         // Interval sorting reorders work within a round; it must not
         // create or destroy any (the bench harness gates on this).
         let (index, patterns) = fig3_engine_input();
-        let (_, plain) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
+        let batch = QueryBatch::uniform(QueryRequest::Count, &patterns);
+        let (_, plain) = BatchEngine::new(&index).run(&batch);
         for config in [BatchConfig::sorted(), BatchConfig::locality()] {
-            let (_, stats) =
-                BatchEngine::with_config(&index, config).search_batch_with_stats(&patterns);
+            let (_, stats) = BatchEngine::with_config(&index, config).run(&batch);
             assert_eq!(stats, plain, "{config:?}");
         }
     }
@@ -426,8 +498,7 @@ mod tests {
     fn empty_batch_is_fine() {
         let (index, _) = fig3_engine_input();
         let engine = BatchEngine::new(&index);
-        let empty: Vec<Vec<Base>> = Vec::new();
-        let (results, stats) = engine.search_batch_with_stats(&empty);
+        let (results, stats) = engine.run(&QueryBatch::new());
         assert!(results.is_empty());
         assert_eq!(stats, BatchStats::default());
     }

@@ -1,0 +1,409 @@
+//! [`EngineBuilder`]: the one way to construct an executor.
+//!
+//! Every knob the engine stack exposes — step width `k`, the three
+//! sampling rates, the lockstep search and resolve schedules, the
+//! thread count, sequential-baseline mode — combines here, and every
+//! combination derives a canonical *descriptor* string
+//! ([`EngineBuilder::descriptor`]). The benchmark harness enumerates
+//! builder configurations instead of hand-naming engine variants, so a
+//! new knob means a new builder method and descriptor fragment, not an
+//! N×M explosion of named entries (the uniform-driver lesson the
+//! SPEChpc harness papers draw).
+//!
+//! Construction is two-phase because executors borrow their index:
+//! [`EngineBuilder::build_index`] owns the expensive table build, and
+//! [`EngineBuilder::attach`] wires an executor onto any index with a
+//! matching `k` — which is how the harness shares one index across
+//! every schedule and thread-count variant.
+
+use exma_genome::Symbol;
+use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex, ResolveConfig};
+
+use crate::batch::{BatchConfig, BatchEngine};
+use crate::exec::Executor;
+use crate::shard::ShardedEngine;
+
+/// Default 1-step occurrence checkpoint spacing (one cache line per
+/// interleaved block — see [`exma_index::FmBuildConfig`]).
+const DEFAULT_OCC_RATE: usize = 44;
+/// Default suffix-array sampling rate.
+const DEFAULT_SA_RATE: usize = 32;
+
+/// A fluent recipe for any executor in the workspace.
+///
+/// ```
+/// use exma_engine::{EngineBuilder, Executor, QueryBatch};
+/// use exma_genome::{Genome, GenomeProfile};
+///
+/// let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+/// let builder = EngineBuilder::new().k(4).threads(2);
+/// assert_eq!(builder.descriptor(), "lockstep_k4_locality_t2");
+///
+/// let index = builder.build_index(&genome.text_with_sentinel());
+/// let engine = builder.attach(&index);
+/// let batch = QueryBatch::new().count(genome.seq().slice(100, 21));
+/// assert!(matches!(
+///     engine.run(&batch).0.count(0),
+///     n if n >= 1
+/// ));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineBuilder {
+    k: usize,
+    occ_sample_rate: usize,
+    sa_sample_rate: usize,
+    /// `None` = the k-dependent default (`64 * k`).
+    k_occ_sample_rate: Option<usize>,
+    batch: BatchConfig,
+    sequential: bool,
+    threads: usize,
+}
+
+impl Default for EngineBuilder {
+    /// The headline engine: k = 4 lockstep with the full locality
+    /// schedule on one thread, default sampling rates.
+    fn default() -> EngineBuilder {
+        EngineBuilder {
+            k: 4,
+            occ_sample_rate: DEFAULT_OCC_RATE,
+            sa_sample_rate: DEFAULT_SA_RATE,
+            k_occ_sample_rate: None,
+            batch: BatchConfig::locality(),
+            sequential: false,
+            threads: 1,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// The default recipe (see [`EngineBuilder::default`]).
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Symbols consumed per LF refinement (`1..=`[`exma_index::MAX_STEP`]).
+    pub fn k(mut self, k: usize) -> EngineBuilder {
+        assert!(
+            (1..=exma_index::MAX_STEP).contains(&k),
+            "k must be in 1..={}, got {k}",
+            exma_index::MAX_STEP
+        );
+        self.k = k;
+        self
+    }
+
+    /// Checkpoint spacing of the 1-step occurrence table.
+    pub fn occ_sample_rate(mut self, rate: usize) -> EngineBuilder {
+        self.occ_sample_rate = rate;
+        self
+    }
+
+    /// Text-position spacing of kept suffix-array samples — `locate`'s
+    /// latency/heap knob.
+    pub fn sa_sample_rate(mut self, rate: usize) -> EngineBuilder {
+        self.sa_sample_rate = rate;
+        self
+    }
+
+    /// Checkpoint spacing of the k-mer occurrence table — the paper's
+    /// central memory/latency knob.
+    pub fn k_occ_sample_rate(mut self, rate: usize) -> EngineBuilder {
+        self.k_occ_sample_rate = Some(rate);
+        self
+    }
+
+    /// The lockstep search schedule (its [`ResolveConfig`] rides along;
+    /// override it afterwards with [`EngineBuilder::resolve`]).
+    pub fn schedule(mut self, batch: BatchConfig) -> EngineBuilder {
+        self.batch = batch;
+        self
+    }
+
+    /// The locate resolver's round schedule, independent of the search
+    /// schedule — how the benchmark isolates resolver scheduling.
+    pub fn resolve(mut self, resolve: ResolveConfig) -> EngineBuilder {
+        self.batch.resolve = resolve;
+        self
+    }
+
+    /// Sequential per-query execution: the baseline the lockstep
+    /// engines are measured against. Incompatible with `threads > 1`.
+    pub fn sequential(mut self) -> EngineBuilder {
+        self.sequential = true;
+        self
+    }
+
+    /// Worker threads of a sharded executor (1 = the serial lockstep
+    /// engine; the sharded path short-circuits to it anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured step width.
+    pub fn step_width(&self) -> usize {
+        self.k
+    }
+
+    /// The configured worker thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` iff this recipe runs queries one at a time.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// The index-construction knobs this recipe implies.
+    pub fn build_config(&self) -> KStepBuildConfig {
+        KStepBuildConfig {
+            k: self.k,
+            occ_sample_rate: self.occ_sample_rate,
+            sa_sample_rate: self.sa_sample_rate,
+            k_occ_sample_rate: self
+                .k_occ_sample_rate
+                .unwrap_or_else(|| KStepBuildConfig::for_k(self.k).k_occ_sample_rate),
+        }
+    }
+
+    /// Builds the index this recipe queries.
+    pub fn build_index(&self, text: &[Symbol]) -> KStepFmIndex {
+        KStepFmIndex::from_text_with_config(text, self.build_config())
+    }
+
+    /// Wires an executor onto `index` — sequential, serial lockstep, or
+    /// sharded, per this recipe. Many recipes (schedules, thread
+    /// counts) can attach to one index; only `k` must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.k() != self.step_width()`, or if the recipe is
+    /// both sequential and multi-threaded.
+    pub fn attach<'a>(&self, index: &'a KStepFmIndex) -> Box<dyn Executor + 'a> {
+        assert_eq!(
+            index.k(),
+            self.k,
+            "index k={} does not match builder k={}",
+            index.k(),
+            self.k
+        );
+        if self.sequential {
+            assert_eq!(self.threads, 1, "sequential executors are single-threaded");
+            Box::new(index)
+        } else if self.threads == 1 {
+            Box::new(BatchEngine::with_config(index, self.batch))
+        } else {
+            Box::new(ShardedEngine::with_config(index, self.threads, self.batch))
+        }
+    }
+
+    /// Wires the plain 1-step sequential executor — the oracle — onto a
+    /// bare [`FmIndex`]. Only the `k = 1` sequential recipe may do
+    /// this; every other recipe needs the k-step tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the recipe is sequential with `k == 1`.
+    pub fn attach_one_step<'a>(&self, fm: &'a FmIndex) -> Box<dyn Executor + 'a> {
+        assert!(
+            self.sequential && self.k == 1 && self.threads == 1,
+            "only the sequential k=1 recipe runs on a bare FmIndex"
+        );
+        Box::new(fm)
+    }
+
+    /// The canonical descriptor of this recipe, derived field by field:
+    /// `seq_k{k}` or `lockstep_k{k}_{schedule}`, then `_t{n}` for
+    /// multi-threaded recipes and `_occ{r}`/`_sa{r}`/`_kocc{r}` for
+    /// non-default sampling rates. Named schedule presets print as
+    /// `plain`/`sorted`/`locality`; a resolver override appends
+    /// `_r{resolve}`. Equal recipes derive equal descriptors, which is
+    /// what the benchmark enumeration dedupes on.
+    pub fn descriptor(&self) -> String {
+        let mut tag = if self.sequential {
+            format!("seq_k{}", self.k)
+        } else {
+            format!("lockstep_k{}_{}", self.k, schedule_tag(&self.batch))
+        };
+        if self.threads > 1 {
+            tag.push_str(&format!("_t{}", self.threads));
+        }
+        if self.occ_sample_rate != DEFAULT_OCC_RATE {
+            tag.push_str(&format!("_occ{}", self.occ_sample_rate));
+        }
+        if self.sa_sample_rate != DEFAULT_SA_RATE {
+            tag.push_str(&format!("_sa{}", self.sa_sample_rate));
+        }
+        if let Some(rate) = self.k_occ_sample_rate {
+            if rate != KStepBuildConfig::for_k(self.k).k_occ_sample_rate {
+                tag.push_str(&format!("_kocc{rate}"));
+            }
+        }
+        tag
+    }
+}
+
+/// The schedule fragment of a descriptor: a preset name when the whole
+/// [`BatchConfig`] matches one, otherwise the search fragment plus an
+/// `_r{...}` resolver fragment.
+fn schedule_tag(batch: &BatchConfig) -> String {
+    for (preset, name) in [
+        (BatchConfig::default(), "plain"),
+        (BatchConfig::sorted(), "sorted"),
+        (BatchConfig::locality(), "locality"),
+    ] {
+        if *batch == preset {
+            return name.to_string();
+        }
+        // Same search half, different resolver: preset name + override.
+        if batch.sort_by_interval == preset.sort_by_interval
+            && batch.prefetch_distance == preset.prefetch_distance
+        {
+            return format!("{name}_r{}", resolve_tag(&batch.resolve));
+        }
+    }
+    format!(
+        "sort{}_pf{}_r{}",
+        u8::from(batch.sort_by_interval),
+        batch.prefetch_distance,
+        resolve_tag(&batch.resolve)
+    )
+}
+
+/// The resolver fragment: preset name or explicit knobs.
+fn resolve_tag(resolve: &ResolveConfig) -> String {
+    for (preset, name) in [
+        (ResolveConfig::default(), "plain"),
+        (ResolveConfig::sorted(), "sorted"),
+        (ResolveConfig::locality(), "locality"),
+    ] {
+        if *resolve == preset {
+            return name.to_string();
+        }
+    }
+    format!(
+        "sort{}_pf{}",
+        u8::from(resolve.sort_by_row),
+        resolve.prefetch_distance
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBatch;
+    use exma_genome::alphabet::parse_bases;
+    use exma_genome::genome::text_from_str;
+
+    #[test]
+    fn descriptors_derive_from_every_field() {
+        assert_eq!(EngineBuilder::new().descriptor(), "lockstep_k4_locality");
+        assert_eq!(
+            EngineBuilder::new().k(1).sequential().descriptor(),
+            "seq_k1"
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .k(2)
+                .schedule(BatchConfig::default())
+                .descriptor(),
+            "lockstep_k2_plain"
+        );
+        assert_eq!(
+            EngineBuilder::new().threads(8).descriptor(),
+            "lockstep_k4_locality_t8"
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .resolve(ResolveConfig::default())
+                .descriptor(),
+            "lockstep_k4_locality_rplain"
+        );
+        assert_eq!(
+            EngineBuilder::new().sa_sample_rate(16).descriptor(),
+            "lockstep_k4_locality_sa16"
+        );
+        assert_eq!(
+            EngineBuilder::new().k_occ_sample_rate(128).descriptor(),
+            "lockstep_k4_locality_kocc128"
+        );
+        // The k-dependent kocc default derives no fragment.
+        assert_eq!(
+            EngineBuilder::new().k_occ_sample_rate(256).descriptor(),
+            "lockstep_k4_locality"
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .schedule(BatchConfig {
+                    sort_by_interval: false,
+                    prefetch_distance: 3,
+                    resolve: ResolveConfig::sorted(),
+                })
+                .descriptor(),
+            "lockstep_k4_sort0_pf3_rsorted"
+        );
+    }
+
+    #[test]
+    fn build_config_fills_k_dependent_defaults() {
+        let config = EngineBuilder::new().k(2).build_config();
+        assert_eq!(config.k, 2);
+        assert_eq!(config.k_occ_sample_rate, 128);
+        assert_eq!(
+            EngineBuilder::new()
+                .k(2)
+                .k_occ_sample_rate(999)
+                .build_config()
+                .k_occ_sample_rate,
+            999
+        );
+    }
+
+    #[test]
+    fn every_attached_flavor_answers_identically() {
+        let text = text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap();
+        let batch = QueryBatch::new()
+            .count(parse_bases("CAT").unwrap())
+            .locate(parse_bases("A").unwrap())
+            .interval(parse_bases("TAGA").unwrap());
+        let one = FmIndex::from_text(&text);
+        let oracle = EngineBuilder::new().k(1).sequential().attach_one_step(&one);
+        let (expected, _) = oracle.run(&batch);
+
+        for k in [1usize, 2, 4] {
+            let builder = EngineBuilder::new().k(k);
+            let index = builder.build_index(&text);
+            for flavor in [
+                builder.sequential(),
+                builder,
+                builder.schedule(BatchConfig::default()),
+                builder.threads(3),
+            ] {
+                let exec = flavor.attach(&index);
+                assert_eq!(exec.run(&batch).0, expected, "{}", flavor.descriptor());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match builder k")]
+    fn attach_rejects_mismatched_k() {
+        let text = text_from_str("CATAGA").unwrap();
+        let index = EngineBuilder::new().k(2).build_index(&text);
+        let _ = EngineBuilder::new().k(4).attach(&index);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential k=1 recipe")]
+    fn one_step_attach_rejects_lockstep_recipes() {
+        let text = text_from_str("CATAGA").unwrap();
+        let one = FmIndex::from_text(&text);
+        let _ = EngineBuilder::new().attach_one_step(&one);
+    }
+}

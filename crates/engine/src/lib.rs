@@ -9,41 +9,62 @@
 //! the round immediately, which on real read sets (where most error-bearing
 //! seeds match nothing) shrinks the working set round over round.
 //!
-//! This crate reproduces that scheduling shape in software on top of
-//! [`exma_index::KStepFmIndex`] and sharpens it for a cache hierarchy:
-//! a [`BatchConfig`] can sort each round's live queries by suffix-array
-//! interval so table accesses walk memory in address order, and can
-//! software-prefetch the blocks upcoming queries will touch so their DRAM
-//! fetches overlap the current refinement. The same treatment extends to
-//! `locate`: [`BatchEngine::run_locate`] feeds every finished query's
-//! suffix-array interval into one shared lockstep resolver worklist
-//! ([`exma_index::BatchResolver`]) with a pooled output buffer
-//! ([`LocateResults`]), converting the per-row LF-walks' dependent-miss
-//! chains into overlapped independent streams. [`ShardedEngine`] then
-//! splits a batch across scoped threads — queries are independent and the
-//! index is `Sync`, so sharding scales with cores without changing any
-//! answer.
+//! The crate exposes one execution surface for all of it: a typed
+//! [`QueryBatch`] carries any mix of [`QueryRequest::Count`],
+//! [`QueryRequest::Locate`] (optionally hit-capped) and
+//! [`QueryRequest::Interval`] queries, and an [`Executor`] answers the
+//! whole batch in one run with pooled [`QueryResults`]. The lockstep
+//! implementations share one pipeline regardless of the mix: every
+//! query's backward search advances through the same round-loop —
+//! optionally interval-sorted and software-prefetched
+//! ([`BatchConfig`]) — and then every locate query's interval rows feed
+//! one shared lockstep resolver worklist
+//! ([`exma_index::BatchResolver`]'s machinery) that retires positions
+//! into the pooled buffer, honoring per-query `max_hits` caps at round
+//! boundaries. [`ShardedEngine`] splits a batch across scoped threads
+//! (short-circuiting to the serial path at one thread), and a reusable
+//! [`QueryArena`] makes steady-state submissions allocation-free.
+//! [`EngineBuilder`] is the one place index parameters, schedules, and
+//! thread counts combine into an executor — each combination deriving a
+//! canonical descriptor string the benchmark harness enumerates.
 //!
 //! ```
+//! use exma_engine::{EngineBuilder, Executor, QueryBatch, QueryOutput};
 //! use exma_genome::{Genome, GenomeProfile};
-//! use exma_index::{FmIndex, KStepFmIndex};
-//! use exma_engine::BatchEngine;
+//! use exma_index::FmIndex;
 //!
 //! let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
-//! let index = KStepFmIndex::from_genome(&genome, 4);
-//! let engine = BatchEngine::new(&index);
+//! let builder = EngineBuilder::new().k(4);
+//! let index = builder.build_index(&genome.text_with_sentinel());
+//! let engine = builder.attach(&index);
 //!
-//! let patterns = vec![genome.seq().slice(100, 21), genome.seq().slice(500, 33)];
-//! let counts = engine.count_batch(&patterns);
+//! // One submission, three operations.
+//! let batch = QueryBatch::new()
+//!     .count(genome.seq().slice(100, 21))
+//!     .locate(genome.seq().slice(500, 33))
+//!     .locate_capped(genome.seq().slice(40, 3), 4);
+//! let (results, stats) = engine.run(&batch);
+//!
 //! let one_step = FmIndex::from_genome(&genome);
-//! assert_eq!(counts[0], one_step.count(&patterns[0]));
-//! assert_eq!(counts[1], one_step.count(&patterns[1]));
+//! assert_eq!(results.count(0), one_step.count(&genome.seq().slice(100, 21)));
+//! assert_eq!(
+//!     results.positions(1),
+//!     &one_step.locate(&genome.seq().slice(500, 33))[..]
+//! );
+//! assert!(results.positions(2).len() <= 4);
+//! assert!(stats.rounds >= 1);
 //! ```
 
 pub mod batch;
+pub mod builder;
+pub mod exec;
 pub mod locate;
+pub mod query;
 pub mod shard;
 
 pub use batch::{BatchConfig, BatchEngine, BatchStats, DEFAULT_PREFETCH_DISTANCE};
+pub use builder::EngineBuilder;
+pub use exec::Executor;
 pub use locate::LocateResults;
+pub use query::{QueryArena, QueryBatch, QueryOutput, QueryRequest, QueryResults};
 pub use shard::ShardedEngine;

@@ -70,28 +70,6 @@ impl LocateResults {
         self.iter().map(<[u32]>::to_vec).collect()
     }
 
-    /// Reserves exact capacity for a merge of `positions` total positions
-    /// over `queries` queries, so the subsequent [`LocateResults::append`]
-    /// calls never grow the buffers by amortized doubling — keeping
-    /// [`LocateResults::heap_bytes`]'s exact-footprint promise.
-    pub(crate) fn reserve_exact(&mut self, positions: usize, queries: usize) {
-        self.flat.reserve_exact(positions);
-        self.offsets.reserve_exact(queries + 1);
-    }
-
-    /// Appends another batch's results after this one's, rebasing its
-    /// offsets — how the sharded engine stitches per-shard pools back
-    /// into input order.
-    pub(crate) fn append(&mut self, other: &LocateResults) {
-        let base = self.flat.len();
-        self.flat.extend_from_slice(&other.flat);
-        if self.offsets.is_empty() {
-            self.offsets.push(0);
-        }
-        self.offsets
-            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
-    }
-
     /// Heap bytes of the pooled buffers (both exact-sized by the
     /// resolver's contract, so this is true footprint).
     pub fn heap_bytes(&self) -> usize {
@@ -128,34 +106,11 @@ mod tests {
     }
 
     #[test]
-    fn append_rebases_offsets() {
-        let mut merged = LocateResults::default();
-        assert_eq!(merged.len(), 0);
-        merged.append(&sample());
-        merged.append(&LocateResults::from_parts(vec![5], vec![0, 1]));
-        assert_eq!(merged.len(), 4);
-        assert_eq!(merged.positions(2), &[9, 2]);
-        assert_eq!(merged.positions(3), &[5]);
-    }
-
-    #[test]
-    fn reserved_merge_stays_exact_sized() {
-        // Pre-reserving the merged totals keeps heap_bytes honest: the
-        // appends must not grow the buffers past their contents.
-        let shards = [sample(), LocateResults::from_parts(vec![5], vec![0, 1])];
-        let mut merged = LocateResults::default();
-        merged.reserve_exact(
-            shards.iter().map(LocateResults::total_positions).sum(),
-            shards.iter().map(LocateResults::len).sum(),
-        );
-        for shard in &shards {
-            merged.append(shard);
-        }
-        assert_eq!(merged.flat.capacity(), merged.flat.len());
-        assert_eq!(merged.offsets.capacity(), merged.offsets.len());
+    fn heap_bytes_track_the_pooled_buffers() {
+        let results = sample();
         assert_eq!(
-            merged.heap_bytes(),
-            merged.total_positions() * 4 + (merged.len() + 1) * std::mem::size_of::<usize>()
+            results.heap_bytes(),
+            results.flat.capacity() * 4 + results.offsets.capacity() * std::mem::size_of::<usize>()
         );
     }
 

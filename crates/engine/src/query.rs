@@ -1,0 +1,503 @@
+//! The typed query surface: requests, batches, pooled results, and the
+//! reusable arena every [`crate::Executor`] runs through.
+//!
+//! Four PRs of hot-path work left the engine with six overlapping
+//! entry points (`search_batch`, `count_batch`, `run_locate`, ...), each
+//! fixing one operation for the whole batch. A production batch is not
+//! that uniform: a read mapper counts some seeds, locates others — often
+//! with a per-seed hit cap — and wants raw suffix-array intervals for
+//! the rest. This module replaces the per-op methods with data: a
+//! [`QueryRequest`] names the operation (and its limits) per query, a
+//! [`QueryBatch`] carries any mix of them in one submission, and a
+//! [`QueryResults`] returns every answer through one pooled buffer —
+//! the flat/offsets design of [`crate::LocateResults`], extended with a
+//! per-query [`QueryOutput`] tag. A [`QueryArena`] owns every piece of
+//! scratch an execution needs, so a caller that keeps one arena across
+//! submissions allocates nothing in steady state.
+
+use std::ops::Range;
+
+use exma_genome::Base;
+use exma_index::{ResolveArena, UNCAPPED};
+
+use crate::batch::SearchScratch;
+
+/// What one query of a [`QueryBatch`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// Number of occurrences of the pattern.
+    Count,
+    /// Occurrence positions, optionally capped: with
+    /// `max_hits: Some(h)` at most `h` positions come back and the
+    /// resolver stops walking the query's remaining interval rows once
+    /// the cap is hit (see
+    /// [`exma_index::FmIndex::resolve_range_capped_into`] for the
+    /// deterministic selection rule).
+    Locate {
+        /// `None` resolves every occurrence.
+        max_hits: Option<u32>,
+    },
+    /// The raw suffix-array interval of the pattern — for callers that
+    /// schedule their own resolution or cache intervals across batches.
+    Interval,
+}
+
+impl QueryRequest {
+    /// An uncapped locate.
+    pub fn locate() -> QueryRequest {
+        QueryRequest::Locate { max_hits: None }
+    }
+
+    /// A locate returning at most `max_hits` positions.
+    pub fn locate_capped(max_hits: u32) -> QueryRequest {
+        QueryRequest::Locate {
+            max_hits: Some(max_hits),
+        }
+    }
+
+    /// The resolver-facing cap of a locate request (`None` for the
+    /// other operations, which never feed the resolver).
+    pub(crate) fn resolver_cap(&self) -> Option<u32> {
+        match *self {
+            QueryRequest::Locate { max_hits } => Some(max_hits.unwrap_or(UNCAPPED)),
+            _ => None,
+        }
+    }
+}
+
+/// A batch of typed queries: any mix of counts, (capped) locates, and
+/// interval requests, submitted to an [`crate::Executor`] in one call.
+///
+/// ```
+/// use exma_engine::{EngineBuilder, Executor, QueryBatch, QueryOutput};
+/// use exma_genome::{Genome, GenomeProfile};
+///
+/// let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+/// let index = EngineBuilder::new().k(2).build_index(&genome.text_with_sentinel());
+/// let engine = EngineBuilder::new().k(2).attach(&index);
+///
+/// let batch = QueryBatch::new()
+///     .count(genome.seq().slice(100, 21))
+///     .locate(genome.seq().slice(500, 33))
+///     .locate_capped(genome.seq().slice(40, 4), 5)
+///     .interval(genome.seq().slice(900, 12));
+/// let (results, _stats) = engine.run(&batch);
+///
+/// assert!(matches!(results.output(0), QueryOutput::Count(n) if n >= 1));
+/// assert!(results.positions(1).contains(&500));
+/// assert!(results.positions(2).len() <= 5);
+/// assert!(results.interval(3).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryBatch {
+    requests: Vec<QueryRequest>,
+    patterns: Vec<Vec<Base>>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> QueryBatch {
+        QueryBatch::default()
+    }
+
+    /// Appends one query.
+    pub fn push(&mut self, request: QueryRequest, pattern: impl AsRef<[Base]>) {
+        self.requests.push(request);
+        self.patterns.push(pattern.as_ref().to_vec());
+    }
+
+    /// Appends a count query (builder style).
+    pub fn count(mut self, pattern: impl AsRef<[Base]>) -> QueryBatch {
+        self.push(QueryRequest::Count, pattern);
+        self
+    }
+
+    /// Appends an uncapped locate query (builder style).
+    pub fn locate(mut self, pattern: impl AsRef<[Base]>) -> QueryBatch {
+        self.push(QueryRequest::locate(), pattern);
+        self
+    }
+
+    /// Appends a locate query keeping at most `max_hits` positions
+    /// (builder style).
+    pub fn locate_capped(mut self, pattern: impl AsRef<[Base]>, max_hits: u32) -> QueryBatch {
+        self.push(QueryRequest::locate_capped(max_hits), pattern);
+        self
+    }
+
+    /// Appends an interval query (builder style).
+    pub fn interval(mut self, pattern: impl AsRef<[Base]>) -> QueryBatch {
+        self.push(QueryRequest::Interval, pattern);
+        self
+    }
+
+    /// A batch asking the same `request` of every pattern — how the
+    /// uniform workloads (all-count, all-locate) are spelled.
+    pub fn uniform<P: AsRef<[Base]>>(
+        request: QueryRequest,
+        patterns: impl IntoIterator<Item = P>,
+    ) -> QueryBatch {
+        let mut batch = QueryBatch::new();
+        for pattern in patterns {
+            batch.push(request, pattern);
+        }
+        batch
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` iff the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Query `i`'s request.
+    pub fn request(&self, i: usize) -> QueryRequest {
+        self.requests[i]
+    }
+
+    /// Query `i`'s pattern.
+    pub fn pattern(&self, i: usize) -> &[Base] {
+        &self.patterns[i]
+    }
+
+    /// All requests, in query order.
+    pub fn requests(&self) -> &[QueryRequest] {
+        &self.requests
+    }
+
+    /// All patterns, in query order.
+    pub fn patterns(&self) -> &[Vec<Base>] {
+        &self.patterns
+    }
+
+    /// Contiguous shards of at most `shard_len` queries — how the
+    /// sharded engine splits a batch across workers.
+    pub(crate) fn shards(
+        &self,
+        shard_len: usize,
+    ) -> impl Iterator<Item = (&[QueryRequest], &[Vec<Base>])> {
+        self.requests
+            .chunks(shard_len)
+            .zip(self.patterns.chunks(shard_len))
+    }
+}
+
+/// The per-query tag of a [`QueryResults`] entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Occurrence count of a [`QueryRequest::Count`] query.
+    Count(u32),
+    /// Suffix-array interval of a [`QueryRequest::Interval`] query
+    /// (`lo == hi` means no occurrences).
+    Interval {
+        /// First row of the interval.
+        lo: u32,
+        /// One past the last row.
+        hi: u32,
+    },
+    /// A [`QueryRequest::Locate`] query whose positions sit in the
+    /// pooled buffer ([`QueryResults::positions`]).
+    Located {
+        /// `true` iff `max_hits` cut the output short of the full
+        /// occurrence list.
+        truncated: bool,
+    },
+}
+
+/// Pooled answers of one executed [`QueryBatch`].
+///
+/// Every located position lives in one flat buffer delimited by
+/// per-query offsets (non-locate queries own a zero-width slice), and
+/// each query carries a [`QueryOutput`] tag — the same two-allocation
+/// shape as [`crate::LocateResults`], extended to mixed operations. A
+/// recycled instance (via [`QueryArena`]) keeps its buffers' capacity,
+/// so repeated batches of similar shape allocate nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryResults {
+    /// All located positions, concatenated in query order.
+    flat: Vec<u32>,
+    /// `offsets[i]..offsets[i + 1]` delimits query `i` in `flat`; empty
+    /// only before any batch ran (a 0-query batch still yields `[0]`).
+    offsets: Vec<usize>,
+    /// Query `i`'s output tag.
+    outputs: Vec<QueryOutput>,
+}
+
+impl QueryResults {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` iff the batch held no queries.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Query `i`'s output tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn output(&self, i: usize) -> QueryOutput {
+        self.outputs[i]
+    }
+
+    /// Every query's output tag, in query order.
+    pub fn outputs(&self) -> &[QueryOutput] {
+        &self.outputs
+    }
+
+    /// Query `i`'s located positions, sorted ascending — empty unless
+    /// the query was a [`QueryRequest::Locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn positions(&self, i: usize) -> &[u32] {
+        &self.flat[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Query `i`'s occurrence count, whatever its operation: the stored
+    /// count, the interval width, or the number of *kept* positions
+    /// (which a capped locate may have truncated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn count(&self, i: usize) -> usize {
+        match self.outputs[i] {
+            QueryOutput::Count(n) => n as usize,
+            QueryOutput::Interval { lo, hi } => (hi - lo) as usize,
+            QueryOutput::Located { .. } => self.offsets[i + 1] - self.offsets[i],
+        }
+    }
+
+    /// Query `i`'s suffix-array interval, if it was a
+    /// [`QueryRequest::Interval`] query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn interval(&self, i: usize) -> Option<Range<usize>> {
+        match self.outputs[i] {
+            QueryOutput::Interval { lo, hi } => Some(lo as usize..hi as usize),
+            _ => None,
+        }
+    }
+
+    /// The pooled buffer itself: every located position in query order.
+    /// Checksum and aggregation passes can fold this directly.
+    pub fn all_positions(&self) -> &[u32] {
+        &self.flat
+    }
+
+    /// Total located positions across all queries.
+    pub fn total_positions(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Heap bytes of the pooled buffers (capacity-based: a recycled
+    /// instance reports its high-water footprint).
+    pub fn heap_bytes(&self) -> usize {
+        self.flat.capacity() * 4
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.outputs.capacity() * std::mem::size_of::<QueryOutput>()
+    }
+
+    /// Clears for a new batch of `queries` queries, keeping capacity.
+    pub(crate) fn reset(&mut self, queries: usize) {
+        self.flat.clear();
+        self.offsets.clear();
+        self.offsets.reserve(queries + 1);
+        self.offsets.push(0);
+        self.outputs.clear();
+        self.outputs.reserve(queries);
+    }
+
+    /// The flat position pool, for the resolver to fill in place.
+    /// Offsets are rebuilt afterwards by the `push_*` calls.
+    pub(crate) fn flat_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.flat
+    }
+
+    /// Appends a query that owns no positions (count or interval).
+    pub(crate) fn push_tag(&mut self, output: QueryOutput) {
+        debug_assert!(!matches!(output, QueryOutput::Located { .. }));
+        self.offsets
+            .push(*self.offsets.last().expect("reset first"));
+        self.outputs.push(output);
+    }
+
+    /// Appends a located query whose next `width` pooled positions are
+    /// already in `flat` (the resolver wrote them there).
+    pub(crate) fn push_located(&mut self, width: usize, truncated: bool) {
+        let end = self.offsets.last().expect("reset first") + width;
+        debug_assert!(end <= self.flat.len());
+        self.offsets.push(end);
+        self.outputs.push(QueryOutput::Located { truncated });
+    }
+
+    /// Appends a located query by copying `positions` into the pool —
+    /// the sequential executors' path.
+    pub(crate) fn push_positions(&mut self, positions: &[u32], truncated: bool) {
+        self.flat.extend_from_slice(positions);
+        self.offsets.push(self.flat.len());
+        self.outputs.push(QueryOutput::Located { truncated });
+    }
+
+    /// Appends another batch's results after this one's, rebasing its
+    /// offsets — how the sharded engine stitches per-shard pools back
+    /// into input order.
+    pub(crate) fn append(&mut self, other: &QueryResults) {
+        let base = self.flat.len();
+        self.flat.extend_from_slice(&other.flat);
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+        self.outputs.extend_from_slice(&other.outputs);
+    }
+
+    /// Splits into the pooled buffers — the legacy
+    /// [`crate::LocateResults`] wrappers convert through this.
+    pub(crate) fn into_flat_parts(self) -> (Vec<u32>, Vec<usize>) {
+        (self.flat, self.offsets)
+    }
+}
+
+/// Every piece of scratch one [`crate::Executor`] run needs: the pooled
+/// [`QueryResults`], the searched intervals, the resolver feed, and the
+/// lockstep worklists. All buffers keep their high-water capacity, so a
+/// caller that reuses one arena across submissions reaches a steady
+/// state where [`crate::Executor::run_into`] allocates nothing.
+/// (The sharded engine's workers each use a worker-local arena; the
+/// caller's arena still pools the merged results.)
+#[derive(Debug, Default)]
+pub struct QueryArena {
+    /// The batch's pooled answers.
+    pub(crate) results: QueryResults,
+    /// Searched suffix-array interval of every query.
+    pub(crate) intervals: Vec<Range<usize>>,
+    /// Intervals of the locate queries, in query order — the resolver
+    /// worklist feed.
+    pub(crate) locate_intervals: Vec<Range<usize>>,
+    /// Hit caps aligned with `locate_intervals`.
+    pub(crate) caps: Vec<u32>,
+    /// The resolver's offsets over `locate_intervals`.
+    pub(crate) locate_offsets: Vec<usize>,
+    /// Lockstep search worklists.
+    pub(crate) search: SearchScratch,
+    /// Lockstep resolver worklists and staging.
+    pub(crate) resolve: ResolveArena,
+    /// Per-query buffer of the sequential executors.
+    pub(crate) seq_buf: Vec<u32>,
+}
+
+impl QueryArena {
+    /// A fresh arena; buffers warm up over the first submissions.
+    pub fn new() -> QueryArena {
+        QueryArena::default()
+    }
+
+    /// The last run's results, by reference.
+    pub fn results(&self) -> &QueryResults {
+        &self.results
+    }
+
+    /// Moves the last run's results out (the arena's result buffers
+    /// start cold again; prefer [`QueryArena::results`] when pooling).
+    pub fn take_results(&mut self) -> QueryResults {
+        std::mem::take(&mut self.results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builders_record_requests_in_order() {
+        let base = |s: &str| exma_genome::alphabet::parse_bases(s).unwrap();
+        let batch = QueryBatch::new()
+            .count(base("ACG"))
+            .locate(base("T"))
+            .locate_capped(base("GG"), 3)
+            .interval(base(""));
+        assert_eq!(batch.len(), 4);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.request(0), QueryRequest::Count);
+        assert_eq!(batch.request(1), QueryRequest::locate());
+        assert_eq!(batch.request(2), QueryRequest::locate_capped(3));
+        assert_eq!(batch.request(3), QueryRequest::Interval);
+        assert_eq!(batch.pattern(0), &base("ACG")[..]);
+        assert!(batch.pattern(3).is_empty());
+
+        let uniform = QueryBatch::uniform(QueryRequest::Count, [base("A"), base("C")]);
+        assert_eq!(uniform.requests(), &[QueryRequest::Count; 2]);
+    }
+
+    #[test]
+    fn resolver_caps_only_exist_for_locates() {
+        assert_eq!(QueryRequest::Count.resolver_cap(), None);
+        assert_eq!(QueryRequest::Interval.resolver_cap(), None);
+        assert_eq!(QueryRequest::locate().resolver_cap(), Some(UNCAPPED));
+        assert_eq!(QueryRequest::locate_capped(7).resolver_cap(), Some(7));
+    }
+
+    #[test]
+    fn results_assembly_and_accessors_line_up() {
+        let mut results = QueryResults::default();
+        results.reset(4);
+        results.push_tag(QueryOutput::Count(5));
+        results.push_positions(&[3, 9], false);
+        results.push_tag(QueryOutput::Interval { lo: 2, hi: 6 });
+        results.push_positions(&[1], true);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results.count(0), 5);
+        assert_eq!(results.positions(0), &[] as &[u32]);
+        assert_eq!(results.positions(1), &[3, 9]);
+        assert_eq!(results.count(2), 4);
+        assert_eq!(results.interval(2), Some(2..6));
+        assert_eq!(results.interval(1), None);
+        assert_eq!(results.output(3), QueryOutput::Located { truncated: true });
+        assert_eq!(results.count(3), 1);
+        assert_eq!(results.all_positions(), &[3, 9, 1]);
+        assert_eq!(results.total_positions(), 3);
+    }
+
+    #[test]
+    fn append_rebases_offsets_and_outputs() {
+        let mut a = QueryResults::default();
+        a.reset(1);
+        a.push_positions(&[4, 8], false);
+        let mut b = QueryResults::default();
+        b.reset(2);
+        b.push_tag(QueryOutput::Count(2));
+        b.push_positions(&[6], false);
+        let mut merged = QueryResults::default();
+        merged.reset(0);
+        merged.append(&a);
+        merged.append(&b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.positions(0), &[4, 8]);
+        assert_eq!(merged.count(1), 2);
+        assert_eq!(merged.positions(2), &[6]);
+    }
+
+    #[test]
+    fn arena_hands_results_out_both_ways() {
+        let mut arena = QueryArena::new();
+        arena.results.reset(1);
+        arena.results.push_tag(QueryOutput::Count(3));
+        assert_eq!(arena.results().len(), 1);
+        let taken = arena.take_results();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(arena.results().len(), 0);
+    }
+}

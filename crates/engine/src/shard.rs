@@ -1,29 +1,38 @@
 //! Multi-threaded query sharding over the batch engine.
 //!
-//! A batch of backward searches is embarrassingly parallel: queries never
-//! exchange state, and the [`exma_index::KStepFmIndex`] is read-only and
-//! `Sync`. This module splits a batch into contiguous shards — one per
-//! worker — and runs each shard's lockstep rounds on its own
-//! [`std::thread::scope`] thread. Scoped threads keep the engine
+//! A batch of queries is embarrassingly parallel: queries never exchange
+//! state, and the [`exma_index::KStepFmIndex`] is read-only and `Sync`.
+//! The [`crate::Executor`] impl of [`ShardedEngine`] splits a
+//! [`crate::QueryBatch`] into contiguous shards — one per worker — and
+//! runs each shard's lockstep rounds (search *and* locate resolution) on
+//! its own [`std::thread::scope`] thread. Scoped threads keep the engine
 //! dependency-free (no rayon, the container builds offline) while still
 //! borrowing the index and patterns without `Arc` plumbing. Results come
-//! back in input order; per-shard [`BatchStats`] are merged.
+//! back in input order; per-shard [`BatchStats`] are merged. With
+//! `threads == 1` the sharded path short-circuits to the serial
+//! [`crate::BatchEngine`] — no spawn, no merge — so a one-thread
+//! executor costs exactly what the serial engine costs.
 
 use std::ops::Range;
 
 use exma_genome::Base;
 use exma_index::KStepFmIndex;
 
-use crate::batch::{BatchConfig, BatchEngine, BatchStats};
+use crate::batch::{BatchConfig, BatchStats};
+use crate::exec::Executor;
 use crate::locate::LocateResults;
+use crate::query::{QueryBatch, QueryRequest};
 
 /// A sharded, multi-threaded batch engine over a [`KStepFmIndex`].
 ///
-/// Each of `threads` workers runs a [`BatchEngine`] (with this engine's
-/// [`BatchConfig`]) on one contiguous shard of the batch. Answers are
+/// Each of `threads` workers runs a [`crate::BatchEngine`] (with this
+/// engine's [`BatchConfig`]) on one contiguous shard of the batch. Answers are
 /// identical to single-threaded execution for any thread count — shard
 /// boundaries only move work between workers, never change it — and are
 /// property-tested to be.
+///
+/// Run it through the [`crate::Executor`] trait with a
+/// [`crate::QueryBatch`]; construct it through [`crate::EngineBuilder`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedEngine<'a> {
     index: &'a KStepFmIndex,
@@ -75,115 +84,51 @@ impl<'a> ShardedEngine<'a> {
         self.config
     }
 
-    /// Runs `work` on every shard concurrently and concatenates the
-    /// shards' output `Vec`s back into input order. `patterns.chunks`
-    /// yields shards in order, threads are joined in spawn order, so
-    /// concatenation restores the input permutation exactly.
-    fn run_sharded<P, T>(
-        &self,
-        patterns: &[P],
-        work: impl Fn(BatchEngine<'a>, &[P]) -> (Vec<T>, BatchStats) + Sync,
-    ) -> (Vec<T>, BatchStats)
-    where
-        P: AsRef<[Base]> + Sync,
-        T: Send,
-    {
-        let engine = BatchEngine::with_config(self.index, self.config);
-        if self.threads == 1 || patterns.len() <= 1 {
-            return work(engine, patterns);
-        }
-        let shard_len = patterns.len().div_ceil(self.threads);
-        let shards: Vec<(Vec<T>, BatchStats)> = std::thread::scope(|scope| {
-            let workers: Vec<_> = patterns
-                .chunks(shard_len)
-                .map(|shard| {
-                    let work = &work;
-                    scope.spawn(move || work(engine, shard))
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|worker| worker.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let mut merged = Vec::with_capacity(patterns.len());
-        let mut stats = BatchStats::default();
-        for (results, shard_stats) in shards {
-            merged.extend(results);
-            stats.absorb_shard(shard_stats);
-        }
-        (merged, stats)
-    }
-
     /// Suffix-array intervals for every pattern, in input order — each
     /// identical to `index.backward_search(pattern)` regardless of thread
     /// count.
-    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<Range<usize>> {
+    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
+    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
+        #[allow(deprecated)]
         self.search_batch_with_stats(patterns).0
     }
 
-    /// [`ShardedEngine::search_batch`] plus merged execution counters.
+    /// Suffix-array intervals plus merged execution counters.
+    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
     pub fn search_batch_with_stats(
         &self,
-        patterns: &[impl AsRef<[Base]> + Sync],
+        patterns: &[impl AsRef<[Base]>],
     ) -> (Vec<Range<usize>>, BatchStats) {
-        self.run_sharded(patterns, |engine, shard| {
-            engine.search_batch_with_stats(shard)
-        })
+        let batch = QueryBatch::uniform(QueryRequest::Interval, patterns);
+        let (results, stats) = self.run(&batch);
+        let intervals = (0..results.len())
+            .map(|i| results.interval(i).expect("interval request"))
+            .collect();
+        (intervals, stats)
     }
 
     /// Occurrence counts for every pattern, in input order.
-    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<usize> {
-        self.search_batch(patterns)
-            .into_iter()
-            .map(|range| range.len())
-            .collect()
+    #[deprecated(note = "submit a QueryBatch of Count requests through Executor::run")]
+    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
+        let batch = QueryBatch::uniform(QueryRequest::Count, patterns);
+        let (results, _) = self.run(&batch);
+        (0..results.len()).map(|i| results.count(i)).collect()
     }
 
-    /// The sharded batched `locate` pipeline: each worker runs
-    /// [`BatchEngine::run_locate`] on its shard — lockstep searches, then
-    /// a shared resolver worklist over the shard's intervals with a pooled
-    /// output buffer — and the per-shard pools are stitched back into
-    /// input order. Shard boundaries only move cursors between workers'
-    /// worklists, so answers (ordering included) are identical to
-    /// single-threaded execution at any thread count.
-    pub fn run_locate(
-        &self,
-        patterns: &[impl AsRef<[Base]> + Sync],
-    ) -> (LocateResults, BatchStats) {
-        let engine = BatchEngine::with_config(self.index, self.config);
-        if self.threads == 1 || patterns.len() <= 1 {
-            return engine.run_locate(patterns);
-        }
-        let shard_len = patterns.len().div_ceil(self.threads);
-        let shards: Vec<(LocateResults, BatchStats)> = std::thread::scope(|scope| {
-            let workers: Vec<_> = patterns
-                .chunks(shard_len)
-                .map(|shard| scope.spawn(move || engine.run_locate(shard)))
-                .collect();
-            workers
-                .into_iter()
-                .map(|worker| worker.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let mut merged = LocateResults::default();
-        merged.reserve_exact(
-            shards.iter().map(|(r, _)| r.total_positions()).sum(),
-            shards.iter().map(|(r, _)| r.len()).sum(),
-        );
-        let mut stats = BatchStats::default();
-        for (results, shard_stats) in &shards {
-            merged.append(results);
-            stats.absorb_shard(*shard_stats);
-        }
-        (merged, stats)
+    /// The sharded batched locate pipeline with pooled output, stitched
+    /// back into input order.
+    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
+    pub fn run_locate(&self, patterns: &[impl AsRef<[Base]>]) -> (LocateResults, BatchStats) {
+        let batch = QueryBatch::uniform(QueryRequest::locate(), patterns);
+        let (results, stats) = self.run(&batch);
+        let (flat, offsets) = results.into_flat_parts();
+        (LocateResults::from_parts(flat, offsets), stats)
     }
 
-    /// Sorted occurrence positions for every pattern, in input order —
-    /// [`ShardedEngine::run_locate`] exploded into one `Vec` per query.
-    /// Each worker resolves its own shard's interval rows, so `locate`'s
-    /// lockstep LF-walks parallelize along with the searches.
-    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]> + Sync]) -> Vec<Vec<u32>> {
+    /// Sorted occurrence positions for every pattern, in input order.
+    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
+    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
+        #[allow(deprecated)]
         self.run_locate(patterns).0.into_vecs()
     }
 }
@@ -191,85 +136,81 @@ impl<'a> ShardedEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::BatchEngine;
+    use crate::query::QueryOutput;
     use exma_genome::alphabet::parse_bases;
     use exma_genome::genome::text_from_str;
 
-    fn fig3_engine_input() -> (KStepFmIndex, Vec<Vec<Base>>) {
+    fn fig3_batch() -> (KStepFmIndex, QueryBatch) {
         let index = KStepFmIndex::from_text(&text_from_str("CATAGA").unwrap(), 2);
-        let patterns = ["A", "TA", "AGA", "CATAGA", "GG", ""]
-            .iter()
-            .map(|p| parse_bases(p).unwrap())
-            .collect();
-        (index, patterns)
+        let mut batch = QueryBatch::new();
+        for (i, p) in ["A", "TA", "AGA", "CATAGA", "GG", ""].iter().enumerate() {
+            let pattern = parse_bases(p).unwrap();
+            match i % 3 {
+                0 => batch.push(QueryRequest::Count, pattern),
+                1 => batch.push(QueryRequest::locate(), pattern),
+                _ => batch.push(QueryRequest::Interval, pattern),
+            }
+        }
+        (index, batch)
     }
 
     #[test]
     fn any_thread_count_matches_the_batch_engine() {
-        let (index, patterns) = fig3_engine_input();
-        let expected = BatchEngine::new(&index).search_batch(&patterns);
-        for threads in [1, 2, 3, 6, 9] {
-            let sharded = ShardedEngine::new(&index, threads);
-            assert_eq!(
-                sharded.search_batch(&patterns),
-                expected,
-                "{threads} threads"
-            );
-            assert_eq!(
-                sharded.count_batch(&patterns),
-                vec![3, 1, 1, 1, 0, 7],
-                "{threads} threads"
-            );
+        let (index, batch) = fig3_batch();
+        let (expected, expected_stats) =
+            BatchEngine::with_config(&index, BatchConfig::locality()).run(&batch);
+        for threads in [1usize, 2, 3, 6, 9] {
+            let (results, stats) = ShardedEngine::new(&index, threads).run(&batch);
+            assert_eq!(results, expected, "{threads} threads");
+            // Sharding moves work between workers but never changes its
+            // total; no shard can run more rounds than the whole batch's
+            // longest query.
+            assert_eq!(stats.steps, expected_stats.steps, "{threads} threads");
+            assert_eq!(stats.peak_live, expected_stats.peak_live);
+            assert_eq!(stats.cursors_retired, expected_stats.cursors_retired);
+            assert_eq!(stats.resolve_lf_steps, expected_stats.resolve_lf_steps);
+            assert!(stats.rounds <= expected_stats.rounds);
+            assert!(stats.resolve_rounds <= expected_stats.resolve_rounds);
         }
     }
 
     #[test]
-    fn locate_shards_in_input_order() {
-        let (index, patterns) = fig3_engine_input();
-        let expected = BatchEngine::new(&index).locate_batch(&patterns);
-        for threads in [2, 4] {
-            assert_eq!(
-                ShardedEngine::new(&index, threads).locate_batch(&patterns),
-                expected
-            );
-        }
+    fn one_thread_short_circuits_to_the_serial_engine() {
+        // threads == 1 must take the serial path — identical results AND
+        // identical stats shape (a spawned shard would still merge, but
+        // the short-circuit is observable through the arena: the serial
+        // path pools into the caller's arena with no append pass).
+        let (index, batch) = fig3_batch();
+        let serial = BatchEngine::with_config(&index, BatchConfig::locality());
+        let sharded = ShardedEngine::new(&index, 1);
+        let mut arena = crate::query::QueryArena::new();
+        let stats = sharded.run_into(&batch, &mut arena);
+        let (expected, expected_stats) = serial.run(&batch);
+        assert_eq!(arena.results(), &expected);
+        assert_eq!(stats, expected_stats);
     }
 
     #[test]
-    fn run_locate_merges_shard_pools_in_input_order() {
-        let (index, patterns) = fig3_engine_input();
-        let (single, single_stats) =
-            BatchEngine::with_config(&index, BatchConfig::locality()).run_locate(&patterns);
-        for threads in [2usize, 3, 5] {
-            let (merged, stats) = ShardedEngine::new(&index, threads).run_locate(&patterns);
-            assert_eq!(merged, single, "{threads} threads");
-            // Resolver work moves between workers but never changes in
-            // total; no shard can run more resolve rounds than the whole
-            // batch's deepest cursor walk.
-            assert_eq!(stats.cursors_retired, single_stats.cursors_retired);
-            assert_eq!(stats.resolve_lf_steps, single_stats.resolve_lf_steps);
-            assert!(stats.resolve_rounds <= single_stats.resolve_rounds);
+    fn mixed_outputs_survive_ragged_sharding() {
+        let (index, batch) = fig3_batch();
+        // 6 queries on 4 threads: shards of 2, 2, 2 — and on 5 threads:
+        // 2, 2, 2 ragged. Tags must come back in input order either way.
+        for threads in [4usize, 5] {
+            let (results, _) = ShardedEngine::new(&index, threads).run(&batch);
+            assert!(matches!(results.output(0), QueryOutput::Count(3)));
+            assert_eq!(results.positions(1), &[2]);
+            assert!(results.interval(2).is_some());
+            assert!(matches!(results.output(3), QueryOutput::Count(1)));
+            assert_eq!(results.positions(4), &[] as &[u32]);
+            assert_eq!(results.interval(5), Some(0..7));
         }
-    }
-
-    #[test]
-    fn merged_stats_preserve_total_work() {
-        let (index, patterns) = fig3_engine_input();
-        let (_, single) = BatchEngine::with_config(&index, BatchConfig::locality())
-            .search_batch_with_stats(&patterns);
-        let (_, merged) = ShardedEngine::new(&index, 3).search_batch_with_stats(&patterns);
-        // Sharding moves refinements between workers but never changes
-        // their total, and no shard can run more rounds than the whole
-        // batch's longest query.
-        assert_eq!(merged.steps, single.steps);
-        assert_eq!(merged.peak_live, single.peak_live);
-        assert!(merged.rounds <= single.rounds);
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let (index, _) = fig3_engine_input();
-        let empty: Vec<Vec<Base>> = Vec::new();
-        let (results, stats) = ShardedEngine::new(&index, 4).search_batch_with_stats(&empty);
+        let (index, _) = fig3_batch();
+        let (results, stats) = ShardedEngine::new(&index, 4).run(&QueryBatch::new());
         assert!(results.is_empty());
         assert_eq!(stats, BatchStats::default());
     }
@@ -277,7 +218,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_is_rejected() {
-        let (index, _) = fig3_engine_input();
+        let (index, _) = fig3_batch();
         let _ = ShardedEngine::new(&index, 0);
     }
 }

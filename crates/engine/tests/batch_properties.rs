@@ -2,14 +2,16 @@
 //! dead-query dropping must be invisible in the answers, and so must every
 //! scheduling refinement layered on top — interval sorting, software
 //! prefetch, and multi-threaded sharding. For k ∈ {1, 2, 4} the batched
-//! `count`/`locate` results over hundreds of random patterns — tails with
+//! count/interval results over hundreds of random patterns — tails with
 //! `len % k != 0`, empty patterns, absent patterns — must equal the
 //! sequential 1-step `FmIndex` and the naive oracle, for every schedule
-//! and any thread count.
+//! and any thread count, all through the unified `Executor` surface.
 
-use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
+use exma_engine::{
+    BatchConfig, BatchEngine, EngineBuilder, Executor, QueryBatch, QueryRequest, ShardedEngine,
+};
 use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
-use exma_index::{naive, FmIndex, KStepFmIndex};
+use exma_index::{naive, FmIndex, KStepFmIndex, ResolveConfig};
 
 fn toy_genome() -> Genome {
     Genome::synthesize(&GenomeProfile::toy(), 42)
@@ -41,19 +43,19 @@ fn batch_agrees_with_one_step_on_600_patterns() {
     let genome = toy_genome();
     let one = FmIndex::from_genome(&genome);
     let patterns = pattern_mix(&genome, 600, 47);
-    let expected_counts: Vec<usize> = patterns.iter().map(|p| one.count(p)).collect();
+    let batch = QueryBatch::uniform(QueryRequest::Interval, &patterns);
 
     for k in [1usize, 2, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
         let engine = BatchEngine::new(&index);
-        let (intervals, stats) = engine.search_batch_with_stats(&patterns);
-        assert_eq!(engine.count_batch(&patterns), expected_counts, "k={k}");
+        let (results, stats) = engine.run(&batch);
         for (i, pattern) in patterns.iter().enumerate() {
             assert_eq!(
-                intervals[i],
-                one.backward_search(pattern),
+                results.interval(i),
+                Some(one.backward_search(pattern)),
                 "k={k}, pattern #{i}"
             );
+            assert_eq!(results.count(i), one.count(pattern), "k={k}, #{i}");
         }
         // Dropping must actually happen: random absent patterns die early,
         // so the engine issues far fewer refinements than rounds x batch.
@@ -73,6 +75,7 @@ fn sorted_and_prefetching_schedules_agree_with_one_step_on_600_patterns() {
     let genome = toy_genome();
     let one = FmIndex::from_genome(&genome);
     let patterns = pattern_mix(&genome, 600, 61);
+    let batch = QueryBatch::uniform(QueryRequest::Interval, &patterns);
     let expected: Vec<_> = patterns.iter().map(|p| one.backward_search(p)).collect();
 
     for k in [1usize, 2, 4] {
@@ -83,11 +86,18 @@ fn sorted_and_prefetching_schedules_agree_with_one_step_on_600_patterns() {
             BatchConfig {
                 sort_by_interval: true,
                 prefetch_distance: 1,
-                ..BatchConfig::default()
+                resolve: ResolveConfig::default(),
             },
         ] {
             let engine = BatchEngine::with_config(&index, config);
-            assert_eq!(engine.search_batch(&patterns), expected, "k={k} {config:?}");
+            let (results, _) = engine.run(&batch);
+            for (i, expect) in expected.iter().enumerate() {
+                assert_eq!(
+                    results.interval(i),
+                    Some(expect.clone()),
+                    "k={k} {config:?} #{i}"
+                );
+            }
         }
     }
 }
@@ -97,23 +107,16 @@ fn sharded_engine_agrees_with_one_step_on_600_patterns() {
     let genome = toy_genome();
     let one = FmIndex::from_genome(&genome);
     let patterns = pattern_mix(&genome, 600, 67);
-    let expected_intervals: Vec<_> = patterns.iter().map(|p| one.backward_search(p)).collect();
-    let expected_counts: Vec<usize> = expected_intervals.iter().map(|r| r.len()).collect();
+    let batch = QueryBatch::uniform(QueryRequest::Count, &patterns);
+    let expected_counts: Vec<usize> = patterns.iter().map(|p| one.count(p)).collect();
 
     for k in [2usize, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
         for threads in [2usize, 4, 8] {
             let engine = ShardedEngine::new(&index, threads);
-            assert_eq!(
-                engine.search_batch(&patterns),
-                expected_intervals,
-                "k={k}, {threads} threads"
-            );
-            assert_eq!(
-                engine.count_batch(&patterns),
-                expected_counts,
-                "k={k}, {threads} threads"
-            );
+            let (results, _) = engine.run(&batch);
+            let counts: Vec<usize> = (0..results.len()).map(|i| results.count(i)).collect();
+            assert_eq!(counts, expected_counts, "k={k}, {threads} threads");
         }
     }
 }
@@ -123,23 +126,22 @@ fn thread_count_never_changes_answers() {
     // 1, 2 and 7 threads: 7 does not divide 600, so the last shard is
     // ragged — results must still come back identical, in input order.
     let genome = toy_genome();
-    let index = KStepFmIndex::from_genome(&genome, 4);
+    let builder = EngineBuilder::new().k(4);
+    let index = builder.build_index(&genome.text_with_sentinel());
     let patterns = pattern_mix(&genome, 600, 71);
-    let reference = ShardedEngine::new(&index, 1);
-    let expected_intervals = reference.search_batch(&patterns);
-    let expected_locates = reference.locate_batch(&patterns);
+    let mut batch = QueryBatch::new();
+    for (i, p) in patterns.iter().enumerate() {
+        match i % 3 {
+            0 => batch.push(QueryRequest::Count, p),
+            1 => batch.push(QueryRequest::locate(), p),
+            _ => batch.push(QueryRequest::Interval, p),
+        }
+    }
+    let (expected, _) = builder.attach(&index).run(&batch);
     for threads in [2usize, 7] {
-        let engine = ShardedEngine::new(&index, threads);
-        assert_eq!(
-            engine.search_batch(&patterns),
-            expected_intervals,
-            "{threads} threads"
-        );
-        assert_eq!(
-            engine.locate_batch(&patterns),
-            expected_locates,
-            "{threads} threads"
-        );
+        let engine = builder.threads(threads).attach(&index);
+        let (results, _) = engine.run(&batch);
+        assert_eq!(results, expected, "{threads} threads");
     }
 }
 
@@ -149,11 +151,11 @@ fn sorted_schedule_never_issues_more_steps() {
     // bench harness gates on the same property at benchmark scale.
     let genome = toy_genome();
     let patterns = pattern_mix(&genome, 600, 73);
+    let batch = QueryBatch::uniform(QueryRequest::Count, &patterns);
     for k in [2usize, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
-        let (_, plain) = BatchEngine::new(&index).search_batch_with_stats(&patterns);
-        let (_, sorted) = BatchEngine::with_config(&index, BatchConfig::sorted())
-            .search_batch_with_stats(&patterns);
+        let (_, plain) = BatchEngine::new(&index).run(&batch);
+        let (_, sorted) = BatchEngine::with_config(&index, BatchConfig::sorted()).run(&batch);
         assert!(
             sorted.steps <= plain.steps,
             "k={k}: sorted issued {} steps, unsorted {}",
@@ -167,13 +169,14 @@ fn sorted_schedule_never_issues_more_steps() {
 fn batch_locate_agrees_with_naive_scan() {
     let genome = toy_genome();
     let patterns = pattern_mix(&genome, 200, 53);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     for k in [2usize, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
-        let located = BatchEngine::new(&index).locate_batch(&patterns);
+        let (results, _) = BatchEngine::new(&index).run(&batch);
         for (i, pattern) in patterns.iter().enumerate() {
             assert_eq!(
-                located[i],
-                naive::occurrences(genome.seq(), pattern),
+                results.positions(i),
+                &naive::occurrences(genome.seq(), pattern)[..],
                 "k={k}, pattern #{i}"
             );
         }
@@ -186,8 +189,9 @@ fn single_pattern_batches_behave() {
     let index = KStepFmIndex::from_genome(&genome, 4);
     let engine = BatchEngine::new(&index);
     for pattern in pattern_mix(&genome, 40, 59) {
-        let batch = vec![pattern.clone()];
-        assert_eq!(engine.count_batch(&batch), vec![index.count(&pattern)]);
+        let batch = QueryBatch::new().count(&pattern);
+        let (results, _) = engine.run(&batch);
+        assert_eq!(results.count(0), index.count(&pattern));
     }
 }
 
@@ -203,7 +207,7 @@ fn rounds_track_the_longest_survivor() {
         .iter()
         .map(|&len| genome.seq().slice(1000, len))
         .collect();
-    let (_, stats) = engine.search_batch_with_stats(&patterns);
+    let (_, stats) = engine.run(&QueryBatch::uniform(QueryRequest::Count, &patterns));
     assert_eq!(stats.rounds, 37 / k + 1);
     assert_eq!(stats.peak_live, 4);
 }

@@ -1,0 +1,92 @@
+//! Regression coverage of the deprecated free-form entry points.
+//!
+//! The six pre-`QueryBatch` methods (`search_batch`,
+//! `search_batch_with_stats`, `count_batch`, `run_locate`,
+//! `locate_batch`, `locate_batch_per_row`) survive as thin wrappers over
+//! the unified `Executor` pipeline so downstream callers migrate on
+//! their own schedule. This file is the **only** sanctioned
+//! `allow(deprecated)` call site outside the wrappers themselves — CI
+//! greps for strays — and pins the wrappers to the answers the new
+//! surface gives.
+#![allow(deprecated)]
+
+use exma_engine::{BatchEngine, Executor, QueryBatch, QueryRequest, ShardedEngine};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::KStepFmIndex;
+
+fn setup() -> (Genome, KStepFmIndex, Vec<Vec<Base>>) {
+    let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+    let index = KStepFmIndex::from_genome(&genome, 4);
+    let mut rng = SeededRng::new(211);
+    let patterns = (0..150)
+        .map(|i| {
+            if i % 50 == 0 {
+                return Vec::new();
+            }
+            let len = rng.range(1, 30);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        })
+        .collect();
+    (genome, index, patterns)
+}
+
+#[test]
+fn legacy_wrappers_answer_like_the_query_pipeline() {
+    let (_, index, patterns) = setup();
+    let engine = BatchEngine::new(&index);
+    let sharded = ShardedEngine::new(&index, 3);
+
+    let (intervals, _) = engine.run(&QueryBatch::uniform(QueryRequest::Interval, &patterns));
+    let (counts, _) = engine.run(&QueryBatch::uniform(QueryRequest::Count, &patterns));
+    let (locates, _) = engine.run(&QueryBatch::uniform(QueryRequest::locate(), &patterns));
+
+    assert_eq!(
+        engine.search_batch(&patterns),
+        (0..intervals.len())
+            .map(|i| intervals.interval(i).unwrap())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        engine.count_batch(&patterns),
+        (0..counts.len())
+            .map(|i| counts.count(i))
+            .collect::<Vec<_>>()
+    );
+    let (pooled, stats) = engine.run_locate(&patterns);
+    assert_eq!(pooled.all_positions(), locates.all_positions());
+    assert!(stats.cursors_retired > 0);
+    assert_eq!(
+        engine.locate_batch(&patterns),
+        (0..locates.len())
+            .map(|i| locates.positions(i).to_vec())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        engine.locate_batch_per_row(&patterns),
+        engine.locate_batch(&patterns)
+    );
+
+    // The sharded wrappers agree too, at a ragged thread count.
+    assert_eq!(
+        sharded.search_batch(&patterns),
+        engine.search_batch(&patterns)
+    );
+    assert_eq!(
+        sharded.count_batch(&patterns),
+        engine.count_batch(&patterns)
+    );
+    assert_eq!(
+        sharded.locate_batch(&patterns),
+        engine.locate_batch(&patterns)
+    );
+    let (sharded_pool, _) = sharded.run_locate(&patterns);
+    assert_eq!(sharded_pool, pooled);
+    let (_, sharded_stats) = sharded.search_batch_with_stats(&patterns);
+    let (_, serial_stats) = engine.search_batch_with_stats(&patterns);
+    assert_eq!(sharded_stats.steps, serial_stats.steps);
+}

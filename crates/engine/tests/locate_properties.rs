@@ -1,14 +1,14 @@
 //! Acceptance property of the batched locate pipeline: converting serial
 //! per-row LF-walks into lockstep resolver rounds — with or without row
 //! sorting, software prefetch, or thread sharding — must be invisible in
-//! the answers. For k ∈ {1, 2, 4} and every resolve schedule, `run_locate`
-//! over hundreds of random patterns (tails with `len % k != 0`, empty
-//! patterns, absent patterns, and high-occurrence short repeats) must
-//! equal the sequential 1-step `FmIndex::locate`, the naive text scan,
-//! and the per-row `locate_batch_per_row` path — ordering included, per
-//! the `resolve_range_into` sorted-ascending contract.
+//! the answers. For k ∈ {1, 2, 4} and every resolve schedule, a
+//! `QueryBatch` of locates over hundreds of random patterns (tails with
+//! `len % k != 0`, empty patterns, absent patterns, and high-occurrence
+//! short repeats) must equal the sequential 1-step `FmIndex::locate`,
+//! the naive text scan, and the per-row `resolve_range_into` path —
+//! ordering included, per the sorted-ascending contract.
 
-use exma_engine::{BatchConfig, BatchEngine, ShardedEngine};
+use exma_engine::{BatchConfig, BatchEngine, Executor, QueryBatch, QueryRequest, ShardedEngine};
 use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
 use exma_index::{naive, FmIndex, KStepFmIndex, ResolveConfig};
 
@@ -70,17 +70,18 @@ fn engine_with_resolve(index: &KStepFmIndex, resolve: ResolveConfig) -> BatchEng
 }
 
 #[test]
-fn run_locate_agrees_with_one_step_locate_on_600_patterns() {
+fn locate_batches_agree_with_one_step_locate_on_600_patterns() {
     let genome = toy_genome();
     let one = FmIndex::from_genome(&genome);
     let patterns = locate_pattern_mix(&genome, 600, 83);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
 
     for k in [1usize, 2, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
         for config in resolve_configs() {
             let engine = engine_with_resolve(&index, config);
-            let (results, stats) = engine.run_locate(&patterns);
+            let (results, stats) = engine.run(&batch);
             assert_eq!(results.len(), patterns.len());
             for (i, expect) in expected.iter().enumerate() {
                 assert_eq!(
@@ -93,6 +94,7 @@ fn run_locate_agrees_with_one_step_locate_on_600_patterns() {
             // SA sampling rate's round bound.
             let total: usize = expected.iter().map(Vec::len).sum();
             assert_eq!(stats.cursors_retired, total, "k={k}, {config:?}");
+            assert_eq!(stats.cursors_dropped, 0, "k={k}, {config:?}");
             assert!(
                 stats.resolve_rounds <= index.base_index().sampled_sa().sample_rate(),
                 "k={k}, {config:?}: {} rounds",
@@ -103,13 +105,13 @@ fn run_locate_agrees_with_one_step_locate_on_600_patterns() {
 }
 
 #[test]
-fn run_locate_agrees_with_naive_scan() {
+fn locate_batches_agree_with_naive_scan() {
     let genome = toy_genome();
     let patterns = locate_pattern_mix(&genome, 200, 89);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     for k in [2usize, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
-        let (results, _) =
-            engine_with_resolve(&index, ResolveConfig::locality()).run_locate(&patterns);
+        let (results, _) = engine_with_resolve(&index, ResolveConfig::locality()).run(&batch);
         for (i, pattern) in patterns.iter().enumerate() {
             assert_eq!(
                 results.positions(i),
@@ -121,17 +123,26 @@ fn run_locate_agrees_with_naive_scan() {
 }
 
 #[test]
-fn run_locate_is_ordering_identical_to_the_per_row_path() {
+fn locate_batches_are_ordering_identical_to_the_per_row_path() {
     // The resolver retires cursors in whatever round their walk ends, so
     // ordering agreement with the serial path is a real property, not a
     // tautology — `resolve_range_into`'s contract is sorted ascending.
     let genome = toy_genome();
     let patterns = locate_pattern_mix(&genome, 400, 97);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     let index = KStepFmIndex::from_genome(&genome, 4);
+    let base = index.base_index();
+    let per_row: Vec<Vec<u32>> = patterns
+        .iter()
+        .map(|p| {
+            let mut out = Vec::new();
+            base.resolve_range_into(index.backward_search(p), &mut out);
+            out
+        })
+        .collect();
     for config in resolve_configs() {
         let engine = engine_with_resolve(&index, config);
-        let per_row = engine.locate_batch_per_row(&patterns);
-        let (results, _) = engine.run_locate(&patterns);
+        let (results, _) = engine.run(&batch);
         for (i, expect) in per_row.iter().enumerate() {
             assert_eq!(results.positions(i), &expect[..], "{config:?}, #{i}");
             let mut sorted = expect.clone();
@@ -145,8 +156,9 @@ fn run_locate_is_ordering_identical_to_the_per_row_path() {
 fn every_positions_slice_is_sorted_ascending() {
     let genome = toy_genome();
     let patterns = locate_pattern_mix(&genome, 300, 101);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     let index = KStepFmIndex::from_genome(&genome, 4);
-    let (results, _) = engine_with_resolve(&index, ResolveConfig::locality()).run_locate(&patterns);
+    let (results, _) = engine_with_resolve(&index, ResolveConfig::locality()).run(&batch);
     for i in 0..results.len() {
         assert!(
             results.positions(i).windows(2).all(|w| w[0] < w[1]),
@@ -163,11 +175,11 @@ fn sharded_locate_is_thread_count_invariant() {
     let genome = toy_genome();
     let index = KStepFmIndex::from_genome(&genome, 4);
     let patterns = locate_pattern_mix(&genome, 600, 103);
-    let reference = ShardedEngine::new(&index, 1);
-    let (expected, expected_stats) = reference.run_locate(&patterns);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
+    let (expected, expected_stats) = ShardedEngine::new(&index, 1).run(&batch);
     for threads in [2usize, 7] {
         let engine = ShardedEngine::new(&index, threads);
-        let (results, stats) = engine.run_locate(&patterns);
+        let (results, stats) = engine.run(&batch);
         assert_eq!(results, expected, "{threads} threads");
         // Sharding moves cursors between workers but never changes the
         // total resolution work.
@@ -178,19 +190,23 @@ fn sharded_locate_is_thread_count_invariant() {
 }
 
 #[test]
-fn sharded_locate_batch_agrees_with_one_step() {
+fn sharded_locate_agrees_with_one_step() {
     let genome = toy_genome();
     let one = FmIndex::from_genome(&genome);
     let patterns = locate_pattern_mix(&genome, 300, 107);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     let expected: Vec<Vec<u32>> = patterns.iter().map(|p| one.locate(p)).collect();
     for k in [2usize, 4] {
         let index = KStepFmIndex::from_genome(&genome, k);
         for threads in [2usize, 4] {
-            assert_eq!(
-                ShardedEngine::new(&index, threads).locate_batch(&patterns),
-                expected,
-                "k={k}, {threads} threads"
-            );
+            let (results, _) = ShardedEngine::new(&index, threads).run(&batch);
+            for (i, expect) in expected.iter().enumerate() {
+                assert_eq!(
+                    results.positions(i),
+                    &expect[..],
+                    "k={k}, {threads} threads, #{i}"
+                );
+            }
         }
     }
 }
@@ -201,9 +217,9 @@ fn sorted_resolver_issues_identical_work() {
     // remove any — the same acceptance shape the search scheduler has.
     let genome = toy_genome();
     let patterns = locate_pattern_mix(&genome, 600, 109);
+    let batch = QueryBatch::uniform(QueryRequest::locate(), &patterns);
     let index = KStepFmIndex::from_genome(&genome, 4);
-    let stats_of =
-        |resolve: ResolveConfig| engine_with_resolve(&index, resolve).run_locate(&patterns).1;
+    let stats_of = |resolve: ResolveConfig| engine_with_resolve(&index, resolve).run(&batch).1;
     let plain = stats_of(ResolveConfig::default());
     for config in [ResolveConfig::sorted(), ResolveConfig::locality()] {
         let stats = stats_of(config);

@@ -201,15 +201,73 @@ impl FmIndex {
     }
 
     /// The suffix-array value of `row`, via the sampled suffix array.
-    pub fn resolve_row(&self, mut row: usize) -> u32 {
+    pub fn resolve_row(&self, row: usize) -> u32 {
+        self.resolve_row_with_steps(row).0
+    }
+
+    /// [`FmIndex::resolve_row`] plus the LF-walk length it took — the
+    /// round number in which a lockstep resolver cursor for this row
+    /// retires, which is what the capped-locate rule below is defined
+    /// over.
+    pub fn resolve_row_with_steps(&self, mut row: usize) -> (u32, u32) {
         let mut steps = 0u32;
         loop {
             if let Some(pos) = self.ssa.get(row) {
-                return pos + steps;
+                return (pos + steps, steps);
             }
             row = self.lf(row);
             steps += 1;
         }
+    }
+
+    /// Capped interval resolution — the sequential reference for
+    /// `QueryRequest::Locate { max_hits }`. Keeps at most `max_hits`
+    /// positions of `rows`, chosen by the deterministic round rule the
+    /// lockstep resolver enforces: let a row's *round* be its LF-walk
+    /// length to a sampled mark, and `R` the first round by which at
+    /// least `max_hits` rows have resolved; the kept positions are the
+    /// `max_hits` smallest among the rows resolving within round `R`.
+    /// (Rows resolving in round `R` itself all still count — the cap is
+    /// checked at round boundaries — so the rule is independent of any
+    /// within-round processing order, which is what makes capped answers
+    /// identical across schedules, engines, and thread counts.)
+    ///
+    /// Returns `true` iff the cap actually truncated the output. `out`
+    /// is cleared first and left sorted ascending; with
+    /// `max_hits >= rows.len()` this is exactly
+    /// [`FmIndex::resolve_range_into`].
+    pub fn resolve_range_capped_into(
+        &self,
+        rows: Range<usize>,
+        max_hits: u32,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        let total = rows.len();
+        if max_hits as usize >= total {
+            self.resolve_range_into(rows, out);
+            return false;
+        }
+        out.clear();
+        if max_hits == 0 {
+            return total > 0;
+        }
+        // (round, position) of every row; ascending sort puts the
+        // cap-th earliest retirement at index max_hits - 1, whose round
+        // is R.
+        let mut walks: Vec<(u32, u32)> = rows
+            .map(|row| {
+                let (pos, steps) = self.resolve_row_with_steps(row);
+                (steps, pos)
+            })
+            .collect();
+        walks.sort_unstable();
+        let last_round = walks[max_hits as usize - 1].0;
+        let candidates = walks.partition_point(|&(steps, _)| steps <= last_round);
+        let mut kept: Vec<u32> = walks[..candidates].iter().map(|&(_, pos)| pos).collect();
+        kept.sort_unstable();
+        kept.truncate(max_hits as usize);
+        out.extend_from_slice(&kept);
+        true
     }
 
     /// Heap bytes of all index components.
@@ -291,6 +349,46 @@ mod tests {
     fn pattern_longer_than_text_has_no_hits() {
         let fm = fig3_index();
         assert_eq!(fm.count(&parse_bases("CATAGACATAGA").unwrap()), 0);
+    }
+
+    #[test]
+    fn capped_resolution_truncates_deterministically() {
+        let text = text_from_str("CCATAGACATTAGACCATAGGACATAGACC").unwrap();
+        let fm = FmIndex::from_text_with_config(
+            &text,
+            FmBuildConfig {
+                occ_sample_rate: 7,
+                sa_sample_rate: 5,
+            },
+        );
+        let rows = fm.backward_search(&parse_bases("A").unwrap());
+        let full = fm.locate(&parse_bases("A").unwrap());
+        assert!(full.len() >= 4);
+        let mut out = Vec::new();
+        // Cap at or above the hit count: identical to the uncapped path,
+        // not truncated.
+        for cap in [full.len() as u32, u32::MAX] {
+            assert!(!fm.resolve_range_capped_into(rows.clone(), cap, &mut out));
+            assert_eq!(out, full);
+        }
+        // Tight caps: exactly `cap` positions, sorted ascending, every
+        // one a real hit.
+        for cap in 0..full.len() as u32 {
+            assert!(fm.resolve_range_capped_into(rows.clone(), cap, &mut out));
+            assert_eq!(out.len(), cap as usize);
+            assert!(out.windows(2).all(|w| w[0] < w[1]));
+            assert!(out.iter().all(|p| full.contains(p)), "cap {cap}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_row_with_steps_agrees_with_resolve_row() {
+        let fm = fig3_index();
+        for row in 0..fm.text_len() {
+            let (pos, steps) = fm.resolve_row_with_steps(row);
+            assert_eq!(pos, fm.resolve_row(row));
+            assert!((steps as usize) < fm.sampled_sa().sample_rate());
+        }
     }
 
     #[test]

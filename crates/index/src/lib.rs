@@ -36,5 +36,8 @@ pub use fm::{FmBuildConfig, FmIndex};
 pub use kocc::KmerOccTable;
 pub use kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};
 pub use occ::OccTable;
-pub use resolve::{BatchResolver, ResolveConfig, ResolveStats, DEFAULT_RESOLVE_PREFETCH_DISTANCE};
+pub use resolve::{
+    resolve_capped_with_arena, BatchResolver, ResolveArena, ResolveConfig, ResolveStats,
+    DEFAULT_RESOLVE_PREFETCH_DISTANCE, UNCAPPED,
+};
 pub use sampled_sa::{RankBits, SampledSuffixArray};

@@ -19,10 +19,19 @@
 //! order (block locality) instead of jumping wherever the previous LF
 //! landed.
 //!
-//! Answers are identical to the per-row path by construction — the same
-//! rows take the same LF-walks, only interleaved — and each interval's
-//! output is sorted ascending per the [`FmIndex::resolve_range_into`]
-//! contract; both properties are property-tested at the engine layer.
+//! Intervals can carry a **hit cap** (`max_hits` of a
+//! `QueryRequest::Locate`): once an interval has retired its cap's worth
+//! of cursors, its surviving cursors are dropped from the worklist at the
+//! end of that round, bounding both the output and the remaining LF work.
+//! The kept positions follow the deterministic round-based rule of
+//! [`FmIndex::resolve_range_capped_into`], so capped answers are
+//! identical across every schedule, engine, and thread count.
+//!
+//! Uncapped answers are identical to the per-row path by construction —
+//! the same rows take the same LF-walks, only interleaved — and each
+//! interval's output is sorted ascending per the
+//! [`FmIndex::resolve_range_into`] contract; both properties are
+//! property-tested at the engine layer.
 
 use std::ops::Range;
 
@@ -36,6 +45,9 @@ use crate::fm::FmIndex;
 /// DRAM fetch (~100 ns) completes before the round loop reaches the
 /// cursor, near enough that the lines are not evicted again first.
 pub const DEFAULT_RESOLVE_PREFETCH_DISTANCE: usize = 8;
+
+/// Hit-cap sentinel: an interval with this cap keeps every position.
+pub const UNCAPPED: u32 = u32::MAX;
 
 /// Scheduling knobs of a [`BatchResolver`] round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,11 +99,16 @@ pub struct ResolveStats {
     pub rounds: usize,
     /// Total LF steps issued across all cursors and rounds.
     pub lf_steps: usize,
-    /// Cursors retired (equals the total interval rows resolved). Divided
-    /// by `rounds` this is the mean cursors retired per round.
+    /// Cursors retired by hitting a sampled mark. Uncapped this equals
+    /// the total interval rows resolved; capped intervals may retire a
+    /// few more than their cap (the cap is checked at round boundaries)
+    /// before the surplus is trimmed out of the output.
     pub retired: usize,
     /// Cursors live in the widest round (the initial worklist).
     pub peak_live: usize,
+    /// Cursors dropped un-resolved because their interval hit its cap —
+    /// LF-walks the cap made unnecessary.
+    pub dropped: usize,
 }
 
 /// In-flight state of one interval row between rounds. Rows and output
@@ -106,11 +123,297 @@ struct Cursor {
     slot: u32,
 }
 
+/// A capped-path cursor additionally remembers which interval it belongs
+/// to, so round-boundary cap checks can drop its siblings.
+#[derive(Debug, Clone, Copy)]
+struct CappedCursor {
+    row: u32,
+    steps: u32,
+    slot: u32,
+    interval: u32,
+}
+
+/// Reusable scratch of the lockstep resolver: worklists, per-interval
+/// retirement counters, and the capped path's full-width staging buffer.
+/// A long-lived arena resolves many batches without reallocating — the
+/// buffers keep their high-water capacity across calls.
+#[derive(Debug, Clone, Default)]
+pub struct ResolveArena {
+    live: Vec<Cursor>,
+    next: Vec<Cursor>,
+    capped_live: Vec<CappedCursor>,
+    capped_next: Vec<CappedCursor>,
+    /// Cursors retired so far per interval (capped path only).
+    retired: Vec<u32>,
+    /// Prefix sums of *full* interval widths — the staging layout the
+    /// capped path resolves into before trimming to the caps.
+    full_offsets: Vec<usize>,
+    /// Full-width staging buffer; `UNCAPPED` marks unwritten slots.
+    staging: Vec<u32>,
+}
+
+/// Resolves every row of every interval into one pooled output: after
+/// the call, `flat[offsets[i]..offsets[i + 1]]` holds interval `i`'s
+/// text positions sorted ascending. With an empty `caps` (or every cap
+/// at [`UNCAPPED`]` >= len`), output is element-identical to running
+/// [`FmIndex::resolve_range_into`] on each interval; a capped interval
+/// keeps `min(cap, len)` positions chosen by the deterministic rule of
+/// [`FmIndex::resolve_range_capped_into`]. Both buffers are cleared
+/// first; `arena` supplies every piece of scratch, so steady-state calls
+/// allocate nothing once capacities are warm.
+///
+/// # Panics
+///
+/// Panics if `caps` is non-empty with a length different from
+/// `intervals`, an interval extends past the text, or the total row
+/// count does not fit the `u32` cursor slots.
+pub fn resolve_capped_with_arena(
+    fm: &FmIndex,
+    config: ResolveConfig,
+    intervals: &[Range<usize>],
+    caps: &[u32],
+    flat: &mut Vec<u32>,
+    offsets: &mut Vec<usize>,
+    arena: &mut ResolveArena,
+) -> ResolveStats {
+    assert!(
+        caps.is_empty() || caps.len() == intervals.len(),
+        "caps length {} does not match {} intervals",
+        caps.len(),
+        intervals.len()
+    );
+    for interval in intervals {
+        assert!(
+            interval.end <= fm.text_len(),
+            "interval {interval:?} extends past the text"
+        );
+    }
+    let cap_of = |i: usize| caps.get(i).copied().unwrap_or(UNCAPPED);
+    let any_capped = intervals
+        .iter()
+        .enumerate()
+        .any(|(i, r)| (cap_of(i) as usize) < r.len());
+    if any_capped {
+        resolve_capped(fm, config, intervals, &cap_of, flat, offsets, arena)
+    } else {
+        resolve_uncapped(fm, config, intervals, flat, offsets, arena)
+    }
+}
+
+/// The uncapped fast path: every row retires into a pre-assigned slot of
+/// the caller's `flat`, no staging copy.
+fn resolve_uncapped(
+    fm: &FmIndex,
+    config: ResolveConfig,
+    intervals: &[Range<usize>],
+    flat: &mut Vec<u32>,
+    offsets: &mut Vec<usize>,
+    arena: &mut ResolveArena,
+) -> ResolveStats {
+    offsets.clear();
+    offsets.reserve(intervals.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for interval in intervals {
+        total += interval.len();
+        offsets.push(total);
+    }
+    assert!(
+        total < u32::MAX as usize,
+        "worklist too large for u32 slots"
+    );
+    flat.clear();
+    flat.reserve(total);
+    flat.resize(total, 0);
+
+    arena.live.clear();
+    arena.live.reserve(total);
+    for (i, interval) in intervals.iter().enumerate() {
+        for (j, row) in interval.clone().enumerate() {
+            arena.live.push(Cursor {
+                row: row as u32,
+                steps: 0,
+                slot: (offsets[i] + j) as u32,
+            });
+        }
+    }
+
+    let mut stats = ResolveStats {
+        retired: total,
+        peak_live: arena.live.len(),
+        ..ResolveStats::default()
+    };
+    let ssa = fm.sampled_sa();
+    let occ = fm.occ();
+    let d = config.prefetch_distance;
+    while !arena.live.is_empty() {
+        stats.rounds += 1;
+        if config.sort_by_row {
+            arena.live.sort_unstable_by_key(|c| c.row);
+        }
+        for j in 0..arena.live.len() {
+            if d > 0 {
+                if let Some(ahead) = arena.live.get(j + d) {
+                    let row = ahead.row as usize;
+                    // The mark word decides retirement; the occ block
+                    // serves both `symbol(row)` and `rank(s, row)` of
+                    // the LF step (the hint is symbol-independent:
+                    // checkpoint row and codes share the block).
+                    ssa.prefetch(row);
+                    occ.prefetch_rank(Symbol::Sentinel, row);
+                }
+            }
+            let c = arena.live[j];
+            if let Some(pos) = ssa.get(c.row as usize) {
+                flat[c.slot as usize] = pos + c.steps;
+                continue; // retired in place
+            }
+            stats.lf_steps += 1;
+            arena.next.push(Cursor {
+                row: fm.lf(c.row as usize) as u32,
+                steps: c.steps + 1,
+                slot: c.slot,
+            });
+        }
+        std::mem::swap(&mut arena.live, &mut arena.next);
+        arena.next.clear();
+    }
+
+    // Cursors retire in whatever round their walk hits a mark, so a
+    // slot region holds its interval's positions unordered; restore
+    // the ascending order the per-row path guarantees.
+    for window in offsets.windows(2) {
+        flat[window[0]..window[1]].sort_unstable();
+    }
+    stats
+}
+
+/// The capped path: rows resolve into a full-width staging buffer; when
+/// an interval's retirements reach its cap, its surviving cursors are
+/// dropped at the round boundary (so the drop set never depends on the
+/// round's processing order); the staging regions are then sorted and
+/// the smallest `min(cap, len)` positions of each are copied out.
+fn resolve_capped(
+    fm: &FmIndex,
+    config: ResolveConfig,
+    intervals: &[Range<usize>],
+    cap_of: &dyn Fn(usize) -> u32,
+    flat: &mut Vec<u32>,
+    offsets: &mut Vec<usize>,
+    arena: &mut ResolveArena,
+) -> ResolveStats {
+    let full = &mut arena.full_offsets;
+    full.clear();
+    full.reserve(intervals.len() + 1);
+    let mut total = 0usize;
+    full.push(0);
+    for interval in intervals {
+        total += interval.len();
+        full.push(total);
+    }
+    assert!(
+        total < u32::MAX as usize,
+        "worklist too large for u32 slots"
+    );
+    arena.staging.clear();
+    arena.staging.resize(total, UNCAPPED);
+    arena.retired.clear();
+    arena.retired.resize(intervals.len(), 0);
+
+    arena.capped_live.clear();
+    for (i, interval) in intervals.iter().enumerate() {
+        if cap_of(i) == 0 {
+            continue; // nothing to keep: its rows never enter the worklist
+        }
+        for (j, row) in interval.clone().enumerate() {
+            arena.capped_live.push(CappedCursor {
+                row: row as u32,
+                steps: 0,
+                slot: (full[i] + j) as u32,
+                interval: i as u32,
+            });
+        }
+    }
+
+    let mut stats = ResolveStats {
+        peak_live: arena.capped_live.len(),
+        ..ResolveStats::default()
+    };
+    let ssa = fm.sampled_sa();
+    let occ = fm.occ();
+    let d = config.prefetch_distance;
+    while !arena.capped_live.is_empty() {
+        stats.rounds += 1;
+        if config.sort_by_row {
+            arena.capped_live.sort_unstable_by_key(|c| c.row);
+        }
+        let mut capped_round = false;
+        for j in 0..arena.capped_live.len() {
+            if d > 0 {
+                if let Some(ahead) = arena.capped_live.get(j + d) {
+                    let row = ahead.row as usize;
+                    ssa.prefetch(row);
+                    occ.prefetch_rank(Symbol::Sentinel, row);
+                }
+            }
+            let c = arena.capped_live[j];
+            if let Some(pos) = ssa.get(c.row as usize) {
+                arena.staging[c.slot as usize] = pos + c.steps;
+                stats.retired += 1;
+                let count = &mut arena.retired[c.interval as usize];
+                *count += 1;
+                capped_round |= *count >= cap_of(c.interval as usize);
+                continue; // retired in place
+            }
+            stats.lf_steps += 1;
+            arena.capped_next.push(CappedCursor {
+                row: fm.lf(c.row as usize) as u32,
+                steps: c.steps + 1,
+                slot: c.slot,
+                interval: c.interval,
+            });
+        }
+        // Cap enforcement happens here, at the round boundary: every
+        // cursor whose walk ends this round still retires (keeping the
+        // drop set independent of in-round processing order), and only
+        // then do capped intervals shed their survivors.
+        if capped_round {
+            let retired = &arena.retired;
+            let before = arena.capped_next.len();
+            arena
+                .capped_next
+                .retain(|c| retired[c.interval as usize] < cap_of(c.interval as usize));
+            stats.dropped += before - arena.capped_next.len();
+        }
+        std::mem::swap(&mut arena.capped_live, &mut arena.capped_next);
+        arena.capped_next.clear();
+    }
+
+    // Trim each staging region to its cap: ascending sort floats the
+    // resolved positions below the `UNCAPPED` fill, and taking the first
+    // `min(cap, len)` keeps the smallest positions among the rows that
+    // resolved before the cap closed the interval.
+    offsets.clear();
+    offsets.reserve(intervals.len() + 1);
+    flat.clear();
+    offsets.push(0);
+    for (i, interval) in intervals.iter().enumerate() {
+        let region = &mut arena.staging[full[i]..full[i + 1]];
+        region.sort_unstable();
+        let keep = (cap_of(i) as usize).min(interval.len());
+        flat.extend_from_slice(&region[..keep]);
+        offsets.push(flat.len());
+    }
+    stats
+}
+
 /// A lockstep multi-row resolver over a [`FmIndex`]'s sampled suffix
 /// array and occurrence table.
 ///
 /// Worklist scratch is owned by the resolver and reused across calls, so
 /// a long-lived resolver resolves many batches without reallocating.
+/// Callers that manage their own scratch (the engine's query arena) use
+/// [`resolve_capped_with_arena`] directly.
 ///
 /// ```
 /// use exma_genome::alphabet::parse_bases;
@@ -131,10 +434,7 @@ struct Cursor {
 pub struct BatchResolver<'a> {
     fm: &'a FmIndex,
     config: ResolveConfig,
-    /// Round worklist, double-buffered into `next` so the prefetch
-    /// look-ahead can peek at untouched entries.
-    live: Vec<Cursor>,
-    next: Vec<Cursor>,
+    arena: ResolveArena,
 }
 
 impl<'a> BatchResolver<'a> {
@@ -148,8 +448,7 @@ impl<'a> BatchResolver<'a> {
         BatchResolver {
             fm,
             config,
-            live: Vec::new(),
-            next: Vec::new(),
+            arena: ResolveArena::default(),
         }
     }
 
@@ -163,103 +462,35 @@ impl<'a> BatchResolver<'a> {
         self.config
     }
 
-    /// Resolves every row of every interval into one pooled output: after
-    /// the call, `flat[offsets[i]..offsets[i + 1]]` holds interval `i`'s
-    /// text positions sorted ascending — element-identical to running
-    /// [`FmIndex::resolve_range_into`] on each interval. Both buffers are
-    /// cleared first and sized exactly, so callers can pool them across
-    /// batches without the allocations drifting past the answer size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an interval extends past the text or the total row count
-    /// does not fit the `u32` cursor slots.
+    /// Uncapped resolution: see [`resolve_capped_with_arena`] with empty
+    /// caps.
     pub fn resolve_intervals(
         &mut self,
         intervals: &[Range<usize>],
         flat: &mut Vec<u32>,
         offsets: &mut Vec<usize>,
     ) -> ResolveStats {
-        offsets.clear();
-        offsets.reserve_exact(intervals.len() + 1);
-        let mut total = 0usize;
-        offsets.push(0);
-        for interval in intervals {
-            total += interval.len();
-            offsets.push(total);
-        }
-        assert!(
-            total < u32::MAX as usize,
-            "worklist too large for u32 slots"
-        );
-        flat.clear();
-        flat.reserve_exact(total);
-        flat.resize(total, 0);
+        self.resolve_intervals_capped(intervals, &[], flat, offsets)
+    }
 
-        self.live.clear();
-        self.live.reserve(total);
-        for (i, interval) in intervals.iter().enumerate() {
-            assert!(
-                interval.end <= self.fm.text_len(),
-                "interval {interval:?} extends past the text"
-            );
-            for (j, row) in interval.clone().enumerate() {
-                self.live.push(Cursor {
-                    row: row as u32,
-                    steps: 0,
-                    slot: (offsets[i] + j) as u32,
-                });
-            }
-        }
-
-        let mut stats = ResolveStats {
-            retired: total,
-            peak_live: self.live.len(),
-            ..ResolveStats::default()
-        };
-        let ssa = self.fm.sampled_sa();
-        let occ = self.fm.occ();
-        let d = self.config.prefetch_distance;
-        while !self.live.is_empty() {
-            stats.rounds += 1;
-            if self.config.sort_by_row {
-                self.live.sort_unstable_by_key(|c| c.row);
-            }
-            for j in 0..self.live.len() {
-                if d > 0 {
-                    if let Some(ahead) = self.live.get(j + d) {
-                        let row = ahead.row as usize;
-                        // The mark word decides retirement; the occ block
-                        // serves both `symbol(row)` and `rank(s, row)` of
-                        // the LF step (the hint is symbol-independent:
-                        // checkpoint row and codes share the block).
-                        ssa.prefetch(row);
-                        occ.prefetch_rank(Symbol::Sentinel, row);
-                    }
-                }
-                let c = self.live[j];
-                if let Some(pos) = ssa.get(c.row as usize) {
-                    flat[c.slot as usize] = pos + c.steps;
-                    continue; // retired in place
-                }
-                stats.lf_steps += 1;
-                self.next.push(Cursor {
-                    row: self.fm.lf(c.row as usize) as u32,
-                    steps: c.steps + 1,
-                    slot: c.slot,
-                });
-            }
-            std::mem::swap(&mut self.live, &mut self.next);
-            self.next.clear();
-        }
-
-        // Cursors retire in whatever round their walk hits a mark, so a
-        // slot region holds its interval's positions unordered; restore
-        // the ascending order the per-row path guarantees.
-        for window in offsets.windows(2) {
-            flat[window[0]..window[1]].sort_unstable();
-        }
-        stats
+    /// Capped resolution through the resolver's own arena: see
+    /// [`resolve_capped_with_arena`].
+    pub fn resolve_intervals_capped(
+        &mut self,
+        intervals: &[Range<usize>],
+        caps: &[u32],
+        flat: &mut Vec<u32>,
+        offsets: &mut Vec<usize>,
+    ) -> ResolveStats {
+        resolve_capped_with_arena(
+            self.fm,
+            self.config,
+            intervals,
+            caps,
+            flat,
+            offsets,
+            &mut self.arena,
+        )
     }
 }
 
@@ -321,6 +552,65 @@ mod tests {
     }
 
     #[test]
+    fn capped_resolution_matches_the_sequential_capped_rule() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        for cap in [0u32, 1, 2, 3, 100, UNCAPPED] {
+            let caps = vec![cap; intervals.len()];
+            let mut expect_flat = Vec::new();
+            let mut expect_offsets = vec![0usize];
+            let mut buf = Vec::new();
+            for interval in &intervals {
+                fm.resolve_range_capped_into(interval.clone(), cap, &mut buf);
+                expect_flat.extend_from_slice(&buf);
+                expect_offsets.push(expect_flat.len());
+            }
+            for config in all_configs() {
+                let mut resolver = BatchResolver::with_config(&fm, config);
+                let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+                resolver.resolve_intervals_capped(&intervals, &caps, &mut flat, &mut offsets);
+                assert_eq!(flat, expect_flat, "cap={cap}, {config:?}");
+                assert_eq!(offsets, expect_offsets, "cap={cap}, {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capping_actually_drops_cursors() {
+        let fm = small_index();
+        // "A" has many occurrences; cap 1 must shed the rest of its
+        // worklist instead of walking every row to a mark.
+        let intervals = vec![fm.backward_search(&exma_genome::alphabet::parse_bases("A").unwrap())];
+        assert!(intervals[0].len() > 3);
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        let uncapped = resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        let capped = resolver.resolve_intervals_capped(&intervals, &[1], &mut flat, &mut offsets);
+        assert_eq!(flat.len(), 1);
+        assert!(capped.dropped > 0, "{capped:?}");
+        assert!(capped.retired < uncapped.retired);
+        assert!(capped.lf_steps <= uncapped.lf_steps);
+        assert_eq!(uncapped.dropped, 0);
+    }
+
+    #[test]
+    fn mixed_caps_only_trim_their_own_interval() {
+        let fm = small_index();
+        let intervals = intervals_of(&fm);
+        // Cap only interval 0; everything else keeps full output.
+        let mut caps = vec![UNCAPPED; intervals.len()];
+        caps[0] = 2;
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        resolver.resolve_intervals_capped(&intervals, &caps, &mut flat, &mut offsets);
+        let mut buf = Vec::new();
+        for (i, interval) in intervals.iter().enumerate() {
+            fm.resolve_range_capped_into(interval.clone(), caps[i], &mut buf);
+            assert_eq!(&flat[offsets[i]..offsets[i + 1]], &buf[..], "interval {i}");
+        }
+    }
+
+    #[test]
     fn stats_bound_rounds_by_the_sampling_rate() {
         let fm = small_index();
         let intervals = intervals_of(&fm);
@@ -341,14 +631,16 @@ mod tests {
     fn sorting_changes_no_counter() {
         let fm = small_index();
         let intervals = intervals_of(&fm);
-        let run = |config: ResolveConfig| {
+        let run = |config: ResolveConfig, caps: &[u32]| {
             let mut resolver = BatchResolver::with_config(&fm, config);
             let (mut flat, mut offsets) = (Vec::new(), Vec::new());
-            resolver.resolve_intervals(&intervals, &mut flat, &mut offsets)
+            resolver.resolve_intervals_capped(&intervals, caps, &mut flat, &mut offsets)
         };
-        let plain = run(ResolveConfig::default());
-        for config in [ResolveConfig::sorted(), ResolveConfig::locality()] {
-            assert_eq!(run(config), plain, "{config:?}");
+        for caps in [vec![], vec![2; intervals_of(&fm).len()]] {
+            let plain = run(ResolveConfig::default(), &caps);
+            for config in [ResolveConfig::sorted(), ResolveConfig::locality()] {
+                assert_eq!(run(config, &caps), plain, "{config:?}, caps {caps:?}");
+            }
         }
     }
 
@@ -379,6 +671,12 @@ mod tests {
         let first = flat.clone();
         resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
         assert_eq!(flat, first);
+        // Alternating capped and uncapped calls through one arena must
+        // not leak staging state between them.
+        let caps = vec![1u32; intervals.len()];
+        resolver.resolve_intervals_capped(&intervals, &caps, &mut flat, &mut offsets);
+        resolver.resolve_intervals(&intervals, &mut flat, &mut offsets);
+        assert_eq!(flat, first);
     }
 
     #[test]
@@ -388,5 +686,14 @@ mod tests {
         let mut resolver = BatchResolver::new(&fm);
         let (mut flat, mut offsets) = (Vec::new(), Vec::new());
         resolver.resolve_intervals(&[0..1, 0..fm.text_len() + 1], &mut flat, &mut offsets);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_caps_are_rejected() {
+        let fm = small_index();
+        let mut resolver = BatchResolver::new(&fm);
+        let (mut flat, mut offsets) = (Vec::new(), Vec::new());
+        resolver.resolve_intervals_capped(&[0..1, 0..2], &[1], &mut flat, &mut offsets);
     }
 }
