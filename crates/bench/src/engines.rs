@@ -111,9 +111,15 @@ impl EngineSet {
         let t0 = Instant::now();
         let one = FmIndex::from_text(text);
         let t1 = Instant::now();
-        let k2 = EngineBuilder::new().k(2).build_index(text);
+        let k2 = EngineBuilder::new()
+            .k(2)
+            .build_index(text)
+            .expect("k=2 recipe builds");
         let t2 = Instant::now();
-        let k4 = EngineBuilder::new().k(4).build_index(text);
+        let k4 = EngineBuilder::new()
+            .k(4)
+            .build_index(text)
+            .expect("k=4 recipe builds");
         let t3 = Instant::now();
         EngineSet {
             one,
@@ -153,7 +159,8 @@ impl EngineSet {
                 4 => &self.k4,
                 other => unreachable!("no k-step index at k={other}"),
             })
-        };
+        }
+        .expect("enumerated recipes always attach");
         let label = builder.descriptor();
         Variant {
             shares_index_with: (label != owner).then(|| owner.to_string()),
@@ -201,7 +208,7 @@ impl SweepPoint {
     /// Builds the swept index and remembers the recipe.
     pub fn build(text: &[Symbol], builder: EngineBuilder, measure: Measure) -> SweepPoint {
         let start = Instant::now();
-        let index = builder.build_index(text);
+        let index = builder.build_index(text).expect("sweep recipe builds");
         SweepPoint {
             index,
             builder,
@@ -216,7 +223,10 @@ impl SweepPoint {
         Variant {
             label: self.builder.descriptor(),
             k: self.builder.step_width(),
-            exec: self.builder.attach(&self.index),
+            exec: self
+                .builder
+                .attach(&self.index)
+                .expect("sweep recipe attaches to its own index"),
             build_secs: self.build_secs,
             heap_bytes: self.index.heap_bytes(),
             shares_index_with: None,

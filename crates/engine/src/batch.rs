@@ -8,9 +8,6 @@ use std::ops::Range;
 use exma_genome::{Base, Kmer, Symbol};
 use exma_index::{KStepFmIndex, ResolveConfig};
 
-use crate::locate::LocateResults;
-use crate::query::{QueryArena, QueryBatch, QueryRequest};
-
 /// How many queries ahead of the one being refined the engine prefetches
 /// when [`BatchConfig::prefetch_distance`] is left to the default. Far
 /// enough that a DRAM fetch (~100 ns) completes before the refinement
@@ -126,7 +123,7 @@ struct LiveQuery {
 
 /// Reusable worklists of the lockstep search loop, double-buffered so
 /// the prefetch look-ahead can peek at untouched entries. Lives in a
-/// [`QueryArena`] so steady-state runs allocate nothing.
+/// [`crate::QueryArena`] so steady-state runs allocate nothing.
 #[derive(Default)]
 pub struct SearchScratch {
     live: Vec<LiveQuery>,
@@ -286,78 +283,13 @@ impl<'a> BatchEngine<'a> {
             occ.prefetch_rank(s, q.hi as usize);
         }
     }
-
-    /// Suffix-array intervals for every pattern, in input order — each
-    /// identical to `index.backward_search(pattern)`. Empty intervals are
-    /// normalized to `0..0`; empty patterns match every row.
-    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
-    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
-        let mut intervals = Vec::new();
-        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
-        intervals
-    }
-
-    /// Suffix-array intervals plus execution counters.
-    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
-    pub fn search_batch_with_stats(
-        &self,
-        patterns: &[impl AsRef<[Base]>],
-    ) -> (Vec<Range<usize>>, BatchStats) {
-        let mut intervals = Vec::new();
-        let stats = self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
-        (intervals, stats)
-    }
-
-    /// Occurrence counts for every pattern, in input order.
-    #[deprecated(note = "submit a QueryBatch of Count requests through Executor::run")]
-    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
-        let mut intervals = Vec::new();
-        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
-        intervals.into_iter().map(|range| range.len()).collect()
-    }
-
-    /// The batched locate pipeline with pooled output.
-    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
-    pub fn run_locate(&self, patterns: &[impl AsRef<[Base]>]) -> (LocateResults, BatchStats) {
-        let batch = QueryBatch::uniform(QueryRequest::locate(), patterns);
-        let mut arena = QueryArena::new();
-        let stats = self.run_slice(batch.requests(), batch.patterns(), &mut arena);
-        let (flat, offsets) = arena.take_results().into_flat_parts();
-        (LocateResults::from_parts(flat, offsets), stats)
-    }
-
-    /// Sorted occurrence positions for every pattern, in input order.
-    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
-    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
-        #[allow(deprecated)]
-        self.run_locate(patterns).0.into_vecs()
-    }
-
-    /// The pre-resolver locate path: each interval row LF-walks serially
-    /// through [`exma_index::FmIndex::resolve_range_into`] — one
-    /// dependent cache miss per step. Kept as the measured baseline the
-    /// lockstep resolver must answer identically to.
-    #[deprecated(note = "per-interval resolve_range_into covers the serial baseline")]
-    pub fn locate_batch_per_row(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
-        let base = self.index.base_index();
-        let mut intervals = Vec::new();
-        self.search_core(patterns, &mut intervals, &mut SearchScratch::default());
-        intervals
-            .into_iter()
-            .map(|range| {
-                let mut positions = Vec::new();
-                base.resolve_range_into(range, &mut positions);
-                positions
-            })
-            .collect()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::Executor;
-    use crate::query::QueryBatch;
+    use crate::query::{QueryBatch, QueryRequest};
     use exma_genome::alphabet::parse_bases;
     use exma_genome::genome::text_from_str;
 

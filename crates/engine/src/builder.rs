@@ -16,6 +16,8 @@
 //! matching `k` — which is how the harness shares one index across
 //! every schedule and thread-count variant.
 
+use std::fmt;
+
 use exma_genome::Symbol;
 use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex, ResolveConfig};
 
@@ -29,7 +31,78 @@ const DEFAULT_OCC_RATE: usize = 44;
 /// Default suffix-array sampling rate.
 const DEFAULT_SA_RATE: usize = 32;
 
+/// Why a builder recipe cannot build an index or attach an executor.
+///
+/// Returned by [`EngineBuilder::build_config`],
+/// [`EngineBuilder::build_index`], [`EngineBuilder::attach`] and
+/// [`EngineBuilder::attach_one_step`] — the construction surface is
+/// panic-free, so a network front-end can turn a bad recipe into an
+/// error response instead of a dead worker.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Step width outside `1..=`[`exma_index::MAX_STEP`].
+    InvalidK {
+        /// The rejected width.
+        k: usize,
+    },
+    /// A sampling-rate knob was zero.
+    ZeroSampleRate {
+        /// Which knob (`"occ"`, `"sa"`, or `"k_occ"`).
+        knob: &'static str,
+    },
+    /// A thread count of zero.
+    ZeroThreads,
+    /// [`EngineBuilder::attach`] on an index built at a different `k`.
+    StepWidthMismatch {
+        /// The index's width.
+        index_k: usize,
+        /// The recipe's width.
+        builder_k: usize,
+    },
+    /// A sequential recipe combined with `threads > 1`.
+    SequentialThreads {
+        /// The offending thread count.
+        threads: usize,
+    },
+    /// [`EngineBuilder::attach_one_step`] on a recipe that is not the
+    /// sequential `k = 1` baseline.
+    NotSequentialOneStep,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EngineError::InvalidK { k } => {
+                write!(f, "k must be in 1..={}, got {k}", exma_index::MAX_STEP)
+            }
+            EngineError::ZeroSampleRate { knob } => {
+                write!(f, "{knob} sample rate must be positive")
+            }
+            EngineError::ZeroThreads => write!(f, "thread count must be positive"),
+            EngineError::StepWidthMismatch { index_k, builder_k } => {
+                write!(f, "index k={index_k} does not match builder k={builder_k}")
+            }
+            EngineError::SequentialThreads { threads } => {
+                write!(
+                    f,
+                    "sequential executors are single-threaded, got threads={threads}"
+                )
+            }
+            EngineError::NotSequentialOneStep => {
+                write!(f, "only the sequential k=1 recipe runs on a bare FmIndex")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// A fluent recipe for any executor in the workspace.
+///
+/// Setters record; validation happens when the recipe is *used* —
+/// [`EngineBuilder::build_index`] and [`EngineBuilder::attach`] return
+/// [`EngineError`] for impossible recipes instead of panicking.
 ///
 /// ```
 /// use exma_engine::{EngineBuilder, Executor, QueryBatch};
@@ -39,8 +112,8 @@ const DEFAULT_SA_RATE: usize = 32;
 /// let builder = EngineBuilder::new().k(4).threads(2);
 /// assert_eq!(builder.descriptor(), "lockstep_k4_locality_t2");
 ///
-/// let index = builder.build_index(&genome.text_with_sentinel());
-/// let engine = builder.attach(&index);
+/// let index = builder.build_index(&genome.text_with_sentinel()).unwrap();
+/// let engine = builder.attach(&index).unwrap();
 /// let batch = QueryBatch::new().count(genome.seq().slice(100, 21));
 /// assert!(matches!(
 ///     engine.run(&batch).0.count(0),
@@ -81,13 +154,10 @@ impl EngineBuilder {
         EngineBuilder::default()
     }
 
-    /// Symbols consumed per LF refinement (`1..=`[`exma_index::MAX_STEP`]).
+    /// Symbols consumed per LF refinement (`1..=`[`exma_index::MAX_STEP`];
+    /// out-of-range widths surface as [`EngineError::InvalidK`] when the
+    /// recipe is used).
     pub fn k(mut self, k: usize) -> EngineBuilder {
-        assert!(
-            (1..=exma_index::MAX_STEP).contains(&k),
-            "k must be in 1..={}, got {k}",
-            exma_index::MAX_STEP
-        );
         self.k = k;
         self
     }
@@ -134,13 +204,9 @@ impl EngineBuilder {
     }
 
     /// Worker threads of a sharded executor (1 = the serial lockstep
-    /// engine; the sharded path short-circuits to it anyway).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// engine; the sharded path short-circuits to it anyway). Zero
+    /// surfaces as [`EngineError::ZeroThreads`] when the recipe is used.
     pub fn threads(mut self, threads: usize) -> EngineBuilder {
-        assert!(threads > 0, "thread count must be positive");
         self.threads = threads;
         self
     }
@@ -160,62 +226,90 @@ impl EngineBuilder {
         self.sequential
     }
 
+    /// Checks the recipe's field combination, the common gate of
+    /// [`EngineBuilder::build_config`] and [`EngineBuilder::attach`].
+    fn validate(&self) -> Result<(), EngineError> {
+        if !(1..=exma_index::MAX_STEP).contains(&self.k) {
+            return Err(EngineError::InvalidK { k: self.k });
+        }
+        for (knob, rate) in [
+            ("occ", self.occ_sample_rate),
+            ("sa", self.sa_sample_rate),
+            ("k_occ", self.k_occ_sample_rate.unwrap_or(1)),
+        ] {
+            if rate == 0 {
+                return Err(EngineError::ZeroSampleRate { knob });
+            }
+        }
+        if self.threads == 0 {
+            return Err(EngineError::ZeroThreads);
+        }
+        if self.sequential && self.threads > 1 {
+            return Err(EngineError::SequentialThreads {
+                threads: self.threads,
+            });
+        }
+        Ok(())
+    }
+
     /// The index-construction knobs this recipe implies.
-    pub fn build_config(&self) -> KStepBuildConfig {
-        KStepBuildConfig {
+    pub fn build_config(&self) -> Result<KStepBuildConfig, EngineError> {
+        self.validate()?;
+        Ok(KStepBuildConfig {
             k: self.k,
             occ_sample_rate: self.occ_sample_rate,
             sa_sample_rate: self.sa_sample_rate,
             k_occ_sample_rate: self
                 .k_occ_sample_rate
                 .unwrap_or_else(|| KStepBuildConfig::for_k(self.k).k_occ_sample_rate),
-        }
+        })
     }
 
     /// Builds the index this recipe queries.
-    pub fn build_index(&self, text: &[Symbol]) -> KStepFmIndex {
-        KStepFmIndex::from_text_with_config(text, self.build_config())
+    pub fn build_index(&self, text: &[Symbol]) -> Result<KStepFmIndex, EngineError> {
+        Ok(KStepFmIndex::from_text_with_config(
+            text,
+            self.build_config()?,
+        ))
     }
 
     /// Wires an executor onto `index` — sequential, serial lockstep, or
     /// sharded, per this recipe. Many recipes (schedules, thread
-    /// counts) can attach to one index; only `k` must match.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index.k() != self.step_width()`, or if the recipe is
-    /// both sequential and multi-threaded.
-    pub fn attach<'a>(&self, index: &'a KStepFmIndex) -> Box<dyn Executor + 'a> {
-        assert_eq!(
-            index.k(),
-            self.k,
-            "index k={} does not match builder k={}",
-            index.k(),
-            self.k
-        );
-        if self.sequential {
-            assert_eq!(self.threads, 1, "sequential executors are single-threaded");
+    /// counts) can attach to one index; only `k` must match
+    /// ([`EngineError::StepWidthMismatch`] otherwise).
+    pub fn attach<'a>(
+        &self,
+        index: &'a KStepFmIndex,
+    ) -> Result<Box<dyn Executor + 'a>, EngineError> {
+        self.validate()?;
+        if index.k() != self.k {
+            return Err(EngineError::StepWidthMismatch {
+                index_k: index.k(),
+                builder_k: self.k,
+            });
+        }
+        Ok(if self.sequential {
             Box::new(index)
         } else if self.threads == 1 {
             Box::new(BatchEngine::with_config(index, self.batch))
         } else {
             Box::new(ShardedEngine::with_config(index, self.threads, self.batch))
-        }
+        })
     }
 
     /// Wires the plain 1-step sequential executor — the oracle — onto a
     /// bare [`FmIndex`]. Only the `k = 1` sequential recipe may do
-    /// this; every other recipe needs the k-step tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless the recipe is sequential with `k == 1`.
-    pub fn attach_one_step<'a>(&self, fm: &'a FmIndex) -> Box<dyn Executor + 'a> {
-        assert!(
-            self.sequential && self.k == 1 && self.threads == 1,
-            "only the sequential k=1 recipe runs on a bare FmIndex"
-        );
-        Box::new(fm)
+    /// this ([`EngineError::NotSequentialOneStep`] otherwise); every
+    /// other recipe needs the k-step tables.
+    pub fn attach_one_step<'a>(
+        &self,
+        fm: &'a FmIndex,
+    ) -> Result<Box<dyn Executor + 'a>, EngineError> {
+        self.validate()?;
+        if !(self.sequential && self.k == 1) {
+            return Err(EngineError::NotSequentialOneStep);
+        }
+        Ok(Box::new(fm))
     }
 
     /// The canonical descriptor of this recipe, derived field by field:
@@ -352,7 +446,7 @@ mod tests {
 
     #[test]
     fn build_config_fills_k_dependent_defaults() {
-        let config = EngineBuilder::new().k(2).build_config();
+        let config = EngineBuilder::new().k(2).build_config().unwrap();
         assert_eq!(config.k, 2);
         assert_eq!(config.k_occ_sample_rate, 128);
         assert_eq!(
@@ -360,6 +454,7 @@ mod tests {
                 .k(2)
                 .k_occ_sample_rate(999)
                 .build_config()
+                .unwrap()
                 .k_occ_sample_rate,
             999
         );
@@ -373,37 +468,91 @@ mod tests {
             .locate(parse_bases("A").unwrap())
             .interval(parse_bases("TAGA").unwrap());
         let one = FmIndex::from_text(&text);
-        let oracle = EngineBuilder::new().k(1).sequential().attach_one_step(&one);
+        let oracle = EngineBuilder::new()
+            .k(1)
+            .sequential()
+            .attach_one_step(&one)
+            .unwrap();
         let (expected, _) = oracle.run(&batch);
 
         for k in [1usize, 2, 4] {
             let builder = EngineBuilder::new().k(k);
-            let index = builder.build_index(&text);
+            let index = builder.build_index(&text).unwrap();
             for flavor in [
                 builder.sequential(),
                 builder,
                 builder.schedule(BatchConfig::default()),
                 builder.threads(3),
             ] {
-                let exec = flavor.attach(&index);
+                let exec = flavor.attach(&index).unwrap();
                 assert_eq!(exec.run(&batch).0, expected, "{}", flavor.descriptor());
             }
         }
     }
 
     #[test]
-    #[should_panic(expected = "does not match builder k")]
-    fn attach_rejects_mismatched_k() {
+    fn bad_recipes_surface_typed_errors_instead_of_panicking() {
         let text = text_from_str("CATAGA").unwrap();
-        let index = EngineBuilder::new().k(2).build_index(&text);
-        let _ = EngineBuilder::new().k(4).attach(&index);
+        let index = EngineBuilder::new().k(2).build_index(&text).unwrap();
+        let one = FmIndex::from_text(&text);
+
+        assert_eq!(
+            EngineBuilder::new().k(4).attach(&index).err(),
+            Some(EngineError::StepWidthMismatch {
+                index_k: 2,
+                builder_k: 4
+            })
+        );
+        assert_eq!(
+            EngineBuilder::new().k(0).build_index(&text).err(),
+            Some(EngineError::InvalidK { k: 0 })
+        );
+        assert_eq!(
+            EngineBuilder::new().k(99).build_config().err(),
+            Some(EngineError::InvalidK { k: 99 })
+        );
+        assert_eq!(
+            EngineBuilder::new().sa_sample_rate(0).build_config().err(),
+            Some(EngineError::ZeroSampleRate { knob: "sa" })
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .k_occ_sample_rate(0)
+                .build_index(&text)
+                .err(),
+            Some(EngineError::ZeroSampleRate { knob: "k_occ" })
+        );
+        assert_eq!(
+            EngineBuilder::new().k(2).threads(0).attach(&index).err(),
+            Some(EngineError::ZeroThreads)
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .k(2)
+                .sequential()
+                .threads(3)
+                .attach(&index)
+                .err(),
+            Some(EngineError::SequentialThreads { threads: 3 })
+        );
+        assert_eq!(
+            EngineBuilder::new().attach_one_step(&one).err(),
+            Some(EngineError::NotSequentialOneStep)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "sequential k=1 recipe")]
-    fn one_step_attach_rejects_lockstep_recipes() {
-        let text = text_from_str("CATAGA").unwrap();
-        let one = FmIndex::from_text(&text);
-        let _ = EngineBuilder::new().attach_one_step(&one);
+    fn engine_errors_display_their_cause() {
+        let rendered = format!("{}", EngineError::InvalidK { k: 9 });
+        assert!(rendered.contains("k must be in 1..="), "{rendered}");
+        assert!(rendered.contains("got 9"), "{rendered}");
+        let mismatch = EngineError::StepWidthMismatch {
+            index_k: 2,
+            builder_k: 4,
+        };
+        assert_eq!(
+            format!("{mismatch}"),
+            "index k=2 does not match builder k=4"
+        );
     }
 }

@@ -35,8 +35,8 @@
 //!
 //! let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
 //! let builder = EngineBuilder::new().k(4);
-//! let index = builder.build_index(&genome.text_with_sentinel());
-//! let engine = builder.attach(&index);
+//! let index = builder.build_index(&genome.text_with_sentinel()).unwrap();
+//! let engine = builder.attach(&index).unwrap();
 //!
 //! // One submission, three operations.
 //! let batch = QueryBatch::new()
@@ -58,13 +58,11 @@
 pub mod batch;
 pub mod builder;
 pub mod exec;
-pub mod locate;
 pub mod query;
 pub mod shard;
 
 pub use batch::{BatchConfig, BatchEngine, BatchStats, DEFAULT_PREFETCH_DISTANCE};
-pub use builder::EngineBuilder;
+pub use builder::{EngineBuilder, EngineError};
 pub use exec::Executor;
-pub use locate::LocateResults;
 pub use query::{QueryArena, QueryBatch, QueryOutput, QueryRequest, QueryResults};
 pub use shard::ShardedEngine;

@@ -10,7 +10,7 @@
 //! [`QueryRequest`] names the operation (and its limits) per query, a
 //! [`QueryBatch`] carries any mix of them in one submission, and a
 //! [`QueryResults`] returns every answer through one pooled buffer —
-//! the flat/offsets design of [`crate::LocateResults`], extended with a
+//! one flat position pool delimited by per-query offsets, with a
 //! per-query [`QueryOutput`] tag. A [`QueryArena`] owns every piece of
 //! scratch an execution needs, so a caller that keeps one arena across
 //! submissions allocates nothing in steady state.
@@ -23,6 +23,13 @@ use exma_index::{ResolveArena, UNCAPPED};
 use crate::batch::SearchScratch;
 
 /// What one query of a [`QueryBatch`] asks for.
+///
+/// `#[non_exhaustive]`: the ROADMAP names future request shapes
+/// (approximate search, document listing), so out-of-crate matches must
+/// carry a wildcard arm — a wire decoder, for instance, maps unknown
+/// shapes to an error frame instead of failing to compile when one
+/// lands.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryRequest {
     /// Number of occurrences of the pattern.
@@ -73,8 +80,11 @@ impl QueryRequest {
 /// use exma_genome::{Genome, GenomeProfile};
 ///
 /// let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
-/// let index = EngineBuilder::new().k(2).build_index(&genome.text_with_sentinel());
-/// let engine = EngineBuilder::new().k(2).attach(&index);
+/// let index = EngineBuilder::new()
+///     .k(2)
+///     .build_index(&genome.text_with_sentinel())
+///     .unwrap();
+/// let engine = EngineBuilder::new().k(2).attach(&index).unwrap();
 ///
 /// let batch = QueryBatch::new()
 ///     .count(genome.seq().slice(100, 21))
@@ -142,6 +152,23 @@ impl QueryBatch {
             batch.push(request, pattern);
         }
         batch
+    }
+
+    /// Appends every query of `other` after this batch's, in order —
+    /// how a serving front-end coalesces many client submissions into
+    /// one engine run. The merged batch's query `self.len() + i` is
+    /// `other`'s query `i`, so callers can map pooled results back to
+    /// each submission by remembering the offset at which it was merged.
+    pub fn extend_from(&mut self, other: &QueryBatch) {
+        self.requests.extend_from_slice(&other.requests);
+        self.patterns.extend_from_slice(&other.patterns);
+    }
+
+    /// Empties the batch, keeping the outer buffers' capacity — a
+    /// coalescing loop can reuse one merge target across rounds.
+    pub fn clear(&mut self) {
+        self.requests.clear();
+        self.patterns.clear();
     }
 
     /// Number of queries in the batch.
@@ -212,8 +239,8 @@ pub enum QueryOutput {
 ///
 /// Every located position lives in one flat buffer delimited by
 /// per-query offsets (non-locate queries own a zero-width slice), and
-/// each query carries a [`QueryOutput`] tag — the same two-allocation
-/// shape as [`crate::LocateResults`], extended to mixed operations. A
+/// each query carries a [`QueryOutput`] tag — two allocations for the
+/// whole batch, whatever mix of operations it carried. A
 /// recycled instance (via [`QueryArena`]) keeps its buffers' capacity,
 /// so repeated batches of similar shape allocate nothing.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -363,12 +390,6 @@ impl QueryResults {
             .extend(other.offsets.iter().skip(1).map(|&o| base + o));
         self.outputs.extend_from_slice(&other.outputs);
     }
-
-    /// Splits into the pooled buffers — the legacy
-    /// [`crate::LocateResults`] wrappers convert through this.
-    pub(crate) fn into_flat_parts(self) -> (Vec<u32>, Vec<usize>) {
-        (self.flat, self.offsets)
-    }
 }
 
 /// Every piece of scratch one [`crate::Executor`] run needs: the pooled
@@ -440,6 +461,20 @@ mod tests {
 
         let uniform = QueryBatch::uniform(QueryRequest::Count, [base("A"), base("C")]);
         assert_eq!(uniform.requests(), &[QueryRequest::Count; 2]);
+    }
+
+    #[test]
+    fn extend_from_merges_submissions_in_order() {
+        let base = |s: &str| exma_genome::alphabet::parse_bases(s).unwrap();
+        let mut merged = QueryBatch::new().count(base("AC"));
+        let other = QueryBatch::new().locate(base("G")).interval(base("T"));
+        merged.extend_from(&other);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.request(0), QueryRequest::Count);
+        assert_eq!(merged.request(1), QueryRequest::locate());
+        assert_eq!(merged.pattern(2), &base("T")[..]);
+        merged.clear();
+        assert!(merged.is_empty());
     }
 
     #[test]

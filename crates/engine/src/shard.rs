@@ -8,20 +8,14 @@
 //! its own [`std::thread::scope`] thread. Scoped threads keep the engine
 //! dependency-free (no rayon, the container builds offline) while still
 //! borrowing the index and patterns without `Arc` plumbing. Results come
-//! back in input order; per-shard [`BatchStats`] are merged. With
+//! back in input order; per-shard [`crate::BatchStats`] are merged. With
 //! `threads == 1` the sharded path short-circuits to the serial
 //! [`crate::BatchEngine`] — no spawn, no merge — so a one-thread
 //! executor costs exactly what the serial engine costs.
 
-use std::ops::Range;
-
-use exma_genome::Base;
 use exma_index::KStepFmIndex;
 
-use crate::batch::{BatchConfig, BatchStats};
-use crate::exec::Executor;
-use crate::locate::LocateResults;
-use crate::query::{QueryBatch, QueryRequest};
+use crate::batch::BatchConfig;
 
 /// A sharded, multi-threaded batch engine over a [`KStepFmIndex`].
 ///
@@ -83,61 +77,14 @@ impl<'a> ShardedEngine<'a> {
     pub fn config(&self) -> BatchConfig {
         self.config
     }
-
-    /// Suffix-array intervals for every pattern, in input order — each
-    /// identical to `index.backward_search(pattern)` regardless of thread
-    /// count.
-    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
-    pub fn search_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Range<usize>> {
-        #[allow(deprecated)]
-        self.search_batch_with_stats(patterns).0
-    }
-
-    /// Suffix-array intervals plus merged execution counters.
-    #[deprecated(note = "submit a QueryBatch of Interval requests through Executor::run")]
-    pub fn search_batch_with_stats(
-        &self,
-        patterns: &[impl AsRef<[Base]>],
-    ) -> (Vec<Range<usize>>, BatchStats) {
-        let batch = QueryBatch::uniform(QueryRequest::Interval, patterns);
-        let (results, stats) = self.run(&batch);
-        let intervals = (0..results.len())
-            .map(|i| results.interval(i).expect("interval request"))
-            .collect();
-        (intervals, stats)
-    }
-
-    /// Occurrence counts for every pattern, in input order.
-    #[deprecated(note = "submit a QueryBatch of Count requests through Executor::run")]
-    pub fn count_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<usize> {
-        let batch = QueryBatch::uniform(QueryRequest::Count, patterns);
-        let (results, _) = self.run(&batch);
-        (0..results.len()).map(|i| results.count(i)).collect()
-    }
-
-    /// The sharded batched locate pipeline with pooled output, stitched
-    /// back into input order.
-    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
-    pub fn run_locate(&self, patterns: &[impl AsRef<[Base]>]) -> (LocateResults, BatchStats) {
-        let batch = QueryBatch::uniform(QueryRequest::locate(), patterns);
-        let (results, stats) = self.run(&batch);
-        let (flat, offsets) = results.into_flat_parts();
-        (LocateResults::from_parts(flat, offsets), stats)
-    }
-
-    /// Sorted occurrence positions for every pattern, in input order.
-    #[deprecated(note = "submit a QueryBatch of Locate requests through Executor::run")]
-    pub fn locate_batch(&self, patterns: &[impl AsRef<[Base]>]) -> Vec<Vec<u32>> {
-        #[allow(deprecated)]
-        self.run_locate(patterns).0.into_vecs()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::BatchEngine;
-    use crate::query::QueryOutput;
+    use crate::batch::{BatchEngine, BatchStats};
+    use crate::exec::Executor;
+    use crate::query::{QueryBatch, QueryOutput, QueryRequest};
     use exma_genome::alphabet::parse_bases;
     use exma_genome::genome::text_from_str;
 

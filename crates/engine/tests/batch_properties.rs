@@ -127,7 +127,7 @@ fn thread_count_never_changes_answers() {
     // ragged — results must still come back identical, in input order.
     let genome = toy_genome();
     let builder = EngineBuilder::new().k(4);
-    let index = builder.build_index(&genome.text_with_sentinel());
+    let index = builder.build_index(&genome.text_with_sentinel()).unwrap();
     let patterns = pattern_mix(&genome, 600, 71);
     let mut batch = QueryBatch::new();
     for (i, p) in patterns.iter().enumerate() {
@@ -137,9 +137,9 @@ fn thread_count_never_changes_answers() {
             _ => batch.push(QueryRequest::Interval, p),
         }
     }
-    let (expected, _) = builder.attach(&index).run(&batch);
+    let (expected, _) = builder.attach(&index).unwrap().run(&batch);
     for threads in [2usize, 7] {
-        let engine = builder.threads(threads).attach(&index);
+        let engine = builder.threads(threads).attach(&index).unwrap();
         let (results, _) = engine.run(&batch);
         assert_eq!(results, expected, "{threads} threads");
     }

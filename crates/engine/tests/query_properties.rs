@@ -71,7 +71,7 @@ fn mixed_batches_are_executor_invariant_and_oracle_identical() {
     let one = FmIndex::from_genome(&genome);
     let batch = mixed_batch(&genome, 500, 131);
     let oracle = EngineBuilder::new().k(1).sequential();
-    let (expected, _) = oracle.attach_one_step(&one).run(&batch);
+    let (expected, _) = oracle.attach_one_step(&one).unwrap().run(&batch);
 
     // The oracle itself honors each request shape against the naive scan.
     for i in 0..batch.len() {
@@ -100,15 +100,17 @@ fn mixed_batches_are_executor_invariant_and_oracle_identical() {
                     assert_eq!(kept, &hits[..], "#{i} uncapped mismatch");
                 }
             }
+            other => panic!("mixed_batch built an unexpected request {other:?}"),
         }
     }
 
     for k in [1usize, 2, 4] {
         let index = EngineBuilder::new()
             .k(k)
-            .build_index(&genome.text_with_sentinel());
+            .build_index(&genome.text_with_sentinel())
+            .unwrap();
         for builder in executors(k) {
-            let (results, _) = builder.attach(&index).run(&batch);
+            let (results, _) = builder.attach(&index).unwrap().run(&batch);
             assert_eq!(results, expected, "k={k}, {}", builder.descriptor());
         }
     }
@@ -122,7 +124,8 @@ fn caps_bound_resolver_work_not_just_output() {
     let genome = toy_genome();
     let index = EngineBuilder::new()
         .k(4)
-        .build_index(&genome.text_with_sentinel());
+        .build_index(&genome.text_with_sentinel())
+        .unwrap();
     let mut rng = SeededRng::new(17);
     let mut capped = QueryBatch::new();
     let mut uncapped = QueryBatch::new();
@@ -134,8 +137,8 @@ fn caps_bound_resolver_work_not_just_output() {
         uncapped.push(QueryRequest::locate(), &pattern);
     }
     let engine = EngineBuilder::new().k(4);
-    let (capped_results, capped_stats) = engine.attach(&index).run(&capped);
-    let (full_results, full_stats) = engine.attach(&index).run(&uncapped);
+    let (capped_results, capped_stats) = engine.attach(&index).unwrap().run(&capped);
+    let (full_results, full_stats) = engine.attach(&index).unwrap().run(&uncapped);
     assert!(capped_stats.cursors_dropped > 0, "{capped_stats:?}");
     assert!(capped_stats.cursors_retired < full_stats.cursors_retired);
     assert!(capped_stats.resolve_lf_steps < full_stats.resolve_lf_steps);
@@ -158,11 +161,12 @@ fn capped_locates_match_the_sequential_rule_at_every_thread_count() {
     let batch = mixed_batch(&genome, 300, 137);
     let index = EngineBuilder::new()
         .k(2)
-        .build_index(&genome.text_with_sentinel());
+        .build_index(&genome.text_with_sentinel())
+        .unwrap();
     let builder = EngineBuilder::new().k(2);
-    let (expected, _) = builder.sequential().attach(&index).run(&batch);
+    let (expected, _) = builder.sequential().attach(&index).unwrap().run(&batch);
     for threads in [1usize, 2, 7] {
-        let (results, _) = builder.threads(threads).attach(&index).run(&batch);
+        let (results, _) = builder.threads(threads).attach(&index).unwrap().run(&batch);
         assert_eq!(results, expected, "{threads} threads");
     }
 }
@@ -176,8 +180,9 @@ fn arena_reuse_is_steady_state_allocation_free_in_results() {
     let batch = mixed_batch(&genome, 200, 139);
     let index = EngineBuilder::new()
         .k(4)
-        .build_index(&genome.text_with_sentinel());
-    let engine = EngineBuilder::new().k(4).attach(&index);
+        .build_index(&genome.text_with_sentinel())
+        .unwrap();
+    let engine = EngineBuilder::new().k(4).attach(&index).unwrap();
     let mut arena = exma_engine::QueryArena::new();
     engine.run_into(&batch, &mut arena);
     let first: QueryResults = arena.results().clone();
@@ -194,8 +199,9 @@ fn zero_cap_and_empty_pattern_edge_cases() {
     let genome = toy_genome();
     let index = EngineBuilder::new()
         .k(4)
-        .build_index(&genome.text_with_sentinel());
-    let engine = EngineBuilder::new().k(4).attach(&index);
+        .build_index(&genome.text_with_sentinel())
+        .unwrap();
+    let engine = EngineBuilder::new().k(4).attach(&index).unwrap();
     let frequent = genome.seq().slice(0, 1);
     let batch = QueryBatch::new()
         .locate_capped(&frequent, 0) // cap 0: no positions, truncated

@@ -1,0 +1,200 @@
+//! The continuous-batching admission queue.
+//!
+//! The engine's whole design bets on batch size: lockstep rounds only
+//! amortize occurrence-table locality when many queries advance
+//! together (PR 2's sweep measured the knee around a few hundred
+//! queries). A network client, though, submits whatever its own
+//! request stream carries — often a handful of queries per frame. The
+//! batcher closes that gap the way LLM serving systems do: every
+//! connection pushes its decoded submissions into one bounded queue,
+//! and a single batcher thread drains whatever has accumulated, merges
+//! it into one [`QueryBatch`], runs the engine once, and splits the
+//! pooled results back out by each submission's query range. Clients
+//! that arrive while a batch is running wait in the queue and form the
+//! next batch — admission never stalls on execution until the queue
+//! itself fills, at which point the connection answers BUSY
+//! (backpressure with an explicit signal, not an unbounded buffer).
+//!
+//! A `linger` window (Kafka's `linger.ms`, by another name) lets the
+//! batcher wait briefly after the first submission so concurrent
+//! clients coalesce even when the engine is faster than the arrival
+//! process; `linger = 0` degrades gracefully to drain-what's-there.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use exma_engine::{Executor, QueryArena, QueryBatch};
+
+use crate::wire::{self, Opcode, StatsSnapshot};
+
+/// One decoded QUERY frame, queued for the batcher.
+pub struct Submission {
+    /// The client's request id, echoed on the RESULTS frame.
+    pub request_id: u64,
+    /// The decoded batch (caps already clamped to the server ceiling).
+    pub batch: QueryBatch,
+    /// The connection's writer channel; the batcher sends the encoded
+    /// RESULTS frame here. A send to a hung-up connection is ignored —
+    /// the work is already done, the client just stopped listening.
+    pub reply: Sender<Vec<u8>>,
+}
+
+/// Batcher knobs, fixed at server start.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// How long to keep coalescing after the first submission of a
+    /// batch arrives. Zero drains only what is already queued.
+    pub linger: Duration,
+    /// Stop coalescing once the merged batch reaches this many
+    /// queries (bounds per-batch latency and arena growth).
+    pub max_batch_queries: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> BatcherConfig {
+        BatcherConfig {
+            linger: Duration::from_micros(200),
+            max_batch_queries: 4096,
+        }
+    }
+}
+
+/// Cumulative server counters, shared across connection threads and
+/// the batcher. Relaxed ordering throughout: these are monitoring
+/// counters, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Submissions admitted to the queue.
+    pub submissions_admitted: AtomicU64,
+    /// Submissions bounced with BUSY.
+    pub submissions_busy: AtomicU64,
+    /// Frames answered with ERROR.
+    pub errors: AtomicU64,
+    /// Merged engine runs executed.
+    pub batches_run: AtomicU64,
+    /// Submissions coalesced across all runs.
+    pub submissions_coalesced: AtomicU64,
+    /// Most submissions merged into one run.
+    pub max_coalesced: AtomicU64,
+    /// Queries executed across all runs.
+    pub queries_executed: AtomicU64,
+    /// Located positions returned across all runs.
+    pub positions_returned: AtomicU64,
+    /// Lockstep search rounds across all runs.
+    pub search_rounds: AtomicU64,
+    /// Resolver rounds across all runs.
+    pub resolve_rounds: AtomicU64,
+    /// Submissions currently queued (admitted, not yet drained).
+    pub queue_depth: AtomicU64,
+}
+
+impl ServerStats {
+    /// A point-in-time copy, as sent in a STATS_REPLY frame.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            submissions_admitted: self.submissions_admitted.load(Ordering::Relaxed),
+            submissions_busy: self.submissions_busy.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches_run: self.batches_run.load(Ordering::Relaxed),
+            submissions_coalesced: self.submissions_coalesced.load(Ordering::Relaxed),
+            max_coalesced: self.max_coalesced.load(Ordering::Relaxed),
+            queries_executed: self.queries_executed.load(Ordering::Relaxed),
+            positions_returned: self.positions_returned.load(Ordering::Relaxed),
+            search_rounds: self.search_rounds.load(Ordering::Relaxed),
+            resolve_rounds: self.resolve_rounds.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_coalesced(&self, submissions: usize) {
+        self.submissions_coalesced
+            .fetch_add(submissions as u64, Ordering::Relaxed);
+        self.max_coalesced
+            .fetch_max(submissions as u64, Ordering::Relaxed);
+    }
+}
+
+/// The batcher loop: drain → merge → run → split, until every sender
+/// hangs up. Runs on its own thread with exclusive use of `exec`; one
+/// [`QueryArena`] lives for the whole loop, so steady-state batches
+/// execute allocation-free just like an embedded caller's would.
+pub fn run_batcher(
+    exec: &dyn Executor,
+    queue: &Receiver<Submission>,
+    config: BatcherConfig,
+    stats: &ServerStats,
+) {
+    let mut merged = QueryBatch::new();
+    let mut arena = QueryArena::new();
+    // Per-submission routing: (request_id, end offset in `merged`, reply).
+    let mut routes: Vec<(u64, usize, Sender<Vec<u8>>)> = Vec::new();
+    let mut payload = Vec::new();
+    let mut disconnected = false;
+
+    while !disconnected {
+        // Block for the batch's first submission; no arrivals, no work.
+        let first = match queue.recv() {
+            Ok(submission) => submission,
+            Err(_) => return,
+        };
+        merged.clear();
+        let mut admit = |s: Submission, merged: &mut QueryBatch| {
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            merged.extend_from(&s.batch);
+            routes.push((s.request_id, merged.len(), s.reply));
+        };
+        admit(first, &mut merged);
+
+        // Coalesce: whatever is queued, plus anything that arrives
+        // within the linger window, up to the batch-size cap.
+        let deadline = Instant::now() + config.linger;
+        while merged.len() < config.max_batch_queries {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match queue.recv_timeout(wait) {
+                Ok(submission) => admit(submission, &mut merged),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Run what we already merged, then exit.
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        stats.batches_run.fetch_add(1, Ordering::Relaxed);
+        stats.note_coalesced(routes.len());
+        stats
+            .queries_executed
+            .fetch_add(merged.len() as u64, Ordering::Relaxed);
+
+        // One engine run for the whole coalesced batch.
+        let batch_stats = exec.run_into(&merged, &mut arena);
+        let results = arena.results();
+        stats
+            .positions_returned
+            .fetch_add(results.total_positions() as u64, Ordering::Relaxed);
+        stats
+            .search_rounds
+            .fetch_add(batch_stats.rounds as u64, Ordering::Relaxed);
+        stats
+            .resolve_rounds
+            .fetch_add(batch_stats.resolve_rounds as u64, Ordering::Relaxed);
+
+        // Split the pooled results back out, one RESULTS frame per
+        // submission, in admission order. Draining (not iterating)
+        // drops each reply sender as its frame goes out — a retained
+        // sender would keep the connection's writer thread alive, and
+        // with it the connection's queue sender, deadlocking shutdown.
+        let mut start = 0;
+        for (request_id, end, reply) in routes.drain(..) {
+            payload.clear();
+            wire::encode_results_range(results, start, end, &mut payload);
+            let _ = reply.send(wire::frame(Opcode::Results, request_id, &payload));
+            start = end;
+        }
+    }
+}

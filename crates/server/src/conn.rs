@@ -1,0 +1,206 @@
+//! Per-connection frame handling: read → decode → admit, plus a
+//! dedicated writer thread.
+//!
+//! Each accepted connection gets two threads. The *reader* owns the
+//! request half: it reads frames, decodes QUERY payloads, and pushes
+//! [`Submission`]s into the shared admission queue with `try_send` —
+//! a full queue answers BUSY immediately instead of blocking the
+//! socket (the explicit-backpressure half of continuous batching).
+//! The *writer* owns the response half: it drains an unbounded channel
+//! of pre-encoded frames and writes them to the socket, so the batcher
+//! thread never blocks on a slow client's TCP window.
+//!
+//! Because responses are produced by two parties (the reader answers
+//! BUSY/ERROR/STATS_REPLY itself; the batcher produces RESULTS),
+//! responses are *not* globally ordered: a BUSY for a later request
+//! can overtake the RESULTS of an earlier one. Every response echoes
+//! its request id, so clients match by id, never by arrival order.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+
+use crate::batcher::{ServerStats, Submission};
+use crate::wire::{self, Opcode, WireError, HEADER_LEN};
+
+/// Per-connection decode limits, fixed at server start.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnConfig {
+    /// Largest accepted `payload_len`.
+    pub max_frame_len: usize,
+    /// Largest accepted per-frame query count.
+    pub max_queries_per_frame: usize,
+    /// Hit-cap ceiling clamped onto every locate request (`None` =
+    /// honor client caps verbatim, uncapped stays uncapped).
+    pub max_hits_ceiling: Option<u32>,
+}
+
+impl Default for ConnConfig {
+    fn default() -> ConnConfig {
+        ConnConfig {
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            max_queries_per_frame: 4096,
+            max_hits_ceiling: None,
+        }
+    }
+}
+
+/// Services one connection until the peer hangs up or a framing error
+/// makes the stream untrustworthy. Runs on the connection's reader
+/// thread; spawns (and joins) the paired writer thread.
+pub fn handle_conn(
+    stream: TcpStream,
+    submit: SyncSender<Submission>,
+    stats: Arc<ServerStats>,
+    config: ConnConfig,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = thread::spawn(move || {
+        let mut stream = write_half;
+        for frame in reply_rx {
+            if stream.write_all(&frame).is_err() {
+                break;
+            }
+        }
+        // Reader already saw EOF or gave up; mirror the close.
+        let _ = stream.shutdown(Shutdown::Both);
+    });
+
+    read_loop(stream, &submit, &stats, config, &reply_tx);
+
+    // Closing our reply sender (and dropping any Submission clones is
+    // the batcher's business) ends the writer once in-flight RESULTS
+    // frames drain.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// The reader loop proper; returns when the connection is done.
+fn read_loop(
+    mut stream: TcpStream,
+    submit: &SyncSender<Submission>,
+    stats: &ServerStats,
+    config: ConnConfig,
+    reply_tx: &mpsc::Sender<Vec<u8>>,
+) {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    let mut payload = Vec::new();
+    loop {
+        match read_exact_or_eof(&mut stream, &mut header_bytes) {
+            Ok(true) => {}
+            // Clean EOF between frames, or a mid-header cut: either
+            // way the peer is gone and there is no one to answer.
+            Ok(false) | Err(_) => return,
+        }
+        let header = match wire::decode_header(&header_bytes, config.max_frame_len) {
+            Ok(header) => header,
+            Err(e) => {
+                // Bad magic/version/length: the stream can no longer
+                // be framed. Answer once and hang up.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(error_frame(0, &e));
+                return;
+            }
+        };
+        payload.resize(header.payload_len as usize, 0);
+        if stream.read_exact(&mut payload).is_err() {
+            return; // truncated frame: peer died mid-payload
+        }
+
+        // From here the frame boundary is sound, so protocol errors
+        // are answerable without losing sync.
+        let opcode = match Opcode::from_byte(header.opcode) {
+            Ok(opcode) => opcode,
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(error_frame(header.request_id, &e));
+                continue;
+            }
+        };
+        match opcode {
+            Opcode::Query => {
+                let batch = match wire::decode_query_batch(
+                    &payload,
+                    config.max_queries_per_frame,
+                    config.max_hits_ceiling,
+                ) {
+                    Ok(batch) => batch,
+                    Err(e) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply_tx.send(error_frame(header.request_id, &e));
+                        continue;
+                    }
+                };
+                // Count the queued submission before try_send: the
+                // batcher may drain (and decrement) it immediately.
+                stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                match submit.try_send(Submission {
+                    request_id: header.request_id,
+                    batch,
+                    reply: reply_tx.clone(),
+                }) {
+                    Ok(()) => {
+                        stats.submissions_admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        stats.submissions_busy.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply_tx.send(wire::frame(Opcode::Busy, header.request_id, &[]));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Batcher is gone: the server is shutting down.
+                        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            Opcode::Stats => {
+                payload.clear();
+                wire::encode_stats(&stats.snapshot(), &mut payload);
+                let _ = reply_tx.send(wire::frame(Opcode::StatsReply, header.request_id, &payload));
+            }
+            // A client sending response opcodes is confused; tell it so.
+            _ => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(error_frame(
+                    header.request_id,
+                    &WireError::BadOpcode {
+                        opcode: header.opcode,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// An ERROR frame carrying the error's display string.
+fn error_frame(request_id: u64, error: &WireError) -> Vec<u8> {
+    wire::frame(Opcode::Error, request_id, error.to_string().as_bytes())
+}
+
+/// `read_exact` that distinguishes clean EOF at a frame boundary
+/// (`Ok(false)`) from data and from mid-read failures.
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}

@@ -1,0 +1,211 @@
+//! # exma-server
+//!
+//! The network front-end of the EXMA reproduction: a dependency-free
+//! binary protocol over TCP ([`wire`]) feeding the batched query
+//! engine through a continuous-batching admission queue ([`batcher`]).
+//!
+//! The serving pipeline is decode → admit → execute → encode:
+//! connection reader threads decode QUERY frames into
+//! [`exma_engine::QueryBatch`]es and admit them to one bounded queue
+//! ([`conn`]); a single batcher thread drains the queue, merges
+//! whatever has accumulated into one batch, runs the lockstep engine
+//! once, and routes each submission's slice of the pooled results back
+//! to its connection ([`batcher`]). Small client submissions thereby
+//! execute at engine-friendly batch sizes — the lockstep scheduler's
+//! locality wins need hundreds of in-flight queries, and no single
+//! network client supplies that — while a full queue answers BUSY
+//! instead of buffering unboundedly.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use exma_engine::EngineBuilder;
+//! use exma_genome::{Genome, GenomeProfile};
+//! use exma_server::{Server, ServerConfig};
+//!
+//! let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+//! let builder = EngineBuilder::new().k(4);
+//! let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+//! let server = Server::bind("127.0.0.1:0", index, builder, ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap();
+//! ```
+
+pub mod batcher;
+pub mod conn;
+pub mod wire;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use exma_engine::EngineBuilder;
+use exma_index::KStepFmIndex;
+
+pub use batcher::{BatcherConfig, ServerStats, Submission};
+pub use conn::ConnConfig;
+pub use wire::{Opcode, StatsSnapshot, WireError, WireOutput};
+
+/// Every serving knob in one place, fixed at [`Server::bind`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Admission-queue capacity in submissions; a full queue answers
+    /// BUSY (the backpressure bound).
+    pub queue_depth: usize,
+    /// The batcher's coalescing window after a batch's first
+    /// submission arrives.
+    pub linger: Duration,
+    /// Stop coalescing a batch at this many queries.
+    pub max_batch_queries: usize,
+    /// Largest accepted frame payload, in bytes.
+    pub max_frame_len: usize,
+    /// Largest accepted per-frame query count.
+    pub max_queries_per_frame: usize,
+    /// Hit-cap ceiling clamped onto every locate (the resolution
+    /// budget; `None` honors client caps verbatim).
+    pub max_hits_ceiling: Option<u32>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            queue_depth: 1024,
+            linger: Duration::from_micros(200),
+            max_batch_queries: 4096,
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            max_queries_per_frame: 4096,
+            max_hits_ceiling: None,
+        }
+    }
+}
+
+/// A bound, not-yet-running server: the listener, the index, and the
+/// engine recipe that will answer queries.
+pub struct Server {
+    listener: TcpListener,
+    index: Arc<KStepFmIndex>,
+    builder: EngineBuilder,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A remote control for a running [`Server`]: lets tests and signal
+/// handlers stop the accept loop from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Flags the accept loop down and wakes it with a throwaway
+    /// connection. [`Server::run`] returns once in-flight batches
+    /// drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag between accepts.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds `addr` and validates that `builder` can attach to
+    /// `index` — a mismatched recipe fails here, not in the batcher
+    /// thread after the first client connects.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: Arc<KStepFmIndex>,
+        builder: EngineBuilder,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        builder
+            .attach(&index)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            index,
+            builder,
+            config,
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle; clone freely across threads.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]: spawns the batcher
+    /// thread, then accepts connections, two threads each. Returns
+    /// after the batcher drains (connection threads wind down on
+    /// their own once their peers hang up).
+    pub fn run(self) -> io::Result<()> {
+        let (submit, queue) = mpsc::sync_channel::<Submission>(self.config.queue_depth);
+        let batcher_config = BatcherConfig {
+            linger: self.config.linger,
+            max_batch_queries: self.config.max_batch_queries,
+        };
+        let conn_config = ConnConfig {
+            max_frame_len: self.config.max_frame_len,
+            max_queries_per_frame: self.config.max_queries_per_frame,
+            max_hits_ceiling: self.config.max_hits_ceiling,
+        };
+
+        let batcher = {
+            let index = Arc::clone(&self.index);
+            let builder = self.builder;
+            let stats = Arc::clone(&self.stats);
+            thread::spawn(move || {
+                let exec = builder.attach(&index).expect("recipe validated at bind");
+                batcher::run_batcher(exec.as_ref(), &queue, batcher_config, &stats);
+            })
+        };
+
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let submit = submit.clone();
+            let stats = Arc::clone(&self.stats);
+            thread::spawn(move || conn::handle_conn(stream, submit, stats, conn_config));
+        }
+
+        // Dropping the last queue sender ends the batcher; connection
+        // threads each hold a clone, so shutdown waits for their peers
+        // to hang up — tests close their clients before shutting down.
+        drop(submit);
+        batcher
+            .join()
+            .map_err(|_| io::Error::other("batcher thread panicked"))
+    }
+}

@@ -1,0 +1,241 @@
+//! `exma-server`: synthesize a reference, build the k-step index, and
+//! serve the EXMA wire protocol.
+//!
+//! The server announces its bound address on stdout
+//! (`exma-server listening on HOST:PORT`) once the index is built, so
+//! a script can wait for readiness by reading one line. Clients that
+//! want to verify responses rebuild the identical reference from the
+//! same `--profile`/`--len`/`--seed` (synthesis is deterministic) —
+//! which is exactly what `exma-loadgen --verify` does.
+//!
+//! ```text
+//! cargo run --release -p exma-server -- --profile toy --port 7878
+//! cargo run --release -p exma-server -- --profile human_rel --k 4 --linger-us 500
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exma_engine::EngineBuilder;
+use exma_genome::{Genome, GenomeProfile};
+use exma_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+exma-server: serve EXMA QueryBatches over TCP with continuous batching
+
+USAGE:
+    cargo run --release -p exma-server [-- OPTIONS]
+
+OPTIONS:
+    --profile NAME        reference profile: toy, human_rel, picea_rel,
+                          pinus_rel (default: toy)
+    --len N               override the profile's length in bases
+    --seed N              synthesis seed (default: 42)
+    --k N                 step width of the index (default: 4)
+    --threads N           sharded-engine worker threads (default: 1)
+    --host HOST           bind address (default: 127.0.0.1)
+    --port N              bind port, 0 = ephemeral (default: 7878)
+    --queue-depth N       admission-queue capacity (default: 1024)
+    --linger-us N         coalescing window in microseconds (default: 200)
+    --max-batch N         per-run query cap for the batcher (default: 4096)
+    --max-frame-len N     largest accepted frame payload (default: 1 MiB)
+    --max-hits-ceiling N  clamp every locate's hit cap to N (default: none)
+    --help                print this help
+";
+
+struct Args {
+    profile: String,
+    len: Option<usize>,
+    seed: u64,
+    k: usize,
+    threads: usize,
+    host: String,
+    port: u16,
+    config: ServerConfig,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        profile: "toy".to_string(),
+        len: None,
+        seed: 42,
+        k: 4,
+        threads: 1,
+        host: "127.0.0.1".to_string(),
+        port: 7878,
+        config: ServerConfig::default(),
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--profile" => args.profile = value("--profile")?,
+            "--len" => args.len = Some(parse_num(&value("--len")?)?),
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--k" => args.k = parse_num(&value("--k")?)?,
+            "--threads" => args.threads = parse_num(&value("--threads")?)?,
+            "--host" => args.host = value("--host")?,
+            "--port" => args.port = parse_num(&value("--port")?)?,
+            "--queue-depth" => args.config.queue_depth = parse_num(&value("--queue-depth")?)?,
+            "--linger-us" => {
+                args.config.linger = Duration::from_micros(parse_num(&value("--linger-us")?)?)
+            }
+            "--max-batch" => args.config.max_batch_queries = parse_num(&value("--max-batch")?)?,
+            "--max-frame-len" => args.config.max_frame_len = parse_num(&value("--max-frame-len")?)?,
+            "--max-hits-ceiling" => {
+                args.config.max_hits_ceiling = Some(parse_num(&value("--max-hits-ceiling")?)?)
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad number '{raw}'"))
+}
+
+/// Resolves a profile name, applying the `--len` override.
+fn profile_for(name: &str, len: Option<usize>) -> Result<GenomeProfile, String> {
+    let mut profile = match name {
+        "toy" => GenomeProfile::toy(),
+        "human_rel" => GenomeProfile::human_rel(),
+        "picea_rel" => GenomeProfile::picea_rel(),
+        "pinus_rel" => GenomeProfile::pinus_rel(),
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    if let Some(len) = len {
+        if len == 0 {
+            return Err("--len must be positive".to_string());
+        }
+        profile.len = len;
+    }
+    Ok(profile)
+}
+
+fn run(args: &Args) -> ExitCode {
+    let profile = match profile_for(&args.profile, args.len) {
+        Ok(profile) => profile,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let builder = EngineBuilder::new().k(args.k).threads(args.threads);
+
+    eprintln!(
+        "synthesizing {} ({} bp, seed {})...",
+        profile.name, profile.len, args.seed
+    );
+    let genome = Genome::synthesize(&profile, args.seed);
+    let build_start = Instant::now();
+    let index = match builder.build_index(&genome.text_with_sentinel()) {
+        Ok(index) => Arc::new(index),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "built k={} index in {:.1?} ({:.1} MiB), engine {}",
+        args.k,
+        build_start.elapsed(),
+        index.heap_bytes() as f64 / (1024.0 * 1024.0),
+        builder.descriptor(),
+    );
+
+    let server = match Server::bind((args.host.as_str(), args.port), index, builder, args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot serve on {}:{}: {e}", args.host, args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // The readiness line scripts wait for — keep its shape stable.
+        Ok(addr) => println!("exma-server listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => run(&args),
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_default_and_parse() {
+        let args = parse_args(Vec::<String>::new().into_iter())
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.profile, "toy");
+        assert_eq!(args.port, 7878);
+        assert_eq!(args.config.queue_depth, 1024);
+
+        let argv = [
+            "--profile",
+            "human_rel",
+            "--len",
+            "50000",
+            "--seed",
+            "7",
+            "--k",
+            "2",
+            "--port",
+            "0",
+            "--queue-depth",
+            "4",
+            "--linger-us",
+            "500",
+            "--max-hits-ceiling",
+            "32",
+        ];
+        let args = parse_args(argv.iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.profile, "human_rel");
+        assert_eq!(args.len, Some(50_000));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.k, 2);
+        assert_eq!(args.port, 0);
+        assert_eq!(args.config.queue_depth, 4);
+        assert_eq!(args.config.linger, Duration::from_micros(500));
+        assert_eq!(args.config.max_hits_ceiling, Some(32));
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse_args(["--frobnicate".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--seed".to_string(), "x".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--len".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--help".to_string()].into_iter())
+            .unwrap()
+            .is_none());
+        assert!(profile_for("nope", None).is_err());
+        assert!(profile_for("toy", Some(0)).is_err());
+        assert_eq!(profile_for("toy", Some(123)).unwrap().len, 123);
+    }
+}

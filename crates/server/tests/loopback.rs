@@ -1,0 +1,427 @@
+//! Loopback acceptance tests of the serving pipeline: every byte a
+//! client gets back over TCP must equal what a direct [`Executor`]
+//! call would have produced — across concurrent clients, mixed-op
+//! batches, continuous batching, backpressure, and every rejection
+//! path (malformed, truncated, oversized frames).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use exma_engine::{EngineBuilder, QueryBatch, QueryRequest};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::KStepFmIndex;
+use exma_server::wire::{self, FrameHeader, Opcode, HEADER_LEN};
+use exma_server::{Server, ServerConfig, ServerHandle};
+
+/// A bound server running on its own thread, torn down explicitly.
+struct TestServer {
+    handle: ServerHandle,
+    thread: thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(index: Arc<KStepFmIndex>, builder: EngineBuilder, config: ServerConfig) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", index, builder, config).expect("bind loopback");
+        let handle = server.handle().expect("local addr");
+        let thread = thread::spawn(move || server.run());
+        TestServer { handle, thread }
+    }
+
+    /// Stops the accept loop and joins; callers drop their clients
+    /// first so the batcher can drain.
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread").expect("serve");
+    }
+}
+
+/// A blocking test client speaking one frame at a time.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &TestServer) -> Client {
+        Client {
+            stream: TcpStream::connect(server.handle.addr()).expect("connect loopback"),
+        }
+    }
+
+    fn send_query(&mut self, request_id: u64, batch: &QueryBatch) {
+        let mut payload = Vec::new();
+        wire::encode_query_batch(batch, &mut payload).expect("encodable batch");
+        self.send_raw(&wire::frame(Opcode::Query, request_id, &payload));
+    }
+
+    fn send_stats(&mut self, request_id: u64) {
+        self.send_raw(&wire::frame(Opcode::Stats, request_id, &[]));
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write frame");
+    }
+
+    /// Reads one frame; `None` on a server-side close.
+    fn read_frame(&mut self) -> Option<(FrameHeader, Vec<u8>)> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match self.stream.read(&mut header_bytes[filled..]) {
+                Ok(0) => return None,
+                Ok(n) => filled += n,
+                Err(_) => return None,
+            }
+        }
+        let header =
+            wire::decode_header(&header_bytes, usize::MAX).expect("server frames well-formed");
+        let mut payload = vec![0u8; header.payload_len as usize];
+        self.stream.read_exact(&mut payload).expect("payload");
+        Some((header, payload))
+    }
+
+    fn stats_snapshot(&mut self, request_id: u64) -> wire::StatsSnapshot {
+        self.send_stats(request_id);
+        let (header, payload) = self.read_frame().expect("stats reply");
+        assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::StatsReply));
+        assert_eq!(header.request_id, request_id);
+        wire::decode_stats(&payload).expect("stats payload")
+    }
+}
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+/// A mixed-op batch in the property suites' style: counts, capped and
+/// uncapped locates, intervals, hit and miss and empty patterns.
+fn mixed_batch(genome: &Genome, total: usize, seed: u64) -> QueryBatch {
+    let mut rng = SeededRng::new(seed);
+    let mut batch = QueryBatch::new();
+    for i in 0..total {
+        let pattern: Vec<Base> = if i % 17 == 0 {
+            Vec::new()
+        } else {
+            let len = rng.range(1, 30);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        };
+        match i % 4 {
+            0 => batch.push(QueryRequest::Count, pattern),
+            1 => batch.push(QueryRequest::locate(), pattern),
+            2 => batch.push(QueryRequest::locate_capped(rng.range(0, 8) as u32), pattern),
+            _ => batch.push(QueryRequest::Interval, pattern),
+        }
+    }
+    batch
+}
+
+/// The byte-exact RESULTS payload a direct executor run produces.
+fn expected_payload(builder: &EngineBuilder, index: &KStepFmIndex, batch: &QueryBatch) -> Vec<u8> {
+    let engine = builder.attach(index).expect("attach oracle");
+    let (results, _) = engine.run(batch);
+    let mut payload = Vec::new();
+    wire::encode_results_range(&results, 0, results.len(), &mut payload);
+    payload
+}
+
+#[test]
+fn concurrent_clients_get_byte_exact_executor_results() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = TestServer::start(Arc::clone(&index), builder, ServerConfig::default());
+
+    thread::scope(|scope| {
+        for client_id in 0..4u64 {
+            let server = &server;
+            let genome = &genome;
+            let index = &index;
+            scope.spawn(move || {
+                let mut client = Client::connect(server);
+                for round in 0..5u64 {
+                    let seed = client_id * 100 + round;
+                    let batch = mixed_batch(genome, 40, seed);
+                    let request_id = (client_id << 32) | round;
+                    client.send_query(request_id, &batch);
+                    let (header, payload) = client.read_frame().expect("response");
+                    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+                    assert_eq!(header.request_id, request_id);
+                    assert_eq!(
+                        payload,
+                        expected_payload(&builder, index, &batch),
+                        "client {client_id} round {round} diverged from direct execution"
+                    );
+                }
+            });
+        }
+    });
+
+    // Everything the clients sent was admitted and executed; the
+    // coalescing counters stay consistent with the run count.
+    let mut probe = Client::connect(&server);
+    let stats = probe.stats_snapshot(999);
+    assert_eq!(stats.submissions_admitted, 20);
+    assert_eq!(stats.queries_executed, 20 * 40);
+    assert_eq!(stats.submissions_coalesced, 20);
+    assert!(stats.batches_run >= 1 && stats.batches_run <= 20);
+    assert_eq!(stats.submissions_busy, 0);
+    assert_eq!(stats.queue_depth, 0);
+    drop(probe);
+    server.stop();
+}
+
+#[test]
+fn malformed_payloads_answer_error_and_keep_the_connection() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(2);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = TestServer::start(Arc::clone(&index), builder, ServerConfig::default());
+    let mut client = Client::connect(&server);
+
+    // A pattern byte outside the 2-bit alphabet: typed rejection, id
+    // echoed, stream still in sync.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&1u32.to_le_bytes()); // one query
+    bad.push(0); // count
+    bad.extend_from_slice(&2u32.to_le_bytes()); // two bases
+    bad.extend_from_slice(&[1, 77]); // second is garbage
+    client.send_raw(&wire::frame(Opcode::Query, 7, &bad));
+    let (header, payload) = client.read_frame().expect("error frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+    assert_eq!(header.request_id, 7);
+    let message = String::from_utf8(payload).expect("utf-8 error message");
+    assert!(message.contains("77"), "unhelpful error: {message}");
+
+    // An unknown request kind: same contract.
+    let mut bad_kind = Vec::new();
+    bad_kind.extend_from_slice(&1u32.to_le_bytes());
+    bad_kind.push(9);
+    client.send_raw(&wire::frame(Opcode::Query, 8, &bad_kind));
+    let (header, _) = client.read_frame().expect("error frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+    assert_eq!(header.request_id, 8);
+
+    // A response opcode sent as a request: rejected, connection lives.
+    client.send_raw(&wire::frame(Opcode::Results, 9, &[]));
+    let (header, _) = client.read_frame().expect("error frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+
+    // The same connection still answers real queries byte-exactly.
+    let batch = mixed_batch(&genome, 10, 5);
+    client.send_query(10, &batch);
+    let (header, payload) = client.read_frame().expect("results after errors");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+
+    let stats = client.stats_snapshot(11);
+    assert_eq!(stats.errors, 3);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn bad_magic_and_oversized_frames_close_the_connection() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(2);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        max_frame_len: 256,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    // Garbage magic: one ERROR frame, then EOF — the stream cannot be
+    // re-synchronized, so the server hangs up.
+    let mut client = Client::connect(&server);
+    let mut frame = wire::frame(Opcode::Query, 1, &[0, 0, 0, 0]);
+    frame[0] = 0xAA;
+    client.send_raw(&frame);
+    let (header, payload) = client.read_frame().expect("error frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+    let message = String::from_utf8(payload).unwrap();
+    assert!(message.contains("magic"), "{message}");
+    assert!(
+        client.read_frame().is_none(),
+        "expected close after bad magic"
+    );
+
+    // A length prefix over the frame cap is refused before any payload
+    // is read — no 4 GiB allocation on a hostile header.
+    let mut client = Client::connect(&server);
+    client.send_raw(&wire::encode_header(Opcode::Query, 2, 1 << 30));
+    let (header, payload) = client.read_frame().expect("error frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+    let message = String::from_utf8(payload).unwrap();
+    assert!(message.contains("frame cap"), "{message}");
+    assert!(
+        client.read_frame().is_none(),
+        "expected close after oversize"
+    );
+
+    // A truncated frame (header promises more than the peer sends)
+    // must not wedge the server: the victim connection dies quietly
+    // and fresh connections still work.
+    let mut client = Client::connect(&server);
+    client.send_raw(&wire::encode_header(Opcode::Query, 3, 100));
+    client.send_raw(&[0u8; 10]); // then hang up mid-payload
+    drop(client);
+
+    let mut healthy = Client::connect(&server);
+    let batch = mixed_batch(&genome, 8, 3);
+    healthy.send_query(4, &batch);
+    let (header, payload) = healthy.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(healthy);
+    server.stop();
+}
+
+#[test]
+fn full_admission_queue_answers_busy_not_buffering() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        queue_depth: 1,
+        linger: Duration::ZERO,
+        // Uncapped empty-pattern locates resolve the entire text; 60
+        // of them keep the batcher busy for long enough that the
+        // burst below observably overflows the 1-slot queue.
+        max_frame_len: 16 << 20,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    let slow = QueryBatch::uniform(QueryRequest::locate(), vec![Vec::<Base>::new(); 60]);
+    client.send_query(0, &slow);
+    let quick = QueryBatch::new().count(genome.seq().slice(0, 8));
+    for id in 1..=9u64 {
+        client.send_query(id, &quick);
+    }
+
+    let mut outcomes: HashMap<u64, Opcode> = HashMap::new();
+    while outcomes.len() < 10 {
+        let (header, payload) = client.read_frame().expect("response for every request");
+        let opcode = Opcode::from_byte(header.opcode).unwrap();
+        if opcode == Opcode::Results && header.request_id == 0 {
+            // The slow batch's answers are still oracle-exact.
+            assert_eq!(payload, expected_payload(&builder, &index, &slow));
+        }
+        outcomes.insert(header.request_id, opcode);
+    }
+    let busy = outcomes.values().filter(|&&op| op == Opcode::Busy).count();
+    let answered = outcomes
+        .values()
+        .filter(|&&op| op == Opcode::Results)
+        .count();
+    assert_eq!(busy + answered, 10);
+    assert_eq!(outcomes[&0], Opcode::Results, "the slow batch was admitted");
+    assert!(
+        busy >= 1,
+        "a 1-slot queue under a 10-request burst never filled"
+    );
+
+    let stats = client.stats_snapshot(100);
+    assert_eq!(stats.submissions_busy, busy as u64);
+    assert_eq!(stats.submissions_admitted, answered as u64);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn linger_window_coalesces_concurrent_submissions() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        linger: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    thread::scope(|scope| {
+        for client_id in 0..6u64 {
+            let server = &server;
+            let genome = &genome;
+            let index = &index;
+            scope.spawn(move || {
+                let mut client = Client::connect(server);
+                let batch = mixed_batch(genome, 10, client_id);
+                client.send_query(client_id, &batch);
+                let (header, payload) = client.read_frame().expect("response");
+                assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+                assert_eq!(payload, expected_payload(&builder, index, &batch));
+            });
+        }
+    });
+
+    let mut probe = Client::connect(&server);
+    let stats = probe.stats_snapshot(999);
+    assert_eq!(stats.submissions_admitted, 6);
+    // Six near-simultaneous one-batch clients against a 150 ms linger
+    // window: the batcher must have merged at least once — that is
+    // the continuous-batching contract this server exists for.
+    assert!(
+        stats.batches_run < 6,
+        "no coalescing: {} submissions ran as {} batches",
+        stats.submissions_admitted,
+        stats.batches_run
+    );
+    assert!(stats.max_coalesced >= 2);
+    drop(probe);
+    server.stop();
+}
+
+#[test]
+fn max_hits_ceiling_caps_every_locate() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(2);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        max_hits_ceiling: Some(3),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    // An uncapped locate of a 1-base pattern has thousands of hits;
+    // under the ceiling the server must answer as if the client had
+    // asked for locate_capped(3) — deterministic truncation, not a
+    // deadline-dependent prefix.
+    let frequent = genome.seq().slice(0, 1);
+    let sent = QueryBatch::new()
+        .locate(&frequent)
+        .locate_capped(&frequent, 2)
+        .count(&frequent);
+    let clamped = QueryBatch::new()
+        .locate_capped(&frequent, 3)
+        .locate_capped(&frequent, 2)
+        .count(&frequent);
+    client.send_query(1, &sent);
+    let (header, payload) = client.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &clamped));
+
+    let outputs = wire::decode_results(&payload).unwrap();
+    match &outputs[0] {
+        wire::WireOutput::Located {
+            positions,
+            truncated,
+        } => {
+            assert_eq!(positions.len(), 3);
+            assert!(*truncated);
+        }
+        other => panic!("expected a located output, got {other:?}"),
+    }
+    drop(client);
+    server.stop();
+}
