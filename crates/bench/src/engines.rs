@@ -19,7 +19,9 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use exma_engine::{BatchConfig, EngineBuilder, Executor, QueryResults};
+use exma_engine::{
+    BatchConfig, EngineBuilder, EngineError, Executor, HeapBreakdown, IndexLayout, QueryResults,
+};
 use exma_genome::Symbol;
 use exma_index::{FmIndex, KStepFmIndex, ResolveConfig};
 
@@ -89,6 +91,11 @@ pub fn builder_configs(thread_counts: &[usize]) -> Vec<(EngineBuilder, Measure)>
     for resolve in [ResolveConfig::default(), ResolveConfig::sorted()] {
         configs.push((EngineBuilder::new().resolve(resolve), Measure::LocateOnly));
     }
+    // The memory-layout presets at the headline width: the compact
+    // two-level layout and the flat u32 baseline it is gated against.
+    for layout in [IndexLayout::compact(), IndexLayout::fast()] {
+        configs.push((EngineBuilder::new().layout(layout), Measure::All));
+    }
     let mut seen = HashSet::new();
     configs.retain(|(builder, _)| seen.insert(builder.descriptor()));
     configs
@@ -99,37 +106,61 @@ pub struct EngineSet {
     pub one: FmIndex,
     pub k2: KStepFmIndex,
     pub k4: KStepFmIndex,
-    /// Wall-clock build seconds for `one`, `k2`, `k4` respectively.
-    pub build_secs: [f64; 3],
+    /// k = 4 rebuilt under [`IndexLayout::compact`] — the memory-first
+    /// preset the heap gate measures.
+    pub k4_compact: KStepFmIndex,
+    /// k = 4 rebuilt under [`IndexLayout::fast`] — the flat-u32 baseline
+    /// the gate compares against.
+    pub k4_fast: KStepFmIndex,
+    /// Wall-clock build seconds for `one`, `k2`, `k4`, `k4_compact`,
+    /// `k4_fast` respectively.
+    pub build_secs: [f64; 5],
 }
 
 impl EngineSet {
-    /// Builds all three indexes from one sentinel-terminated text, timing
+    /// Builds all five indexes from one sentinel-terminated text, timing
     /// each build (suffix-array construction included — each engine pays
     /// its full cost from raw text).
     pub fn build(text: &[Symbol]) -> EngineSet {
+        fn timed(build: impl FnOnce() -> KStepFmIndex) -> (KStepFmIndex, f64) {
+            let start = Instant::now();
+            let index = build();
+            (index, start.elapsed().as_secs_f64())
+        }
         let t0 = Instant::now();
         let one = FmIndex::from_text(text);
-        let t1 = Instant::now();
-        let k2 = EngineBuilder::new()
-            .k(2)
-            .build_index(text)
-            .expect("k=2 recipe builds");
-        let t2 = Instant::now();
-        let k4 = EngineBuilder::new()
-            .k(4)
-            .build_index(text)
-            .expect("k=4 recipe builds");
-        let t3 = Instant::now();
+        let one_secs = t0.elapsed().as_secs_f64();
+        let (k2, k2_secs) = timed(|| {
+            EngineBuilder::new()
+                .k(2)
+                .build_index(text)
+                .expect("k=2 recipe builds")
+        });
+        let (k4, k4_secs) = timed(|| {
+            EngineBuilder::new()
+                .k(4)
+                .build_index(text)
+                .expect("k=4 recipe builds")
+        });
+        let (k4_compact, compact_secs) = timed(|| {
+            EngineBuilder::new()
+                .layout(IndexLayout::compact())
+                .build_index(text)
+                .expect("the compact preset builds on every profile")
+        });
+        let (k4_fast, fast_secs) = timed(|| {
+            EngineBuilder::new()
+                .layout(IndexLayout::fast())
+                .build_index(text)
+                .expect("the flat-u32 preset builds on every profile")
+        });
         EngineSet {
             one,
             k2,
             k4,
-            build_secs: [
-                (t1 - t0).as_secs_f64(),
-                (t2 - t1).as_secs_f64(),
-                (t3 - t2).as_secs_f64(),
-            ],
+            k4_compact,
+            k4_fast,
+            build_secs: [one_secs, k2_secs, k4_secs, compact_secs, fast_secs],
         }
     }
 
@@ -142,25 +173,52 @@ impl EngineSet {
             .collect()
     }
 
-    /// Wires one builder config onto the shared index of its width.
+    /// Wires one builder config onto the shared index matching its
+    /// width *and* memory layout (an executor attached to an index built
+    /// under a different layout would report the wrong footprint).
     fn attach(&self, builder: EngineBuilder, measure: Measure) -> Variant<'_> {
         let k = builder.step_width();
-        let (build_secs, heap_bytes, owner) = match k {
-            1 => (self.build_secs[0], self.one.heap_bytes(), "seq_k1"),
-            2 => (self.build_secs[1], self.k2.heap_bytes(), "seq_k2"),
-            4 => (self.build_secs[2], self.k4.heap_bytes(), "seq_k4"),
-            other => unreachable!("no shared index is built at k={other}"),
+        let layout = builder.index_layout();
+        let (index, build_secs, owner): (&KStepFmIndex, f64, &str) = match (k, layout) {
+            (2, l) if l == IndexLayout::default() => (&self.k2, self.build_secs[1], "seq_k2"),
+            (4, l) if l == IndexLayout::compact() => (
+                &self.k4_compact,
+                self.build_secs[3],
+                "lockstep_k4_locality_compact",
+            ),
+            (4, l) if l == IndexLayout::fast() => (
+                &self.k4_fast,
+                self.build_secs[4],
+                "lockstep_k4_locality_fast",
+            ),
+            (4, l) if l == IndexLayout::default() => (&self.k4, self.build_secs[2], "seq_k4"),
+            (1, l) if l == IndexLayout::default() => {
+                // The 1-step baseline attaches to the bare FmIndex; the
+                // k = 1 k-step index exists only as `seq_k1`'s oracle twin.
+                let exec = if builder.is_sequential() {
+                    builder.attach_one_step(&self.one)
+                } else {
+                    unreachable!("no shared lockstep index at k=1")
+                }
+                .expect("enumerated recipes always attach");
+                let label = builder.descriptor();
+                return Variant {
+                    shares_index_with: (label != "seq_k1").then(|| "seq_k1".to_string()),
+                    label,
+                    k,
+                    exec,
+                    build_secs: self.build_secs[0],
+                    heap: self.one.heap_breakdown(),
+                    heap_bytes: self.one.heap_bytes(),
+                    threads: None,
+                    measure,
+                };
+            }
+            (k, l) => unreachable!("no shared index at k={k} with layout {l:?}"),
         };
-        let exec = if builder.is_sequential() && k == 1 {
-            builder.attach_one_step(&self.one)
-        } else {
-            builder.attach(match k {
-                2 => &self.k2,
-                4 => &self.k4,
-                other => unreachable!("no k-step index at k={other}"),
-            })
-        }
-        .expect("enumerated recipes always attach");
+        let exec = builder
+            .attach(index)
+            .expect("enumerated recipes always attach");
         let label = builder.descriptor();
         Variant {
             shares_index_with: (label != owner).then(|| owner.to_string()),
@@ -168,7 +226,8 @@ impl EngineSet {
             k,
             exec,
             build_secs,
-            heap_bytes,
+            heap: index.heap_breakdown(),
+            heap_bytes: index.heap_bytes(),
             threads: (builder.thread_count() > 1).then(|| builder.thread_count()),
             measure,
         }
@@ -185,6 +244,9 @@ pub struct Variant<'a> {
     /// The executor every op runs through.
     pub exec: Box<dyn Executor + 'a>,
     pub build_secs: f64,
+    /// Per-component heap attribution of the variant's index
+    /// (`heap.total() == heap_bytes`).
+    pub heap: HeapBreakdown,
     pub heap_bytes: usize,
     /// The sequential entry whose index this variant reuses.
     pub shares_index_with: Option<String>,
@@ -207,14 +269,25 @@ pub struct SweepPoint {
 impl SweepPoint {
     /// Builds the swept index and remembers the recipe.
     pub fn build(text: &[Symbol], builder: EngineBuilder, measure: Measure) -> SweepPoint {
+        SweepPoint::try_build(text, builder, measure).expect("sweep recipe builds")
+    }
+
+    /// Fallible variant of [`SweepPoint::build`] for sweeps whose grid
+    /// legitimately contains unbuildable points (a u8 delta overflowing
+    /// at a coarse spacing) — the frontier is recorded, not panicked on.
+    pub fn try_build(
+        text: &[Symbol],
+        builder: EngineBuilder,
+        measure: Measure,
+    ) -> Result<SweepPoint, EngineError> {
         let start = Instant::now();
-        let index = builder.build_index(text).expect("sweep recipe builds");
-        SweepPoint {
+        let index = builder.build_index(text)?;
+        Ok(SweepPoint {
             index,
             builder,
             build_secs: start.elapsed().as_secs_f64(),
             measure,
-        }
+        })
     }
 
     /// The measured variant for this sweep point (it owns its index, so
@@ -228,6 +301,7 @@ impl SweepPoint {
                 .attach(&self.index)
                 .expect("sweep recipe attaches to its own index"),
             build_secs: self.build_secs,
+            heap: self.index.heap_breakdown(),
             heap_bytes: self.index.heap_bytes(),
             shares_index_with: None,
             threads: (self.builder.thread_count() > 1).then(|| self.builder.thread_count()),
@@ -284,6 +358,8 @@ mod tests {
                 "lockstep_k4_locality_t4",
                 "lockstep_k4_locality_rplain",
                 "lockstep_k4_locality_rsorted",
+                "lockstep_k4_locality_compact",
+                "lockstep_k4_locality_fast",
             ]
         );
         assert_eq!(
@@ -305,7 +381,7 @@ mod tests {
             .map(|i| genome.seq().slice(i * 37, 9 + i % 13))
             .collect();
         let variants = set.variants(&[1, 2, 4]);
-        assert_eq!(variants.len(), 11);
+        assert_eq!(variants.len(), 13);
         let batches = [
             QueryBatch::uniform(QueryRequest::Count, &patterns),
             QueryBatch::uniform(QueryRequest::locate(), &patterns),
@@ -346,6 +422,45 @@ mod tests {
         assert!(!rplain.measure.includes(OP_COUNT));
         assert!(rplain.measure.includes(OP_LOCATE));
         assert!(!rplain.measure.includes(OP_MIXED));
+        for variant in &variants {
+            assert_eq!(
+                variant.heap.total(),
+                variant.heap_bytes,
+                "{}: breakdown must sum to the scalar",
+                variant.label
+            );
+        }
+    }
+
+    #[test]
+    fn layout_preset_variants_own_their_indexes_and_compact_shrinks() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 17);
+        let set = EngineSet::build(&genome.text_with_sentinel());
+        let variants = set.variants(&[1]);
+        let compact = variants
+            .iter()
+            .find(|v| v.label == "lockstep_k4_locality_compact")
+            .unwrap();
+        let fast = variants
+            .iter()
+            .find(|v| v.label == "lockstep_k4_locality_fast")
+            .unwrap();
+        // Preset variants build their own index, so they share nothing.
+        assert!(compact.shares_index_with.is_none());
+        assert!(fast.shares_index_with.is_none());
+        assert_eq!(compact.heap_bytes, set.k4_compact.heap_bytes());
+        assert_eq!(fast.heap_bytes, set.k4_fast.heap_bytes());
+        assert!(
+            compact.heap_bytes < fast.heap_bytes,
+            "compact {} vs fast {}",
+            compact.heap_bytes,
+            fast.heap_bytes
+        );
+        // The compression acts on the checkpoint components specifically.
+        assert!(
+            compact.heap.k_occ_checkpoints + compact.heap.k_occ_deltas
+                < fast.heap.k_occ_checkpoints + fast.heap.k_occ_deltas
+        );
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! isolations) is timed on three ops per workload — an all-`count` batch,
 //! an all-`locate` batch, and a `mixed` scenario interleaving counts,
 //! capped and uncapped locates, and interval requests — then writes
-//! `BENCH_exma.json` (schema v4: derived descriptors as engine labels).
+//! `BENCH_exma.json` (schema v6: derived descriptors as engine labels,
+//! per-component heap breakdowns, and the delta-width sweep).
 //! Every variant's answers are cross-checked against the sequential
-//! 1-step oracle and the sorted schedule is checked to issue no extra LF
-//! steps; any violation makes the process exit non-zero, which is what
-//! the `bench-smoke` CI job gates on.
+//! 1-step oracle, the sorted schedule is checked to issue no extra LF
+//! steps, and the compact layout preset is gated to at most half the
+//! flat-u32 baseline's heap; any violation makes the process exit
+//! non-zero, which is what the `bench-smoke` CI job gates on.
 //!
 //! ```text
 //! cargo run --release -p exma-bench                 # full run (~2 min)
@@ -28,7 +30,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use exma_engine::{EngineBuilder, QueryArena, QueryBatch, QueryRequest};
+use exma_engine::{DeltaWidth, EngineBuilder, HeapBreakdown, QueryArena, QueryBatch, QueryRequest};
 use exma_genome::{
     Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
 };
@@ -62,6 +64,15 @@ const SWEEP_RATES: [usize; 5] = [64, 128, 256, 512, 1024];
 /// trade-off the sweep maps.
 const SA_SWEEP_RATES: [usize; 4] = [8, 16, 32, 64];
 
+/// `k_occ_sample_rate` held fixed by `--sweep-delta-width` — the compact
+/// preset's spacing, where checkpoint rows dominate the footprint and
+/// the delta-width × superblock-spacing cross actually moves it.
+const DELTA_SWEEP_KOCC_RATE: usize = 640;
+
+/// Superblock spacings crossed with each two-level width by
+/// `--sweep-delta-width`.
+const DELTA_SWEEP_SB_RATES: [usize; 3] = [2, 8, 64];
+
 const USAGE: &str = "exma-bench: benchmark the builder-config enumeration of FM-index engines
 
 USAGE:
@@ -78,14 +89,21 @@ OPTIONS:
     --sweep-sa-sample-rate
                           also sweep sa_sample_rate over 8..64 on the picea
                           profile (k = 4, locality engine, locate timing)
+    --sweep-delta-width   also cross checkpoint delta width (u32 flat, u16,
+                          u8) with superblock spacing (2, 8, 64) at the
+                          compact k-occ spacing on the picea profile;
+                          unbuildable points (delta overflow) are recorded
+                          as build errors, mapping the compression frontier
     --list-engines        print the derived descriptor of every enumerated
                           builder config (sweep configs included with the
                           sweep flags) and exit
     --help                print this help
 
 Exits non-zero if any variant's results diverge from the sequential
-1-step oracle on any op (count, locate, or the mixed scenario), or if
-the interval-sorted schedule issues more LF steps than the plain one.";
+1-step oracle on any op (count, locate, or the mixed scenario), if the
+interval-sorted schedule issues more LF steps than the plain one, or if
+the compact layout preset's k = 4 heap exceeds half the flat-u32
+baseline's on any genome.";
 
 struct Args {
     smoke: bool,
@@ -95,6 +113,7 @@ struct Args {
     threads: Vec<usize>,
     sweep: bool,
     sweep_sa: bool,
+    sweep_delta: bool,
     list_engines: bool,
 }
 
@@ -388,7 +407,8 @@ fn engine_entry(
         .field("engine", variant.label.as_str())
         .field("k", variant.k)
         .field("build_ms", variant.build_secs * 1e3)
-        .field("heap_bytes", variant.heap_bytes);
+        .field("heap_bytes", variant.heap_bytes)
+        .field("heap", heap_json(&variant.heap));
     if let Some(threads) = variant.threads {
         entry = entry.field("threads", threads);
     }
@@ -396,6 +416,21 @@ fn engine_entry(
         entry = entry.field("shares_index_with", shared.as_str());
     }
     entry.field("ops", ops)
+}
+
+/// The per-component heap attribution of one index, as the schema-v6
+/// `heap` object (`total` always equals the component sum — the
+/// breakdown is exact, not an estimate).
+fn heap_json(heap: &HeapBreakdown) -> Json {
+    Json::obj()
+        .field("total", heap.total())
+        .field("k_occ_checkpoints", heap.k_occ_checkpoints)
+        .field("k_occ_deltas", heap.k_occ_deltas)
+        .field("k_occ_codes", heap.k_occ_codes)
+        .field("one_step_occ", heap.one_step_occ)
+        .field("sa_samples", heap.sa_samples)
+        .field("rank_bits", heap.rank_bits)
+        .field("other", heap.other)
 }
 
 /// The builder configs behind the two sweeps, descriptor-visible in
@@ -424,6 +459,33 @@ fn sa_sweep_builders() -> Vec<(EngineBuilder, Measure, usize)> {
             )
         })
         .collect()
+}
+
+/// The delta-width × superblock-spacing cross of `--sweep-delta-width`:
+/// the flat u32 baseline plus every two-level width at every spacing,
+/// all at the compact k-occ checkpoint rate. Some u8 points are
+/// expected *not* to build on real profiles — a 640-row block under a
+/// wide superblock overflows a u8 counter — which is the frontier the
+/// sweep exists to map.
+fn delta_sweep_builders() -> Vec<(EngineBuilder, Measure, DeltaWidth, usize)> {
+    let base = EngineBuilder::new().k_occ_sample_rate(DELTA_SWEEP_KOCC_RATE);
+    let mut builders = vec![(
+        base.delta_width(DeltaWidth::U32),
+        Measure::All,
+        DeltaWidth::U32,
+        0usize,
+    )];
+    for width in [DeltaWidth::U16, DeltaWidth::U8] {
+        for &sb in &DELTA_SWEEP_SB_RATES {
+            builders.push((
+                base.delta_width(width).superblock_rate(sb),
+                Measure::All,
+                width,
+                sb,
+            ));
+        }
+    }
+    builders
 }
 
 /// `--list-engines`: print the derived descriptor of every enumerated
@@ -458,6 +520,15 @@ fn list_engines(args: &Args, thread_counts: &[usize]) {
             );
         }
     }
+    if args.sweep_delta {
+        println!("# --sweep-delta-width configs (picea profile)");
+        for (builder, measure, width, sb) in delta_sweep_builders() {
+            println!(
+                "{:<34} delta_width={width} superblock_rate={sb} measure={measure:?}",
+                builder.descriptor()
+            );
+        }
+    }
 }
 
 fn run(args: &Args) -> ExitCode {
@@ -479,6 +550,7 @@ fn run(args: &Args) -> ExitCode {
     let mut results: Vec<Json> = Vec::new();
     let mut sweep_results: Vec<Json> = Vec::new();
     let mut sa_sweep_results: Vec<Json> = Vec::new();
+    let mut delta_sweep_results: Vec<Json> = Vec::new();
     let mut violations = 0usize;
 
     for profile in &spec.genomes {
@@ -496,6 +568,20 @@ fn run(args: &Args) -> ExitCode {
 
         violations += verify(&variants, &loads, &profile.name);
         violations += check_sorted_steps(&variants, &loads, &profile.name);
+
+        // Heap regression gate: the compact preset's k = 4 index must
+        // cost at most half the flat-u32 baseline's — if two-level
+        // compression ever regresses, the run fails loud, on every
+        // genome including the CI smoke profiles.
+        let (compact, fast) = (set.k4_compact.heap_bytes(), set.k4_fast.heap_bytes());
+        if compact * 2 > fast {
+            eprintln!(
+                "HEAP REGRESSION: {}: compact k=4 heap {compact} B exceeds half the \
+                 flat-u32 layout's {fast} B",
+                profile.name
+            );
+            violations += 1;
+        }
 
         let timings = measure_interleaved(&variants, &loads, &spec);
         for (variant, variant_timings) in variants.iter().zip(&timings) {
@@ -568,11 +654,62 @@ fn run(args: &Args) -> ExitCode {
                 );
             }
         }
+
+        if args.sweep_delta && profile.name.starts_with("picea") {
+            let oracle_counts: Vec<_> = loads
+                .iter()
+                .map(|load| oracle.exec.run(&load.batches[OP_COUNT]).0)
+                .collect();
+            for (builder, measure, width, sb) in delta_sweep_builders() {
+                eprintln!(
+                    "[{}] delta sweep: k=4, kocc={DELTA_SWEEP_KOCC_RATE}, width={width}, sb={sb}...",
+                    spec.mode
+                );
+                let tagged = |entry: Json| {
+                    entry
+                        .field("delta_width", width.to_string())
+                        .field("superblock_rate", sb)
+                };
+                let point = match SweepPoint::try_build(&text, builder, measure) {
+                    Ok(point) => point,
+                    Err(err) => {
+                        // An unbuildable point is the frontier, not a
+                        // failure: record the typed reason and move on.
+                        eprintln!("[{}]   -> does not build: {err}", spec.mode);
+                        delta_sweep_results.push(tagged(
+                            Json::obj()
+                                .field("genome", profile.name.as_str())
+                                .field("engine", builder.descriptor())
+                                .field("build_error", err.to_string()),
+                        ));
+                        continue;
+                    }
+                };
+                let sweep_variant = [point.variant()];
+                for (load, expected) in loads.iter().zip(&oracle_counts) {
+                    if sweep_variant[0].exec.run(&load.batches[OP_COUNT]).0 != *expected {
+                        eprintln!(
+                            "DIVERGENCE: {}/{}/{}: count differs from 1-step oracle",
+                            profile.name, sweep_variant[0].label, load.name
+                        );
+                        violations += 1;
+                    }
+                }
+                let timings = measure_interleaved(&sweep_variant, &loads, &spec);
+                delta_sweep_results.push(tagged(engine_entry(
+                    &sweep_variant[0],
+                    &timings[0],
+                    &loads,
+                    &spec,
+                    &genome,
+                )));
+            }
+        }
     }
 
     let verified = violations == 0;
     let mut doc = Json::obj()
-        .field("schema_version", 4u64)
+        .field("schema_version", 6u64)
         .field("mode", spec.mode)
         .field("seed", args.seed)
         .field("illumina_read_len", ILLUMINA_LEN)
@@ -595,6 +732,9 @@ fn run(args: &Args) -> ExitCode {
     }
     if args.sweep_sa {
         doc = doc.field("sa_rate_sweep", sa_sweep_results);
+    }
+    if args.sweep_delta {
+        doc = doc.field("delta_width_sweep", delta_sweep_results);
     }
     let rendered = format!("{doc}\n");
     if let Err(err) = std::fs::write(&args.out, rendered) {
@@ -619,6 +759,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         threads: Vec::new(),
         sweep: false,
         sweep_sa: false,
+        sweep_delta: false,
         list_engines: false,
     };
     let mut argv = argv.peekable();
@@ -627,6 +768,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--smoke" => args.smoke = true,
             "--sweep-sample-rate" => args.sweep = true,
             "--sweep-sa-sample-rate" => args.sweep_sa = true,
+            "--sweep-delta-width" => args.sweep_delta = true,
             "--list-engines" => args.list_engines = true,
             "--out" => {
                 let path = argv.next().ok_or("--out requires a path")?;
@@ -682,6 +824,7 @@ mod tests {
         assert!(!args.smoke);
         assert!(!args.sweep);
         assert!(!args.sweep_sa);
+        assert!(!args.sweep_delta);
         assert!(!args.list_engines);
         assert!(args.threads.is_empty());
         assert_eq!(args.out, PathBuf::from("BENCH_exma.json"));
@@ -698,6 +841,7 @@ mod tests {
                 "1,2,8",
                 "--sweep-sample-rate",
                 "--sweep-sa-sample-rate",
+                "--sweep-delta-width",
                 "--list-engines",
             ]
             .iter()
@@ -708,6 +852,7 @@ mod tests {
         assert!(args.smoke);
         assert!(args.sweep);
         assert!(args.sweep_sa);
+        assert!(args.sweep_delta);
         assert!(args.list_engines);
         assert_eq!(args.threads, vec![1, 2, 8]);
         assert_eq!(args.out, PathBuf::from("/tmp/b.json"));
@@ -770,6 +915,37 @@ mod tests {
         assert!(sa_sweep_builders()
             .iter()
             .all(|&(_, m, _)| m == Measure::LocateOnly));
+    }
+
+    #[test]
+    fn delta_sweep_crosses_widths_and_spacings() {
+        let builders = delta_sweep_builders();
+        // 1 flat baseline + {u16, u8} × 3 spacings.
+        assert_eq!(builders.len(), 7);
+        assert_eq!(builders[0].2, DeltaWidth::U32);
+        let labels: Vec<String> = builders.iter().map(|(b, ..)| b.descriptor()).collect();
+        assert!(labels.contains(&"lockstep_k4_locality_kocc640_d32".to_string()));
+        assert!(labels.contains(&"lockstep_k4_locality_kocc640_sb2".to_string()));
+        assert!(labels.contains(&"lockstep_k4_locality_kocc640_d8_sb64".to_string()));
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "sweep labels must be unique");
+    }
+
+    #[test]
+    fn heap_json_mirrors_the_breakdown_exactly() {
+        let heap = HeapBreakdown {
+            k_occ_checkpoints: 1,
+            k_occ_deltas: 2,
+            k_occ_codes: 3,
+            one_step_occ: 4,
+            sa_samples: 5,
+            rank_bits: 6,
+            other: 7,
+        };
+        let rendered = heap_json(&heap).to_string();
+        assert!(rendered.contains("\"total\": 28"), "{rendered}");
+        assert!(rendered.contains("\"k_occ_deltas\": 2"), "{rendered}");
+        assert!(rendered.contains("\"other\": 7"), "{rendered}");
     }
 
     #[test]

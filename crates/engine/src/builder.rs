@@ -19,7 +19,7 @@
 use std::fmt;
 
 use exma_genome::Symbol;
-use exma_index::{FmIndex, KStepBuildConfig, KStepFmIndex, ResolveConfig};
+use exma_index::{DeltaWidth, FmIndex, IndexError, KStepBuildConfig, KStepFmIndex, ResolveConfig};
 
 use crate::batch::{BatchConfig, BatchEngine};
 use crate::exec::Executor;
@@ -30,6 +30,8 @@ use crate::shard::ShardedEngine;
 const DEFAULT_OCC_RATE: usize = 44;
 /// Default suffix-array sampling rate.
 const DEFAULT_SA_RATE: usize = 32;
+/// Default superblock spacing of the two-level checkpoint layouts.
+const DEFAULT_SUPERBLOCK_RATE: usize = 16;
 
 /// Why a builder recipe cannot build an index or attach an executor.
 ///
@@ -68,6 +70,10 @@ pub enum EngineError {
     /// [`EngineBuilder::attach_one_step`] on a recipe that is not the
     /// sequential `k = 1` baseline.
     NotSequentialOneStep,
+    /// The index layer rejected the recipe while building: a text too
+    /// large for `u32` counters, a delta counter saturating before its
+    /// superblock boundary, or an unprovable superblock span.
+    Index(IndexError),
 }
 
 impl fmt::Display for EngineError {
@@ -92,11 +98,201 @@ impl fmt::Display for EngineError {
             EngineError::NotSequentialOneStep => {
                 write!(f, "only the sequential k=1 recipe runs on a bare FmIndex")
             }
+            EngineError::Index(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IndexError> for EngineError {
+    fn from(e: IndexError) -> EngineError {
+        EngineError::Index(e)
+    }
+}
+
+/// The complete memory layout of an index, as one typed value.
+///
+/// Collapses the sampling-rate setters that used to live directly on
+/// [`EngineBuilder`] plus the two checkpoint-compression knobs
+/// ([`DeltaWidth`], superblock spacing) into a single recipe taken by
+/// [`EngineBuilder::layout`]. Setters record; validation happens when
+/// the owning builder's recipe is used. Two presets mark the extremes:
+///
+/// | preset | occ | sa | k-occ | deltas | superblocks |
+/// |---|---|---|---|---|---|
+/// | [`IndexLayout::default`] | 44 | 32 | 64k | u16 | 16 |
+/// | [`IndexLayout::compact`] | 54 | 32 | 640 | u16 | 32 |
+/// | [`IndexLayout::fast`] | 44 | 32 | 64k | u32 (flat) | — |
+///
+/// ```
+/// use exma_engine::{EngineBuilder, IndexLayout};
+///
+/// let builder = EngineBuilder::new().layout(IndexLayout::compact());
+/// assert_eq!(builder.descriptor(), "lockstep_k4_locality_compact");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexLayout {
+    occ_sample_rate: usize,
+    sa_sample_rate: usize,
+    /// `None` = the k-dependent default (`64 * k`).
+    k_occ_sample_rate: Option<usize>,
+    delta_width: DeltaWidth,
+    superblock_rate: usize,
+}
+
+impl Default for IndexLayout {
+    /// The balanced default: one-cache-line blocks at the historical
+    /// spacings, with two-level `u16` checkpoints every 16 blocks.
+    fn default() -> IndexLayout {
+        IndexLayout {
+            occ_sample_rate: DEFAULT_OCC_RATE,
+            sa_sample_rate: DEFAULT_SA_RATE,
+            k_occ_sample_rate: None,
+            delta_width: DeltaWidth::U16,
+            superblock_rate: DEFAULT_SUPERBLOCK_RATE,
+        }
+    }
+}
+
+impl IndexLayout {
+    /// The default layout (see [`IndexLayout::default`]).
+    pub fn new() -> IndexLayout {
+        IndexLayout::default()
+    }
+
+    /// Memory-first preset: coarser k-occ checkpoints (640 rows) under
+    /// wider superblocks (32 blocks), and the 54-row two-level Occ
+    /// spacing whose block is still exactly one cache line. Targets a
+    /// k = 4 footprint within ~2× of the 1-step index at plateau
+    /// latency.
+    pub fn compact() -> IndexLayout {
+        IndexLayout {
+            occ_sample_rate: 54,
+            k_occ_sample_rate: Some(640),
+            superblock_rate: 32,
+            ..IndexLayout::default()
+        }
+    }
+
+    /// Latency-first preset: the flat absolute-`u32` checkpoint rows of
+    /// earlier revisions (no superblock indirection) at the default
+    /// spacings — the uncompressed baseline the heap regression gate
+    /// compares against.
+    pub fn fast() -> IndexLayout {
+        IndexLayout {
+            delta_width: DeltaWidth::U32,
+            ..IndexLayout::default()
+        }
+    }
+
+    /// Checkpoint spacing of the 1-step occurrence table.
+    pub fn occ_sample_rate(mut self, rate: usize) -> IndexLayout {
+        self.occ_sample_rate = rate;
+        self
+    }
+
+    /// Text-position spacing of kept suffix-array samples — `locate`'s
+    /// latency/heap knob.
+    pub fn sa_sample_rate(mut self, rate: usize) -> IndexLayout {
+        self.sa_sample_rate = rate;
+        self
+    }
+
+    /// Checkpoint spacing of the k-mer occurrence table — the paper's
+    /// central memory/latency knob.
+    pub fn k_occ_sample_rate(mut self, rate: usize) -> IndexLayout {
+        self.k_occ_sample_rate = Some(rate);
+        self
+    }
+
+    /// Per-block checkpoint counter width ([`DeltaWidth::U32`] = flat
+    /// absolute rows, no superblocks).
+    pub fn delta_width(mut self, width: DeltaWidth) -> IndexLayout {
+        self.delta_width = width;
+        self
+    }
+
+    /// Blocks per absolute superblock row in the two-level layouts.
+    pub fn superblock_rate(mut self, rate: usize) -> IndexLayout {
+        self.superblock_rate = rate;
+        self
+    }
+
+    /// Checks the layout's knobs — zero rates are the only locally
+    /// decidable failures; span and overflow checks belong to the index
+    /// layer, which sees the text.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        for (knob, rate) in [
+            ("occ", self.occ_sample_rate),
+            ("sa", self.sa_sample_rate),
+            ("k_occ", self.k_occ_sample_rate.unwrap_or(1)),
+            ("superblock", self.superblock_rate),
+        ] {
+            if rate == 0 {
+                return Err(EngineError::ZeroSampleRate { knob });
+            }
+        }
+        Ok(())
+    }
+
+    /// The index-construction knobs this layout implies at step width
+    /// `k` (which the caller has already validated).
+    fn build_config(&self, k: usize) -> KStepBuildConfig {
+        KStepBuildConfig {
+            k,
+            occ_sample_rate: self.occ_sample_rate,
+            sa_sample_rate: self.sa_sample_rate,
+            k_occ_sample_rate: self
+                .k_occ_sample_rate
+                .unwrap_or_else(|| KStepBuildConfig::for_k(k).k_occ_sample_rate),
+            delta_width: self.delta_width,
+            superblock_rate: self.superblock_rate,
+        }
+    }
+
+    /// The descriptor fragments this layout derives: nothing for the
+    /// default, `_compact`/`_fast` for the named presets, otherwise one
+    /// fragment per non-default knob.
+    fn descriptor_fragments(&self, k: usize, tag: &mut String) {
+        if *self == IndexLayout::compact() {
+            tag.push_str("_compact");
+            return;
+        }
+        if *self == IndexLayout::fast() {
+            tag.push_str("_fast");
+            return;
+        }
+        if self.occ_sample_rate != DEFAULT_OCC_RATE {
+            tag.push_str(&format!("_occ{}", self.occ_sample_rate));
+        }
+        if self.sa_sample_rate != DEFAULT_SA_RATE {
+            tag.push_str(&format!("_sa{}", self.sa_sample_rate));
+        }
+        if let Some(rate) = self.k_occ_sample_rate {
+            if rate != KStepBuildConfig::for_k(k).k_occ_sample_rate {
+                tag.push_str(&format!("_kocc{rate}"));
+            }
+        }
+        match self.delta_width {
+            DeltaWidth::U8 => tag.push_str("_d8"),
+            DeltaWidth::U32 => tag.push_str("_d32"),
+            DeltaWidth::U16 => {}
+        }
+        // Superblock spacing only matters (and only prints) when a
+        // two-level layout is in effect.
+        if !self.delta_width.is_absolute() && self.superblock_rate != DEFAULT_SUPERBLOCK_RATE {
+            tag.push_str(&format!("_sb{}", self.superblock_rate));
+        }
+    }
+}
 
 /// A fluent recipe for any executor in the workspace.
 ///
@@ -123,10 +319,7 @@ impl std::error::Error for EngineError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineBuilder {
     k: usize,
-    occ_sample_rate: usize,
-    sa_sample_rate: usize,
-    /// `None` = the k-dependent default (`64 * k`).
-    k_occ_sample_rate: Option<usize>,
+    layout: IndexLayout,
     batch: BatchConfig,
     sequential: bool,
     threads: usize,
@@ -134,13 +327,11 @@ pub struct EngineBuilder {
 
 impl Default for EngineBuilder {
     /// The headline engine: k = 4 lockstep with the full locality
-    /// schedule on one thread, default sampling rates.
+    /// schedule on one thread and the default [`IndexLayout`].
     fn default() -> EngineBuilder {
         EngineBuilder {
             k: 4,
-            occ_sample_rate: DEFAULT_OCC_RATE,
-            sa_sample_rate: DEFAULT_SA_RATE,
-            k_occ_sample_rate: None,
+            layout: IndexLayout::default(),
             batch: BatchConfig::locality(),
             sequential: false,
             threads: 1,
@@ -162,23 +353,53 @@ impl EngineBuilder {
         self
     }
 
-    /// Checkpoint spacing of the 1-step occurrence table.
+    /// Replaces the whole memory layout at once — the primary way to
+    /// configure index memory; the per-knob setters below are sugar
+    /// over it.
+    pub fn layout(mut self, layout: IndexLayout) -> EngineBuilder {
+        self.layout = layout;
+        self
+    }
+
+    /// The recipe's current memory layout.
+    pub fn index_layout(&self) -> IndexLayout {
+        self.layout
+    }
+
+    /// Checkpoint spacing of the 1-step occurrence table. Thin wrapper
+    /// over [`IndexLayout::occ_sample_rate`].
     pub fn occ_sample_rate(mut self, rate: usize) -> EngineBuilder {
-        self.occ_sample_rate = rate;
+        self.layout = self.layout.occ_sample_rate(rate);
         self
     }
 
     /// Text-position spacing of kept suffix-array samples — `locate`'s
-    /// latency/heap knob.
+    /// latency/heap knob. Thin wrapper over
+    /// [`IndexLayout::sa_sample_rate`].
     pub fn sa_sample_rate(mut self, rate: usize) -> EngineBuilder {
-        self.sa_sample_rate = rate;
+        self.layout = self.layout.sa_sample_rate(rate);
         self
     }
 
     /// Checkpoint spacing of the k-mer occurrence table — the paper's
-    /// central memory/latency knob.
+    /// central memory/latency knob. Thin wrapper over
+    /// [`IndexLayout::k_occ_sample_rate`].
     pub fn k_occ_sample_rate(mut self, rate: usize) -> EngineBuilder {
-        self.k_occ_sample_rate = Some(rate);
+        self.layout = self.layout.k_occ_sample_rate(rate);
+        self
+    }
+
+    /// Per-block checkpoint counter width. Thin wrapper over
+    /// [`IndexLayout::delta_width`].
+    pub fn delta_width(mut self, width: DeltaWidth) -> EngineBuilder {
+        self.layout = self.layout.delta_width(width);
+        self
+    }
+
+    /// Blocks per absolute superblock row. Thin wrapper over
+    /// [`IndexLayout::superblock_rate`].
+    pub fn superblock_rate(mut self, rate: usize) -> EngineBuilder {
+        self.layout = self.layout.superblock_rate(rate);
         self
     }
 
@@ -232,15 +453,7 @@ impl EngineBuilder {
         if !(1..=exma_index::MAX_STEP).contains(&self.k) {
             return Err(EngineError::InvalidK { k: self.k });
         }
-        for (knob, rate) in [
-            ("occ", self.occ_sample_rate),
-            ("sa", self.sa_sample_rate),
-            ("k_occ", self.k_occ_sample_rate.unwrap_or(1)),
-        ] {
-            if rate == 0 {
-                return Err(EngineError::ZeroSampleRate { knob });
-            }
-        }
+        self.layout.validate()?;
         if self.threads == 0 {
             return Err(EngineError::ZeroThreads);
         }
@@ -255,22 +468,17 @@ impl EngineBuilder {
     /// The index-construction knobs this recipe implies.
     pub fn build_config(&self) -> Result<KStepBuildConfig, EngineError> {
         self.validate()?;
-        Ok(KStepBuildConfig {
-            k: self.k,
-            occ_sample_rate: self.occ_sample_rate,
-            sa_sample_rate: self.sa_sample_rate,
-            k_occ_sample_rate: self
-                .k_occ_sample_rate
-                .unwrap_or_else(|| KStepBuildConfig::for_k(self.k).k_occ_sample_rate),
-        })
+        Ok(self.layout.build_config(self.k))
     }
 
-    /// Builds the index this recipe queries.
+    /// Builds the index this recipe queries. Layout failures that only
+    /// the text can reveal — delta saturation, `u32` overflow — surface
+    /// as [`EngineError::Index`].
     pub fn build_index(&self, text: &[Symbol]) -> Result<KStepFmIndex, EngineError> {
         Ok(KStepFmIndex::from_text_with_config(
             text,
             self.build_config()?,
-        ))
+        )?)
     }
 
     /// Wires an executor onto `index` — sequential, serial lockstep, or
@@ -314,8 +522,11 @@ impl EngineBuilder {
 
     /// The canonical descriptor of this recipe, derived field by field:
     /// `seq_k{k}` or `lockstep_k{k}_{schedule}`, then `_t{n}` for
-    /// multi-threaded recipes and `_occ{r}`/`_sa{r}`/`_kocc{r}` for
-    /// non-default sampling rates. Named schedule presets print as
+    /// multi-threaded recipes and the layout's fragments — `_compact`/
+    /// `_fast` for the named presets, otherwise
+    /// `_occ{r}`/`_sa{r}`/`_kocc{r}` for non-default sampling rates,
+    /// `_d8`/`_d32` for non-default delta widths and `_sb{r}` for
+    /// non-default superblock spacings. Named schedule presets print as
     /// `plain`/`sorted`/`locality`; a resolver override appends
     /// `_r{resolve}`. Equal recipes derive equal descriptors, which is
     /// what the benchmark enumeration dedupes on.
@@ -328,17 +539,7 @@ impl EngineBuilder {
         if self.threads > 1 {
             tag.push_str(&format!("_t{}", self.threads));
         }
-        if self.occ_sample_rate != DEFAULT_OCC_RATE {
-            tag.push_str(&format!("_occ{}", self.occ_sample_rate));
-        }
-        if self.sa_sample_rate != DEFAULT_SA_RATE {
-            tag.push_str(&format!("_sa{}", self.sa_sample_rate));
-        }
-        if let Some(rate) = self.k_occ_sample_rate {
-            if rate != KStepBuildConfig::for_k(self.k).k_occ_sample_rate {
-                tag.push_str(&format!("_kocc{rate}"));
-            }
-        }
+        self.layout.descriptor_fragments(self.k, &mut tag);
         tag
     }
 }
@@ -434,6 +635,24 @@ mod tests {
         );
         assert_eq!(
             EngineBuilder::new()
+                .delta_width(DeltaWidth::U8)
+                .descriptor(),
+            "lockstep_k4_locality_d8"
+        );
+        assert_eq!(
+            EngineBuilder::new().superblock_rate(64).descriptor(),
+            "lockstep_k4_locality_sb64"
+        );
+        // Flat rows have no superblocks, so the spacing derives nothing.
+        assert_eq!(
+            EngineBuilder::new()
+                .delta_width(DeltaWidth::U32)
+                .superblock_rate(64)
+                .descriptor(),
+            "lockstep_k4_locality_d32"
+        );
+        assert_eq!(
+            EngineBuilder::new()
                 .schedule(BatchConfig {
                     sort_by_interval: false,
                     prefetch_distance: 3,
@@ -441,6 +660,84 @@ mod tests {
                 })
                 .descriptor(),
             "lockstep_k4_sort0_pf3_rsorted"
+        );
+    }
+
+    #[test]
+    fn layout_presets_derive_named_fragments() {
+        assert_eq!(
+            EngineBuilder::new()
+                .layout(IndexLayout::compact())
+                .descriptor(),
+            "lockstep_k4_locality_compact"
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .layout(IndexLayout::fast())
+                .descriptor(),
+            "lockstep_k4_locality_fast"
+        );
+        // A knob sequence that lands exactly on a preset IS that preset:
+        // equal recipes, equal descriptors.
+        assert_eq!(
+            EngineBuilder::new()
+                .delta_width(DeltaWidth::U32)
+                .descriptor(),
+            "lockstep_k4_locality_fast"
+        );
+        assert_eq!(
+            EngineBuilder::new()
+                .layout(IndexLayout::default())
+                .descriptor(),
+            "lockstep_k4_locality"
+        );
+    }
+
+    #[test]
+    fn legacy_setters_delegate_to_the_layout() {
+        let via_setters = EngineBuilder::new()
+            .occ_sample_rate(54)
+            .sa_sample_rate(32)
+            .k_occ_sample_rate(640)
+            .superblock_rate(32);
+        let via_layout = EngineBuilder::new().layout(IndexLayout::compact());
+        assert_eq!(via_setters, via_layout);
+        assert_eq!(via_setters.index_layout(), IndexLayout::compact());
+        assert_eq!(
+            via_setters.build_config().unwrap(),
+            via_layout.build_config().unwrap()
+        );
+    }
+
+    #[test]
+    fn layout_failures_surface_as_engine_errors() {
+        assert_eq!(
+            IndexLayout::new().superblock_rate(0).validate().err(),
+            Some(EngineError::ZeroSampleRate { knob: "superblock" })
+        );
+        // A delta too narrow for the text comes back as a typed build
+        // error, not a panic: a run of one symbol longer than u8::MAX
+        // saturates a u8 delta before its superblock boundary.
+        let text = text_from_str(&"A".repeat(300)).unwrap();
+        let err = EngineBuilder::new()
+            .k(1)
+            .layout(
+                IndexLayout::new()
+                    .k_occ_sample_rate(1)
+                    .delta_width(DeltaWidth::U8)
+                    .superblock_rate(512),
+            )
+            .build_index(&text)
+            .expect_err("a 300-row run must overflow a u8 delta");
+        assert!(
+            matches!(err, EngineError::Index(IndexError::DeltaOverflow { .. })),
+            "{err:?}"
+        );
+        let rendered = format!("{err}");
+        assert!(rendered.contains("delta"), "{rendered}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "Index errors expose their source"
         );
     }
 

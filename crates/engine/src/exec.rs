@@ -17,7 +17,7 @@
 use std::ops::Range;
 
 use exma_genome::Base;
-use exma_index::{resolve_capped_with_arena, FmIndex, KStepFmIndex, UNCAPPED};
+use exma_index::{resolve_capped_with_arena, FmIndex, HeapBreakdown, KStepFmIndex, UNCAPPED};
 
 use crate::batch::{BatchEngine, BatchStats};
 use crate::query::{QueryArena, QueryBatch, QueryOutput, QueryRequest, QueryResults};
@@ -49,11 +49,21 @@ pub trait Executor {
         let stats = self.run_into(batch, &mut arena);
         (arena.take_results(), stats)
     }
+
+    /// Exact per-component heap attribution of the index structures this
+    /// executor queries. Executors that share one index (every lockstep
+    /// and sharded engine attached to it) report the same breakdown —
+    /// the bytes exist once, however many executors borrow them.
+    fn heap_breakdown(&self) -> HeapBreakdown;
 }
 
 impl<E: Executor + ?Sized> Executor for &E {
     fn run_into(&self, batch: &QueryBatch, arena: &mut QueryArena) -> BatchStats {
         (**self).run_into(batch, arena)
+    }
+
+    fn heap_breakdown(&self) -> HeapBreakdown {
+        (**self).heap_breakdown()
     }
 }
 
@@ -98,6 +108,10 @@ impl Executor for FmIndex {
     fn run_into(&self, batch: &QueryBatch, arena: &mut QueryArena) -> BatchStats {
         run_sequential(batch, arena, self, |p| self.backward_search(p))
     }
+
+    fn heap_breakdown(&self) -> HeapBreakdown {
+        FmIndex::heap_breakdown(self)
+    }
 }
 
 impl Executor for KStepFmIndex {
@@ -105,6 +119,10 @@ impl Executor for KStepFmIndex {
     /// one query at a time.
     fn run_into(&self, batch: &QueryBatch, arena: &mut QueryArena) -> BatchStats {
         run_sequential(batch, arena, self.base_index(), |p| self.backward_search(p))
+    }
+
+    fn heap_breakdown(&self) -> HeapBreakdown {
+        KStepFmIndex::heap_breakdown(self)
     }
 }
 
@@ -189,6 +207,10 @@ impl Executor for BatchEngine<'_> {
     fn run_into(&self, batch: &QueryBatch, arena: &mut QueryArena) -> BatchStats {
         self.run_slice(batch.requests(), batch.patterns(), arena)
     }
+
+    fn heap_breakdown(&self) -> HeapBreakdown {
+        self.index().heap_breakdown()
+    }
 }
 
 impl Executor for ShardedEngine<'_> {
@@ -228,6 +250,12 @@ impl Executor for ShardedEngine<'_> {
             stats.absorb_shard(*shard_stats);
         }
         stats
+    }
+
+    /// Workers share the one borrowed index, so the footprint is the
+    /// index's — not `threads ×` anything.
+    fn heap_breakdown(&self) -> HeapBreakdown {
+        self.index().heap_breakdown()
     }
 }
 

@@ -62,7 +62,10 @@ pub mod query;
 pub mod shard;
 
 pub use batch::{BatchConfig, BatchEngine, BatchStats, DEFAULT_PREFETCH_DISTANCE};
-pub use builder::{EngineBuilder, EngineError};
+pub use builder::{EngineBuilder, EngineError, IndexLayout};
 pub use exec::Executor;
+// The layout vocabulary an `IndexLayout` is written in, so engine users
+// need not depend on `exma_index` directly.
+pub use exma_index::{DeltaWidth, HeapBreakdown, IndexError};
 pub use query::{QueryArena, QueryBatch, QueryOutput, QueryRequest, QueryResults};
 pub use shard::ShardedEngine;

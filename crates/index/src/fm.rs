@@ -12,6 +12,7 @@ use std::ops::Range;
 use exma_genome::genome::Genome;
 use exma_genome::{bwt_from_sa, count_table, suffix_array, Base, CountTable, Symbol};
 
+use crate::layout::{DeltaWidth, HeapBreakdown, IndexError};
 use crate::occ::OccTable;
 use crate::sampled_sa::SampledSuffixArray;
 
@@ -22,17 +23,28 @@ pub struct FmBuildConfig {
     pub occ_sample_rate: usize,
     /// Text-position spacing of kept suffix-array samples.
     pub sa_sample_rate: usize,
+    /// Checkpoint compression: [`DeltaWidth::U32`] keeps the flat
+    /// absolute rows; any narrow width selects the two-level layout (the
+    /// 1-step Occ table's deltas are always `u16`).
+    pub delta_width: DeltaWidth,
+    /// Blocks per absolute superblock row in the two-level layout;
+    /// ignored with [`DeltaWidth::U32`].
+    pub superblock_rate: usize,
 }
 
 impl Default for FmBuildConfig {
     /// Occ checkpoints every 44 symbols — the widest spacing whose
-    /// interleaved block (five `u32` counters + 44 one-byte codes) fits
-    /// exactly one 64-byte cache line, so a `rank` touches one line — and
-    /// BWA-style SA samples every 32 positions.
+    /// interleaved block (five counters + 44 one-byte codes) fits one
+    /// 64-byte cache line even with flat `u32` counters — two-level
+    /// `u16` deltas with superblocks every 16 blocks, and BWA-style SA
+    /// samples every 32 positions. The default superblock span
+    /// (44 × 16 = 704 rows) is provably overflow-free.
     fn default() -> FmBuildConfig {
         FmBuildConfig {
             occ_sample_rate: 44,
             sa_sample_rate: 32,
+            delta_width: DeltaWidth::U16,
+            superblock_rate: 16,
         }
     }
 }
@@ -49,18 +61,32 @@ impl FmIndex {
     /// Builds the index from a sentinel-terminated symbol text with the
     /// given configuration.
     ///
+    /// # Errors
+    ///
+    /// Propagates [`IndexError`] from the occurrence table: a text too
+    /// long for `u32` counters, or a two-level superblock span too wide
+    /// for its `u16` deltas.
+    ///
     /// # Panics
     ///
     /// Panics if `text` is not sentinel-terminated (see
     /// [`exma_genome::suffix_array`]) or a sample rate is zero.
-    pub fn from_text_with_config(text: &[Symbol], config: FmBuildConfig) -> FmIndex {
+    pub fn from_text_with_config(
+        text: &[Symbol],
+        config: FmBuildConfig,
+    ) -> Result<FmIndex, IndexError> {
         let sa = suffix_array(text);
         let bwt = bwt_from_sa(text, &sa);
-        FmIndex::from_parts(
+        let occ = if config.delta_width.is_absolute() {
+            OccTable::new(&bwt, config.occ_sample_rate)
+        } else {
+            OccTable::two_level(&bwt, config.occ_sample_rate, config.superblock_rate)?
+        };
+        Ok(FmIndex::from_parts(
             count_table(text),
-            OccTable::new(&bwt, config.occ_sample_rate),
+            occ,
             SampledSuffixArray::new(&sa, config.sa_sample_rate),
-        )
+        ))
     }
 
     /// Assembles an index from already-built components, so callers that
@@ -75,9 +101,11 @@ impl FmIndex {
     }
 
     /// Builds the index from a sentinel-terminated symbol text with default
-    /// sampling rates.
+    /// sampling rates (which are provably buildable for any text the
+    /// workspace can address).
     pub fn from_text(text: &[Symbol]) -> FmIndex {
         FmIndex::from_text_with_config(text, FmBuildConfig::default())
+            .expect("the default layout builds for any u32-addressable text")
     }
 
     /// Builds the index for a genome's reference sequence.
@@ -270,9 +298,14 @@ impl FmIndex {
         true
     }
 
+    /// Heap bytes of all index components, attributed per component.
+    pub fn heap_breakdown(&self) -> HeapBreakdown {
+        self.occ.heap_breakdown().add(&self.ssa.heap_breakdown())
+    }
+
     /// Heap bytes of all index components.
     pub fn heap_bytes(&self) -> usize {
-        self.occ.heap_bytes() + self.ssa.heap_bytes()
+        self.heap_breakdown().total()
     }
 }
 
@@ -289,8 +322,10 @@ mod tests {
             FmBuildConfig {
                 occ_sample_rate: 2,
                 sa_sample_rate: 2,
+                ..FmBuildConfig::default()
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -359,8 +394,10 @@ mod tests {
             FmBuildConfig {
                 occ_sample_rate: 7,
                 sa_sample_rate: 5,
+                ..FmBuildConfig::default()
             },
-        );
+        )
+        .unwrap();
         let rows = fm.backward_search(&parse_bases("A").unwrap());
         let full = fm.locate(&parse_bases("A").unwrap());
         assert!(full.len() >= 4);
@@ -399,16 +436,20 @@ mod tests {
             FmBuildConfig {
                 occ_sample_rate: 1,
                 sa_sample_rate: 1,
+                ..FmBuildConfig::default()
             },
-        );
+        )
+        .unwrap();
         for (occ_rate, sa_rate) in [(2, 3), (7, 5), (64, 32), (100, 100)] {
             let fm = FmIndex::from_text_with_config(
                 &text,
                 FmBuildConfig {
                     occ_sample_rate: occ_rate,
                     sa_sample_rate: sa_rate,
+                    ..FmBuildConfig::default()
                 },
-            );
+            )
+            .unwrap();
             for pat in ["A", "CAT", "TAGA", "CCATAG", "GGG"] {
                 let p = parse_bases(pat).unwrap();
                 assert_eq!(fm.count(&p), reference.count(&p), "count {pat}");

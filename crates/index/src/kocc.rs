@@ -7,17 +7,24 @@
 //! sentinel cannot equal any query k-mer, so they all share a single
 //! out-of-alphabet code.
 //!
-//! Rank is checkpointed every `sample_rate` rows, but unlike the flat
-//! two-allocation layout of earlier revisions, checkpoints and codes are
-//! *interleaved*: block `b` packs the `4^k` checkpoint counters for prefix
-//! `b * sample_rate` together with the `sample_rate` codes they cover, in
-//! one cache-line-aligned region (see [`crate::interleave`]). One `rank`
-//! therefore touches one contiguous block — a checkpoint word plus a short
-//! forward code scan — instead of two distant arrays, and the block a
-//! future `rank` will touch can be software-prefetched with
-//! [`KmerOccTable::prefetch_rank`].
+//! Rank is checkpointed every `sample_rate` rows inside cache-line-aligned
+//! interleaved blocks (see [`crate::interleave`]): block `b` packs the
+//! checkpoint row for prefix `b * sample_rate` together with the
+//! `sample_rate` codes it covers, so one `rank` touches one contiguous
+//! block. Flat `u32` checkpoint rows dominate memory at k = 4 — 1 KiB of
+//! counters ahead of every few hundred bytes of codes — so this revision
+//! compresses them *two-level*: sparse absolute `u32` *superblock* rows
+//! every [`superblock_rate`](KmerOccTable::superblock_rate) blocks live in
+//! a separate (small) array, and each block keeps only narrow
+//! [`DeltaWidth`] counters relative to its superblock. A rank now reads
+//! superblock word + delta lane + code scan; the superblock array is tiny
+//! and hot, and [`KmerOccTable::prefetch_rank`] hints its line alongside
+//! the block's, the same trick `resolve.rs` plays for RankBits words.
+//! [`DeltaWidth::U32`] opts back into the flat absolute rows (and skips
+//! the superblock array entirely).
 
 use crate::interleave::AlignedWords;
+use crate::layout::{DeltaWidth, HeapBreakdown, IndexError};
 
 /// Checkpointed rank structure over k-BWT codes, interleaved per block.
 ///
@@ -25,18 +32,36 @@ use crate::interleave::AlignedWords;
 /// `stride` itself marks a sentinel-crossing context and is never ranked.
 ///
 /// Block `b` covers code positions `b * sample_rate ..` and lays out, in
-/// `u32` words:
+/// bytes:
 ///
 /// ```text
-/// [ stride checkpoint words | sample_rate codes, two u16 per word | pad ]
+/// [ stride delta counters (u8/u16/u32) | sample_rate codes | pad ]
 /// ```
 ///
-/// padded so every block starts on a 64-byte cache-line boundary.
+/// padded so every block starts on a 64-byte cache-line boundary. Code
+/// lanes are one byte when `stride <= 256` and two bytes otherwise. With
+/// narrow deltas, absolute rows live in a separate superblock array, one
+/// `stride`-word row per `superblock_rate` blocks; with
+/// [`DeltaWidth::U32`] the "delta" counters *are* the absolute rows and
+/// no superblock array exists.
+///
+/// One wrinkle at `stride == 256` exactly: the sentinel-crossing marker
+/// code (`stride`) does not fit a one-byte lane. Those rows — at most
+/// k of them exist — store a placeholder `0` lane and are remembered in
+/// a sorted side list; the table counts placeholders like real zeros
+/// internally and subtracts the side list from every `rank(0, ..)`
+/// answer, keeping checkpoints, scans, and answers consistent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KmerOccTable {
     data: AlignedWords,
-    /// Words per block: `stride + ceil(sample_rate / 2)`, line-rounded.
+    /// Absolute checkpoint rows, one `stride`-word group per
+    /// `superblock_rate` blocks; empty with [`DeltaWidth::U32`].
+    superblocks: AlignedWords,
+    /// Words per block, line-rounded.
     block_words: usize,
+    /// Bytes of a block taken by its delta (or absolute) counter row;
+    /// the code lanes start right behind it.
+    delta_bytes: usize,
     /// Number of blocks, `len / sample_rate + 1` (the last may cover
     /// fewer than `sample_rate` codes — possibly zero).
     blocks: usize,
@@ -45,6 +70,13 @@ pub struct KmerOccTable {
     /// Size of the expanded alphabet, `4^k`.
     stride: usize,
     sample_rate: usize,
+    /// Blocks per superblock (absolute checkpoint row).
+    superblock_rate: usize,
+    delta_width: DeltaWidth,
+    /// Rows whose one-byte code lane holds a placeholder `0` because the
+    /// sentinel marker `256` does not fit it (`stride == 256` only).
+    /// Sorted; at most k entries.
+    exceptions: Vec<u32>,
     /// Occurrences of every code in the full table: the O(1) answer to
     /// `rank(r, len)`, which every backward search issues on its first
     /// refinement (`hi = n`).
@@ -52,57 +84,137 @@ pub struct KmerOccTable {
 }
 
 impl KmerOccTable {
-    /// Builds the table with checkpoints every `sample_rate` rows. Takes
-    /// the codes by value: at reference scale they are tens of megabytes,
-    /// and the sole builder has no further use for them.
+    /// Builds the table with checkpoints every `sample_rate` rows,
+    /// absolute superblock rows every `superblock_rate` blocks, and
+    /// `delta_width` per-block counters ([`DeltaWidth::U32`] means flat
+    /// absolute rows; `superblock_rate` is then ignored). Takes the codes
+    /// by value: at reference scale they are tens of megabytes, and the
+    /// sole builder has no further use for them.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::IndexTooLarge`] if the table would overflow its
+    /// `u32` counters; [`IndexError::DeltaOverflow`] if some code occurs
+    /// more often within one superblock span than `delta_width` can
+    /// count.
     ///
     /// # Panics
     ///
-    /// Panics if `sample_rate == 0`, `stride` does not fit the code type,
-    /// any code exceeds `stride`, or the table would overflow its `u32`
-    /// counters.
-    pub fn new(codes: Vec<u16>, stride: usize, sample_rate: usize) -> KmerOccTable {
+    /// Panics if `sample_rate == 0`, `superblock_rate == 0`, `stride`
+    /// does not fit the code type, or any code exceeds `stride` — all
+    /// programming errors of the (internal) caller, not data-dependent
+    /// conditions.
+    pub fn new(
+        codes: Vec<u16>,
+        stride: usize,
+        sample_rate: usize,
+        delta_width: DeltaWidth,
+        superblock_rate: usize,
+    ) -> Result<KmerOccTable, IndexError> {
         assert!(sample_rate > 0, "sample rate must be positive");
+        assert!(superblock_rate > 0, "superblock rate must be positive");
         assert!(
             stride > 0 && stride < u16::MAX as usize,
             "stride {stride} out of range"
         );
-        assert!(codes.len() < u32::MAX as usize, "table too large for u32");
+        if codes.len() >= u32::MAX as usize {
+            return Err(IndexError::IndexTooLarge { rows: codes.len() });
+        }
         let len = codes.len();
         let blocks = len / sample_rate + 1;
-        let block_words =
-            (stride + sample_rate.div_ceil(2)).next_multiple_of(crate::interleave::WORDS_PER_LINE);
+        let code_bytes: usize = if stride > 256 { 2 } else { 1 };
+        // Two-byte code lanes are indexed as u16 halves, so the delta row
+        // must end on an even byte (strides that need padding here are
+        // exotic: real strides are powers of four).
+        let delta_bytes = (stride * delta_width.bytes()).next_multiple_of(code_bytes);
+        let block_words = (delta_bytes + sample_rate * code_bytes)
+            .div_ceil(4)
+            .next_multiple_of(crate::interleave::WORDS_PER_LINE);
+        let groups = if delta_width.is_absolute() {
+            0
+        } else {
+            blocks.div_ceil(superblock_rate)
+        };
         let mut data = AlignedWords::zeroed(blocks * block_words);
+        let mut superblocks = AlignedWords::zeroed(groups * stride);
         let mut running = vec![0u32; stride];
-        for (i, &c) in codes.iter().enumerate() {
-            assert!((c as usize) <= stride, "code {c} exceeds stride {stride}");
-            let block = i / sample_rate;
-            let offset = i - block * sample_rate;
+        let mut group_row = vec![0u32; stride];
+        let mut exceptions: Vec<u32> = Vec::new();
+        // `stride` (the sentinel marker) does not fit a one-byte lane
+        // only when stride == 256 exactly; see the struct docs.
+        let masked_marker = stride == 256;
+
+        for block in 0..blocks {
+            // The checkpoint row for prefix `block * sample_rate`: counts
+            // accumulated so far, absolute or relative to the superblock.
             let base = block * block_words;
-            if offset == 0 {
+            if delta_width.is_absolute() {
                 data.words_mut()[base..base + stride].copy_from_slice(&running);
+            } else {
+                if block % superblock_rate == 0 {
+                    let g = (block / superblock_rate) * stride;
+                    superblocks.words_mut()[g..g + stride].copy_from_slice(&running);
+                    group_row.copy_from_slice(&running);
+                }
+                let max = delta_width.max_delta();
+                for (code, (&now, &at_group)) in running.iter().zip(group_row.iter()).enumerate() {
+                    let delta = now - at_group;
+                    if delta > max {
+                        return Err(IndexError::DeltaOverflow {
+                            block,
+                            code,
+                            delta,
+                            max,
+                        });
+                    }
+                    match delta_width {
+                        DeltaWidth::U8 => data.bytes_mut()[base * 4 + code] = delta as u8,
+                        _ => data.halves_mut()[base * 2 + code] = delta as u16,
+                    }
+                }
             }
-            // Codes live in the block's tail as plain u16 lanes.
-            data.halves_mut()[(base + stride) * 2 + offset] = c;
-            if (c as usize) < stride {
-                running[c as usize] += 1;
+            // The codes this block covers, as plain narrow lanes behind
+            // the counter row.
+            let code_base = base * 4 + delta_bytes;
+            let lo = block * sample_rate;
+            let hi = (lo + sample_rate).min(len);
+            for (offset, &c) in codes[lo..hi].iter().enumerate() {
+                assert!((c as usize) <= stride, "code {c} exceeds stride {stride}");
+                if code_bytes == 2 {
+                    data.halves_mut()[code_base / 2 + offset] = c;
+                } else if masked_marker && c as usize == stride {
+                    exceptions.push((lo + offset) as u32);
+                    // Placeholder 0 lane; counted like a real zero below
+                    // so stored counts match what scans see.
+                } else {
+                    data.bytes_mut()[code_base + offset] = c as u8;
+                }
+                if (c as usize) < stride {
+                    running[c as usize] += 1;
+                } else if masked_marker {
+                    running[0] += 1;
+                }
             }
         }
-        if len % sample_rate == 0 {
-            // The final block covers zero codes; its checkpoint row (the
-            // full counts) was never reached by the loop above.
-            let base = (blocks - 1) * block_words;
-            data.words_mut()[base..base + stride].copy_from_slice(&running);
-        }
-        KmerOccTable {
+        exceptions.shrink_to_fit();
+        let mut totals = running;
+        // `totals` answers rank(r, len) directly, so it stores *true*
+        // counts: placeholders are not occurrences of code 0.
+        totals[0] -= exceptions.len() as u32;
+        Ok(KmerOccTable {
             data,
+            superblocks,
             block_words,
+            delta_bytes,
             blocks,
             len,
             stride,
             sample_rate,
-            totals: running,
-        }
+            superblock_rate,
+            delta_width,
+            exceptions,
+            totals,
+        })
     }
 
     /// Number of rows (the k-BWT length).
@@ -125,6 +237,23 @@ impl KmerOccTable {
         self.sample_rate
     }
 
+    /// The per-block checkpoint counter width this table was built with.
+    pub fn delta_width(&self) -> DeltaWidth {
+        self.delta_width
+    }
+
+    /// Blocks per absolute superblock row (meaningless — and unused —
+    /// with [`DeltaWidth::U32`]).
+    pub fn superblock_rate(&self) -> usize {
+        self.superblock_rate
+    }
+
+    /// `true` iff code lanes are two bytes wide (`stride > 256`).
+    #[inline]
+    fn wide_codes(&self) -> bool {
+        self.stride > 256
+    }
+
     /// The k-BWT code at row `i` (`stride` for sentinel-crossing contexts).
     ///
     /// # Panics
@@ -132,20 +261,73 @@ impl KmerOccTable {
     /// Panics if `i >= self.len()`.
     pub fn code(&self, i: usize) -> u16 {
         assert!(i < self.len, "code position {i} out of range");
+        if !self.exceptions.is_empty() && self.exceptions.binary_search(&(i as u32)).is_ok() {
+            return self.stride as u16;
+        }
         let block = i / self.sample_rate;
         let offset = i - block * self.sample_rate;
-        self.data.halves()[(block * self.block_words + self.stride) * 2 + offset]
+        let code_base = block * self.block_words * 4 + self.delta_bytes;
+        if self.wide_codes() {
+            self.data.halves()[code_base / 2 + offset]
+        } else {
+            u16::from(self.data.bytes()[code_base + offset])
+        }
     }
 
-    /// Occurrences of code `r` among the u16 lanes `a..b` of the backing
-    /// buffer. A plain slice scan, so it autovectorizes.
+    /// Occurrences of code `r` among lanes `from..to` of `block`'s code
+    /// region. A plain slice scan, so it autovectorizes.
     #[inline]
-    fn matches(&self, a: usize, b: usize, r: u16) -> u32 {
+    fn matches(&self, block: usize, from: usize, to: usize, r: u16) -> u32 {
+        let start = block * self.block_words * 4 + self.delta_bytes;
         let mut count = 0u32;
-        for &code in &self.data.halves()[a..b] {
-            count += u32::from(code == r);
+        if self.wide_codes() {
+            let a = start / 2;
+            for &code in &self.data.halves()[a + from..a + to] {
+                count += u32::from(code == r);
+            }
+        } else {
+            let r = r as u8; // r < stride <= 256
+            for &code in &self.data.bytes()[start + from..start + to] {
+                count += u32::from(code == r);
+            }
         }
         count
+    }
+
+    /// The absolute (physical) count of code `r` at `block`'s checkpoint:
+    /// the `u32` row directly, or superblock word + narrow delta.
+    #[inline]
+    fn checkpoint(&self, block: usize, r: usize) -> u32 {
+        let base = block * self.block_words;
+        match self.delta_width {
+            DeltaWidth::U32 => self.data.words()[base + r],
+            DeltaWidth::U16 => {
+                self.superblock_word(block, r) + u32::from(self.data.halves()[base * 2 + r])
+            }
+            DeltaWidth::U8 => {
+                self.superblock_word(block, r) + u32::from(self.data.bytes()[base * 4 + r])
+            }
+        }
+    }
+
+    /// The absolute superblock counter `block`'s checkpoint is relative
+    /// to. The group index is derived per block: a backward count that
+    /// reads `block + 1` may cross into the next superblock group.
+    #[inline]
+    fn superblock_word(&self, block: usize, r: usize) -> u32 {
+        self.superblocks.words()[(block / self.superblock_rate) * self.stride + r]
+    }
+
+    /// Corrects a physical count (which treats placeholder lanes as code
+    /// 0) down to the true rank of `r` in `0..i`. Free unless `r == 0`
+    /// on a table that actually has exceptions.
+    #[inline]
+    fn corrected(&self, physical: u32, r: u16, i: usize) -> u32 {
+        if r == 0 && !self.exceptions.is_empty() {
+            physical - self.exceptions.partition_point(|&e| (e as usize) < i) as u32
+        } else {
+            physical
+        }
     }
 
     /// `true` iff position `i`'s rank is cheaper counted *down* from the
@@ -174,15 +356,14 @@ impl KmerOccTable {
             return self.totals[r as usize];
         }
         let block = i / self.sample_rate;
-        let base = block * self.block_words;
         let offset = i - block * self.sample_rate;
-        let code_base = (base + self.stride) * 2;
-        if self.backward_cheaper(block, offset) {
-            let next = self.data.words()[base + self.block_words + r as usize];
-            next - self.matches(code_base + offset, code_base + self.sample_rate, r)
+        let physical = if self.backward_cheaper(block, offset) {
+            self.checkpoint(block + 1, r as usize)
+                - self.matches(block, offset, self.sample_rate, r)
         } else {
-            self.data.words()[base + r as usize] + self.matches(code_base, code_base + offset, r)
-        }
+            self.checkpoint(block, r as usize) + self.matches(block, 0, offset, r)
+        };
+        self.corrected(physical, r, i)
     }
 
     /// `(rank(r, lo), rank(r, hi))` in one pass: when both positions fall
@@ -201,51 +382,52 @@ impl KmerOccTable {
             return (self.rank(r, lo), self.rank(r, hi));
         }
         assert!((r as usize) < self.stride, "code {r} out of alphabet");
-        let base = block * self.block_words;
         let offset_lo = lo - block * self.sample_rate;
-        let code_base = (base + self.stride) * 2;
-        let between = self.matches(code_base + offset_lo, code_base + offset_hi, r);
+        let between = self.matches(block, offset_lo, offset_hi, r);
         // Beyond `between` (shared by both directions), forward costs
         // `offset_lo` more lanes and backward `sample_rate - offset_hi`
         // more; equivalently, pick backward when the total backward span
         // `sample_rate - offset_lo` undercuts the forward span `offset_hi`.
         let backward =
             self.sample_rate - offset_lo < offset_hi && (block + 1) * self.sample_rate <= self.len;
-        if backward {
-            let next = self.data.words()[base + self.block_words + r as usize];
-            let hi_count =
-                next - self.matches(code_base + offset_hi, code_base + self.sample_rate, r);
+        let (lo_physical, hi_physical) = if backward {
+            let hi_count = self.checkpoint(block + 1, r as usize)
+                - self.matches(block, offset_hi, self.sample_rate, r);
             (hi_count - between, hi_count)
         } else {
-            let lo_count = self.data.words()[base + r as usize]
-                + self.matches(code_base, code_base + offset_lo, r);
+            let lo_count =
+                self.checkpoint(block, r as usize) + self.matches(block, 0, offset_lo, r);
             (lo_count, lo_count + between)
-        }
+        };
+        (
+            self.corrected(lo_physical, r, lo),
+            self.corrected(hi_physical, r, hi),
+        )
     }
 
     /// Hints the CPU to pull what a later `rank(r, i)` will touch first
-    /// toward L1: the cache line holding the checkpoint word it will read
-    /// and the line where its code scan starts — mirroring `rank`'s
-    /// forward/backward choice. The rest of the scan is sequential, which
-    /// the hardware prefetcher follows on its own; issuing more hints
-    /// here costs more than it hides. Never faults; a no-op off x86-64
-    /// and for the `i == len` totals fast path.
+    /// toward L1: the line holding the checkpoint counter it will read
+    /// (plus, two-level, the superblock line it is relative to — that
+    /// array is small enough to mostly live in cache anyway) and the line
+    /// where its code scan starts — mirroring `rank`'s forward/backward
+    /// choice. The rest of the scan is sequential, which the hardware
+    /// prefetcher follows on its own; issuing more hints here costs more
+    /// than it hides. Never faults; a no-op off x86-64 and for the
+    /// `i == len` totals fast path.
     #[inline]
     pub fn prefetch_rank(&self, r: u16, i: usize) {
         if i >= self.len {
             return; // answered from `totals`, which stays cache-hot
         }
         let block = i / self.sample_rate;
-        let base = block * self.block_words;
         let offset = i - block * self.sample_rate;
         let r = (r as usize).min(self.stride - 1);
-        let code_words = base + self.stride;
         if self.backward_cheaper(block, offset) {
-            self.data.prefetch(base + self.block_words + r);
-            self.data.prefetch(code_words + offset / 2);
+            self.prefetch_checkpoint(block + 1, r);
+            self.prefetch_scan(block, offset);
         } else {
-            self.data.prefetch(base + r);
-            self.data.prefetch(code_words);
+            self.prefetch_checkpoint(block, r);
+            self.prefetch_scan(block, 0);
         }
     }
 
@@ -264,26 +446,70 @@ impl KmerOccTable {
             self.prefetch_rank(r, hi);
             return;
         }
-        let base = block * self.block_words;
         let offset_lo = lo - block * self.sample_rate;
         let offset_hi = hi - block * self.sample_rate;
         let r = (r as usize).min(self.stride - 1);
-        let code_words = base + self.stride;
         if self.sample_rate - offset_lo < offset_hi && (block + 1) * self.sample_rate <= self.len {
             // Backward fused scan: next block's checkpoint, lanes
             // `offset_lo .. sample_rate`.
-            self.data.prefetch(base + self.block_words + r);
-            self.data.prefetch(code_words + offset_lo / 2);
+            self.prefetch_checkpoint(block + 1, r);
+            self.prefetch_scan(block, offset_lo);
         } else {
             // Forward fused scan: own checkpoint, lanes `0 .. offset_hi`.
-            self.data.prefetch(base + r);
-            self.data.prefetch(code_words);
+            self.prefetch_checkpoint(block, r);
+            self.prefetch_scan(block, 0);
         }
     }
 
-    /// Heap bytes of the interleaved blocks and the totals row.
+    /// Hints the line(s) `checkpoint(block, r)` will read.
+    #[inline]
+    fn prefetch_checkpoint(&self, block: usize, r: usize) {
+        let base = block * self.block_words;
+        match self.delta_width {
+            DeltaWidth::U32 => self.data.prefetch(base + r),
+            DeltaWidth::U16 => {
+                self.data.prefetch(base + r / 2);
+                self.superblocks
+                    .prefetch((block / self.superblock_rate) * self.stride + r);
+            }
+            DeltaWidth::U8 => {
+                self.data.prefetch(base + r / 4);
+                self.superblocks
+                    .prefetch((block / self.superblock_rate) * self.stride + r);
+            }
+        }
+    }
+
+    /// Hints the line where `block`'s code scan starts at lane `offset`.
+    #[inline]
+    fn prefetch_scan(&self, block: usize, offset: usize) {
+        let code_bytes = if self.wide_codes() { 2 } else { 1 };
+        let byte = block * self.block_words * 4 + self.delta_bytes + offset * code_bytes;
+        self.data.prefetch(byte / 4);
+    }
+
+    /// Heap bytes attributed to checkpoints (absolute rows), deltas,
+    /// and code lanes. Exact: `total()` is the allocation-true footprint.
+    pub fn heap_breakdown(&self) -> HeapBreakdown {
+        let delta_total = self.blocks * self.delta_bytes;
+        let (checkpoints, deltas) = if self.delta_width.is_absolute() {
+            (delta_total, 0)
+        } else {
+            (self.superblocks.heap_bytes(), delta_total)
+        };
+        HeapBreakdown {
+            k_occ_checkpoints: checkpoints,
+            k_occ_deltas: deltas,
+            k_occ_codes: self.data.heap_bytes() - delta_total + self.totals.capacity() * 4,
+            other: self.exceptions.capacity() * 4,
+            ..HeapBreakdown::default()
+        }
+    }
+
+    /// Heap bytes of the interleaved blocks, superblock rows, and the
+    /// totals row.
     pub fn heap_bytes(&self) -> usize {
-        self.data.heap_bytes() + self.totals.capacity() * 4
+        self.heap_breakdown().total()
     }
 }
 
@@ -296,6 +522,18 @@ pub fn naive_krank(codes: &[u16], r: u16, i: usize) -> u32 {
 mod tests {
     use super::*;
 
+    /// Every layout the property tests cross: the absolute baseline plus
+    /// {u8, u16} deltas x {2, 8, 64} superblock spacings.
+    const LAYOUTS: [(DeltaWidth, usize); 7] = [
+        (DeltaWidth::U32, 16),
+        (DeltaWidth::U8, 2),
+        (DeltaWidth::U8, 8),
+        (DeltaWidth::U8, 64),
+        (DeltaWidth::U16, 2),
+        (DeltaWidth::U16, 8),
+        (DeltaWidth::U16, 64),
+    ];
+
     /// A small deterministic code stream over a stride-9 alphabet with some
     /// out-of-alphabet (sentinel-crossing) entries.
     fn fixture(len: usize, stride: u16) -> Vec<u16> {
@@ -307,36 +545,44 @@ mod tests {
             .collect()
     }
 
+    fn build(codes: Vec<u16>, stride: usize, rate: usize) -> KmerOccTable {
+        KmerOccTable::new(codes, stride, rate, DeltaWidth::U16, 16).unwrap()
+    }
+
     #[test]
-    fn rank_matches_naive_at_every_position() {
+    fn rank_matches_naive_across_widths_spacings_and_rates() {
         let codes = fixture(137, 9);
-        for rate in [1, 2, 5, 16, 200] {
-            let occ = KmerOccTable::new(codes.clone(), 9, rate);
-            for i in 0..=codes.len() {
-                for r in 0..9u16 {
-                    assert_eq!(
-                        occ.rank(r, i),
-                        naive_krank(&codes, r, i),
-                        "rate {rate}, code {r}, prefix {i}"
-                    );
+        for (width, sb) in LAYOUTS {
+            for rate in [1, 5, 44, 200] {
+                let occ = KmerOccTable::new(codes.clone(), 9, rate, width, sb).unwrap();
+                for i in 0..=codes.len() {
+                    for r in 0..9u16 {
+                        assert_eq!(
+                            occ.rank(r, i),
+                            naive_krank(&codes, r, i),
+                            "{width}/sb{sb}, rate {rate}, code {r}, prefix {i}"
+                        );
+                    }
                 }
             }
         }
     }
 
     #[test]
-    fn rank_pair_matches_naive_at_every_interval() {
+    fn rank_pair_matches_naive_across_widths_spacings_and_rates() {
         let codes = fixture(137, 9);
-        for rate in [1, 2, 5, 16, 200] {
-            let occ = KmerOccTable::new(codes.clone(), 9, rate);
-            for lo in 0..=codes.len() {
-                for hi in lo..=codes.len() {
-                    for r in [0u16, 3, 8] {
-                        assert_eq!(
-                            occ.rank_pair(r, lo, hi),
-                            (naive_krank(&codes, r, lo), naive_krank(&codes, r, hi)),
-                            "rate {rate}, code {r}, interval {lo}..{hi}"
-                        );
+        for (width, sb) in LAYOUTS {
+            for rate in [1, 5, 44, 200] {
+                let occ = KmerOccTable::new(codes.clone(), 9, rate, width, sb).unwrap();
+                for lo in 0..=codes.len() {
+                    for hi in lo..=codes.len() {
+                        for r in [0u16, 3, 8] {
+                            assert_eq!(
+                                occ.rank_pair(r, lo, hi),
+                                (naive_krank(&codes, r, lo), naive_krank(&codes, r, hi)),
+                                "{width}/sb{sb}, rate {rate}, code {r}, interval {lo}..{hi}"
+                            );
+                        }
                     }
                 }
             }
@@ -346,17 +592,36 @@ mod tests {
     #[test]
     fn codes_round_trip_through_the_interleaved_layout() {
         let codes = fixture(137, 9);
-        for rate in [1, 2, 5, 16, 200] {
-            let occ = KmerOccTable::new(codes.clone(), 9, rate);
+        for (width, sb) in LAYOUTS {
+            for rate in [1, 2, 5, 16, 200] {
+                let occ = KmerOccTable::new(codes.clone(), 9, rate, width, sb).unwrap();
+                for (i, &c) in codes.iter().enumerate() {
+                    assert_eq!(occ.code(i), c, "{width}/sb{sb}, rate {rate}, position {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_strides_use_two_byte_code_lanes() {
+        // stride 1024 (k = 5) forces u16 lanes; markers store literally.
+        let codes: Vec<u16> = (0..300).map(|i| (i * 37) % 1025).collect();
+        for (width, sb) in [(DeltaWidth::U16, 8), (DeltaWidth::U32, 16)] {
+            let occ = KmerOccTable::new(codes.clone(), 1024, 7, width, sb).unwrap();
             for (i, &c) in codes.iter().enumerate() {
-                assert_eq!(occ.code(i), c, "rate {rate}, position {i}");
+                assert_eq!(occ.code(i), c, "{width}, position {i}");
+            }
+            for r in [0u16, 36, 1023] {
+                for i in 0..=codes.len() {
+                    assert_eq!(occ.rank(r, i), naive_krank(&codes, r, i), "{width}");
+                }
             }
         }
     }
 
     #[test]
     fn invalid_codes_are_stored_but_never_counted() {
-        let occ = KmerOccTable::new(vec![0u16, 4, 1, 4, 2], 4, 2);
+        let occ = build(vec![0u16, 4, 1, 4, 2], 4, 2);
         assert_eq!(occ.code(1), 4);
         assert_eq!(occ.rank(0, 5), 1);
         assert_eq!(occ.rank(1, 5), 1);
@@ -365,43 +630,161 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_is_a_safe_no_op_everywhere() {
-        let occ = KmerOccTable::new(fixture(137, 9), 9, 16);
-        for i in [0usize, 1, 16, 136, 137, 500] {
-            for r in 0..9u16 {
-                occ.prefetch_rank(r, i); // must never fault or panic
+    fn stride_256_markers_round_trip_and_never_count() {
+        // At stride 256 the marker (256) does not fit a byte lane and
+        // takes the exception path: placeholder-0 lanes, corrected ranks.
+        let codes: Vec<u16> = (0..600)
+            .map(|i| if i % 151 == 3 { 256 } else { (i * 31) % 256 })
+            .collect();
+        for (width, sb) in LAYOUTS {
+            let occ = KmerOccTable::new(codes.clone(), 256, 7, width, sb).unwrap();
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(occ.code(i), c, "{width}/sb{sb}, position {i}");
+            }
+            // Code 0 is the corrected path; spot-check others too.
+            for r in [0u16, 1, 93, 255] {
+                for i in 0..=codes.len() {
+                    assert_eq!(
+                        occ.rank(r, i),
+                        naive_krank(&codes, r, i),
+                        "{width}/sb{sb}, code {r}, prefix {i}"
+                    );
+                }
+                for lo in (0..codes.len()).step_by(41) {
+                    for hi in (lo..=codes.len()).step_by(13) {
+                        assert_eq!(
+                            occ.rank_pair(r, lo, hi),
+                            (naive_krank(&codes, r, lo), naive_krank(&codes, r, hi)),
+                            "{width}/sb{sb}, code {r}, interval {lo}..{hi}"
+                        );
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn all_marker_rows_still_build() {
+        // A text shorter than k makes *every* row sentinel-crossing.
+        let occ = KmerOccTable::new(vec![256, 256, 256], 256, 2, DeltaWidth::U16, 16).unwrap();
+        assert_eq!(occ.code(1), 256);
+        for r in [0u16, 255] {
+            assert_eq!(occ.rank(r, 3), 0);
+        }
+    }
+
+    #[test]
+    fn delta_saturating_exactly_at_the_width_still_builds() {
+        // 255 zeros then a tail: at rate 5 the block-52 checkpoint stores
+        // delta 255 for code 0 — exactly u8::MAX, the last legal value.
+        let mut codes = vec![0u16; 255];
+        codes.extend([1, 1, 1, 1, 1]);
+        let occ = KmerOccTable::new(codes.clone(), 4, 5, DeltaWidth::U8, 64).unwrap();
+        for i in 0..=codes.len() {
+            assert_eq!(occ.rank(0, i), naive_krank(&codes, 0, i), "prefix {i}");
+            assert_eq!(occ.rank(1, i), naive_krank(&codes, 1, i), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn delta_overflowing_just_before_the_superblock_is_a_typed_error() {
+        // One more zero: the block-52 delta becomes 256, which u8 cannot
+        // store, and block 52 is still 12 blocks shy of the superblock
+        // boundary at 64.
+        let mut codes = vec![0u16; 256];
+        codes.extend([1, 1, 1, 1]);
+        let err = KmerOccTable::new(codes, 4, 5, DeltaWidth::U8, 64).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::DeltaOverflow {
+                block: 52,
+                code: 0,
+                delta: 256,
+                max: 255,
+            }
+        );
+    }
+
+    #[test]
+    fn tighter_superblocks_absorb_the_same_overflow() {
+        // The same 256-zero text builds when the superblock boundary
+        // lands at block 52: the delta resets there instead of saturating.
+        let mut codes = vec![0u16; 256];
+        codes.extend([1, 1, 1, 1]);
+        let occ = KmerOccTable::new(codes.clone(), 4, 5, DeltaWidth::U8, 52).unwrap();
+        for i in 0..=codes.len() {
+            assert_eq!(occ.rank(0, i), naive_krank(&codes, 0, i), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_everywhere() {
+        for (width, sb) in LAYOUTS {
+            let occ = KmerOccTable::new(fixture(137, 9), 9, 16, width, sb).unwrap();
+            for i in [0usize, 1, 16, 136, 137, 500] {
+                for r in 0..9u16 {
+                    occ.prefetch_rank(r, i); // must never fault or panic
+                    occ.prefetch_rank_pair(r, i / 2, i);
+                }
+            }
+        }
+        let occ = build(fixture(137, 9), 9, 16);
         assert_eq!(occ.rank(3, 137), naive_krank(&fixture(137, 9), 3, 137));
     }
 
     #[test]
     fn coarser_sampling_uses_less_memory() {
         let codes = fixture(4096, 16);
-        let fine = KmerOccTable::new(codes.clone(), 16, 4);
-        let coarse = KmerOccTable::new(codes, 16, 256);
+        let fine = build(codes.clone(), 16, 4);
+        let coarse = build(codes, 16, 256);
         assert!(coarse.heap_bytes() < fine.heap_bytes());
     }
 
     #[test]
-    fn heap_is_exact_block_multiples() {
-        // stride 4 + ceil(3/2) = 6 words -> one line per block; 10 codes at
-        // rate 3 -> 4 blocks -> 256 bytes, plus the 4-word totals row.
-        let occ = KmerOccTable::new(fixture(10, 4), 4, 3);
-        assert_eq!(occ.heap_bytes(), 4 * 64 + 4 * 4);
+    fn narrow_deltas_use_less_memory_than_absolute_rows() {
+        let codes = fixture(8192, 256);
+        let flat = KmerOccTable::new(codes.clone(), 256, 44, DeltaWidth::U32, 16).unwrap();
+        let two_level = KmerOccTable::new(codes.clone(), 256, 44, DeltaWidth::U16, 16).unwrap();
+        let tight = KmerOccTable::new(codes, 256, 44, DeltaWidth::U8, 16).unwrap();
+        assert!(two_level.heap_bytes() < flat.heap_bytes());
+        assert!(tight.heap_bytes() < two_level.heap_bytes());
+    }
+
+    #[test]
+    fn heap_breakdown_is_exact() {
+        // stride 4, rate 3, u16 deltas, superblocks every 2 blocks:
+        // 8 delta bytes + 3 code bytes = 11 -> one line per block;
+        // 10 codes at rate 3 -> 4 blocks; 2 superblock groups of 4 words
+        // round to one 64-byte line; totals is 4 words.
+        let occ = KmerOccTable::new(fixture(10, 4), 4, 3, DeltaWidth::U16, 2).unwrap();
+        let heap = occ.heap_breakdown();
+        assert_eq!(heap.k_occ_checkpoints, 64);
+        assert_eq!(heap.k_occ_deltas, 4 * 8);
+        assert_eq!(heap.k_occ_codes, 4 * 64 - 4 * 8 + 4 * 4);
+        assert_eq!(heap.other, 0);
+        assert_eq!(heap.total(), occ.heap_bytes());
+
+        // The absolute layout books every row as checkpoints, no deltas,
+        // and allocates no superblocks: 16 delta bytes + 3 code bytes.
+        let flat = KmerOccTable::new(fixture(10, 4), 4, 3, DeltaWidth::U32, 2).unwrap();
+        let heap = flat.heap_breakdown();
+        assert_eq!(heap.k_occ_checkpoints, 4 * 16);
+        assert_eq!(heap.k_occ_deltas, 0);
+        assert_eq!(heap.total(), flat.heap_bytes());
+        assert_eq!(heap.total(), 4 * 64 + 4 * 4);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn rank_past_end_panics() {
-        let occ = KmerOccTable::new(vec![0, 1, 2], 4, 2);
+        let occ = build(vec![0, 1, 2], 4, 2);
         let _ = occ.rank(0, 4);
     }
 
     #[test]
     #[should_panic(expected = "out of alphabet")]
     fn rank_of_invalid_code_panics() {
-        let occ = KmerOccTable::new(vec![0, 1, 2], 4, 2);
+        let occ = build(vec![0, 1, 2], 4, 2);
         let _ = occ.rank(4, 2);
     }
 }

@@ -18,6 +18,7 @@ use exma_genome::{bwt_from_sa, count_table, suffix_array, Base, Kmer, Symbol};
 
 use crate::fm::FmIndex;
 use crate::kocc::KmerOccTable;
+use crate::layout::{DeltaWidth, HeapBreakdown, IndexError};
 use crate::occ::OccTable;
 use crate::sampled_sa::SampledSuffixArray;
 
@@ -38,13 +39,24 @@ pub struct KStepBuildConfig {
     /// stores `4^k` counters, so this rate should grow with k to keep the
     /// table's footprint proportionate.
     pub k_occ_sample_rate: usize,
+    /// Per-block checkpoint counter width of both occurrence tables:
+    /// narrow widths select the two-level layout (sparse absolute
+    /// superblock rows + per-block deltas), [`DeltaWidth::U32`] the flat
+    /// absolute rows.
+    pub delta_width: DeltaWidth,
+    /// Blocks per absolute superblock row in the two-level layout;
+    /// ignored with [`DeltaWidth::U32`].
+    pub superblock_rate: usize,
 }
 
 impl KStepBuildConfig {
     /// Defaults for a given step width: the 1-step rates of
     /// [`crate::FmBuildConfig::default`] (one cache line per Occ block),
-    /// and a k-mer checkpoint spacing of `64k` so checkpoint memory grows
-    /// sublinearly in the `4^k` alphabet expansion.
+    /// a k-mer checkpoint spacing of `64k` so checkpoint memory grows
+    /// sublinearly in the `4^k` alphabet expansion, and two-level `u16`
+    /// checkpoints with superblocks every 16 blocks. Every default
+    /// superblock span (at most 64 × 7 × 16 = 7168 rows) is well inside
+    /// the `u16` delta guarantee, so these configs always build.
     ///
     /// # Panics
     ///
@@ -59,6 +71,8 @@ impl KStepBuildConfig {
             occ_sample_rate: 44,
             sa_sample_rate: 32,
             k_occ_sample_rate: 64 * k,
+            delta_width: DeltaWidth::U16,
+            superblock_rate: 16,
         }
     }
 }
@@ -92,12 +106,22 @@ pub struct KStepFmIndex {
 impl KStepFmIndex {
     /// Builds the index from a sentinel-terminated symbol text.
     ///
+    /// # Errors
+    ///
+    /// Propagates [`IndexError`] from the rank tables: a text too long
+    /// for `u32` counters, a two-level superblock span too wide for the
+    /// 1-step table's `u16` deltas, or a k-mer count saturating the
+    /// configured [`DeltaWidth`] before its superblock boundary.
+    ///
     /// # Panics
     ///
     /// Panics if `text` is not sentinel-terminated (see
     /// [`exma_genome::suffix_array`]), a sample rate is zero, or
     /// `config.k` is out of `1..=`[`MAX_STEP`].
-    pub fn from_text_with_config(text: &[Symbol], config: KStepBuildConfig) -> KStepFmIndex {
+    pub fn from_text_with_config(
+        text: &[Symbol],
+        config: KStepBuildConfig,
+    ) -> Result<KStepFmIndex, IndexError> {
         let k = config.k;
         assert!(
             (1..=MAX_STEP).contains(&k),
@@ -106,9 +130,14 @@ impl KStepFmIndex {
         let n = text.len();
         let sa = suffix_array(text);
         let bwt = bwt_from_sa(text, &sa);
+        let occ = if config.delta_width.is_absolute() {
+            OccTable::new(&bwt, config.occ_sample_rate)
+        } else {
+            OccTable::two_level(&bwt, config.occ_sample_rate, config.superblock_rate)?
+        };
         let base = FmIndex::from_parts(
             count_table(text),
-            OccTable::new(&bwt, config.occ_sample_rate),
+            occ,
             SampledSuffixArray::new(&sa, config.sa_sample_rate),
         );
 
@@ -133,7 +162,13 @@ impl KStepFmIndex {
                 code as u16
             })
             .collect();
-        let kocc = KmerOccTable::new(codes, stride, config.k_occ_sample_rate);
+        let kocc = KmerOccTable::new(
+            codes,
+            stride,
+            config.k_occ_sample_rate,
+            config.delta_width,
+            config.superblock_rate,
+        )?;
 
         // C-array over the expanded alphabet. Each suffix's first
         // min(k, len) symbols become a base-5 key ($ = 0 < A..T = 1..4,
@@ -174,17 +209,20 @@ impl KStepFmIndex {
             })
             .collect();
 
-        KStepFmIndex {
+        Ok(KStepFmIndex {
             k,
             base,
             kstarts,
             kocc,
-        }
+        })
     }
 
-    /// Builds the index with default sampling rates for step width `k`.
+    /// Builds the index with default sampling rates for step width `k`
+    /// (which are provably buildable for any text the workspace can
+    /// address — see [`KStepBuildConfig::for_k`]).
     pub fn from_text(text: &[Symbol], k: usize) -> KStepFmIndex {
         KStepFmIndex::from_text_with_config(text, KStepBuildConfig::for_k(k))
+            .expect("the default layout builds for any u32-addressable text")
     }
 
     /// Builds the index for a genome's reference sequence.
@@ -291,9 +329,18 @@ impl KStepFmIndex {
             .resolve_range_into(self.backward_search(pattern), out);
     }
 
+    /// Heap bytes of all index components (1-step tables included),
+    /// attributed per component; the expanded-alphabet C-array counts
+    /// under `other`.
+    pub fn heap_breakdown(&self) -> HeapBreakdown {
+        let mut heap = self.base.heap_breakdown().add(&self.kocc.heap_breakdown());
+        heap.other += self.kstarts.capacity() * 4;
+        heap
+    }
+
     /// Heap bytes of all index components (1-step tables included).
     pub fn heap_bytes(&self) -> usize {
-        self.base.heap_bytes() + self.kocc.heap_bytes() + self.kstarts.capacity() * 4
+        self.heap_breakdown().total()
     }
 }
 
@@ -312,8 +359,10 @@ mod tests {
                 occ_sample_rate: 2,
                 sa_sample_rate: 2,
                 k_occ_sample_rate: 3,
+                ..KStepBuildConfig::for_k(k)
             },
         )
+        .unwrap()
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod fm;
 pub mod interleave;
 pub mod kocc;
 pub mod kstep;
+pub mod layout;
 pub mod naive;
 pub mod occ;
 pub mod resolve;
@@ -35,6 +36,7 @@ pub mod sampled_sa;
 pub use fm::{FmBuildConfig, FmIndex};
 pub use kocc::KmerOccTable;
 pub use kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};
+pub use layout::{DeltaWidth, HeapBreakdown, IndexError};
 pub use occ::OccTable;
 pub use resolve::{
     resolve_capped_with_arena, BatchResolver, ResolveArena, ResolveConfig, ResolveStats,

@@ -10,86 +10,166 @@
 //! DRAM-unfriendly scan this table forces on a CPU.
 //!
 //! This revision interleaves the table (see [`crate::interleave`]): block
-//! `b` packs the five checkpoint counters for prefix `b * sample_rate`
-//! together with the `sample_rate` BWT codes they cover in one cache-line
-//! -aligned region, so a `rank` touches one contiguous block instead of
-//! the two distant arrays of the flat layout. At the default
-//! [`crate::FmBuildConfig`] spacing of 44 the whole block — counters and
-//! codes — is exactly one 64-byte cache line: one `rank`, one line.
+//! `b` packs the checkpoint counters for prefix `b * sample_rate` together
+//! with the `sample_rate` BWT codes they cover in one cache-line-aligned
+//! region, so a `rank` touches one contiguous block instead of the two
+//! distant arrays of the flat layout. The checkpoint row comes in two
+//! layouts: flat `u32` counters (the historical default, one line per
+//! block at spacing 44), or *two-level* — absolute `u32` superblock rows
+//! every `superblock_rate` blocks in a separate small array, with `u16`
+//! per-block deltas. The two-level header is half the size, so one line
+//! fits 54 codes instead of 44; the delta width is fixed at `u16` and
+//! proven safe at construction by bounding the superblock span.
 
 use exma_genome::Symbol;
 
 use crate::interleave::AlignedWords;
+use crate::layout::{HeapBreakdown, IndexError};
 
-/// `u32` words occupied by a block's checkpoint row (one per symbol code).
-const HEADER_WORDS: usize = 5;
+/// Symbol codes per checkpoint row (one counter per alphabet symbol).
+const HEADER_LANES: usize = 5;
 
 /// Checkpointed rank structure over a BWT, interleaved per block.
 ///
 /// Block `b` covers BWT positions `b * sample_rate ..` and lays out, in
-/// `u32` words:
+/// bytes:
 ///
 /// ```text
-/// [ 5 checkpoint words | sample_rate codes, four u8 per word | pad ]
+/// flat:      [ 5 u32 checkpoint counters | sample_rate codes | pad ]
+/// two-level: [ 5 u16 delta counters      | sample_rate codes | pad ]
 /// ```
 ///
 /// padded so every block starts on a 64-byte cache-line boundary.
 /// Checkpoints are `u32`: the workspace addresses texts through `u32`
-/// suffix-array positions, so per-symbol counts always fit.
+/// suffix-array positions, so per-symbol counts always fit. Two-level
+/// deltas are `u16` and relative to the nearest preceding superblock
+/// row; [`OccTable::two_level`] proves at construction that one
+/// superblock span cannot overflow them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OccTable {
     data: AlignedWords,
-    /// Words per block: `5 + ceil(sample_rate / 4)`, line-rounded.
+    /// Absolute checkpoint rows, one 5-word group per `superblock_rate`
+    /// blocks; empty in the flat layout.
+    superblocks: AlignedWords,
+    /// Words per block, line-rounded.
     block_words: usize,
+    /// Bytes of a block taken by its counter row (20 flat, 10 two-level);
+    /// the code lanes start right behind it.
+    header_bytes: usize,
     /// Length of the underlying BWT.
     len: usize,
     sample_rate: usize,
+    /// Blocks per superblock row; `0` in the flat layout.
+    superblock_rate: usize,
     /// Occurrences of every symbol in the full BWT: the O(1) answer to
     /// `rank(s, len)`, issued by every backward search's first step.
     totals: [u32; 5],
 }
 
 impl OccTable {
-    /// Builds the table from a BWT with checkpoints every `sample_rate`
-    /// symbols.
+    /// Builds the flat-layout table from a BWT with `u32` checkpoints
+    /// every `sample_rate` symbols.
     ///
     /// # Panics
     ///
     /// Panics if `sample_rate == 0` or the BWT is too long for `u32`
     /// counters.
     pub fn new(bwt: &[Symbol], sample_rate: usize) -> OccTable {
+        OccTable::build(bwt, sample_rate, 0).expect("flat layout only fails on u32 overflow")
+    }
+
+    /// Builds the two-level table: `u16` per-block deltas off absolute
+    /// superblock rows every `superblock_rate` blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::SuperblockSpanTooWide`] if
+    /// `sample_rate * superblock_rate` exceeds 65 535 rows — the bound
+    /// that *proves* no delta can overflow, whatever the text — and
+    /// [`IndexError::IndexTooLarge`] if the BWT outgrows `u32` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate == 0` or `superblock_rate == 0`.
+    pub fn two_level(
+        bwt: &[Symbol],
+        sample_rate: usize,
+        superblock_rate: usize,
+    ) -> Result<OccTable, IndexError> {
+        assert!(superblock_rate > 0, "superblock rate must be positive");
+        OccTable::build(bwt, sample_rate, superblock_rate)
+    }
+
+    /// Shared builder; `superblock_rate == 0` selects the flat layout.
+    fn build(
+        bwt: &[Symbol],
+        sample_rate: usize,
+        superblock_rate: usize,
+    ) -> Result<OccTable, IndexError> {
         assert!(sample_rate > 0, "sample rate must be positive");
-        assert!(bwt.len() < u32::MAX as usize, "table too large for u32");
+        if bwt.len() >= u32::MAX as usize {
+            return Err(IndexError::IndexTooLarge { rows: bwt.len() });
+        }
+        let two_level = superblock_rate > 0;
+        if two_level {
+            let span = sample_rate.saturating_mul(superblock_rate);
+            if span > u16::MAX as usize {
+                return Err(IndexError::SuperblockSpanTooWide {
+                    sample_rate,
+                    superblock_rate,
+                    max_span: u16::MAX as usize,
+                });
+            }
+        }
         let len = bwt.len();
         let blocks = len / sample_rate + 1;
-        let block_words = (HEADER_WORDS + sample_rate.div_ceil(4))
+        let header_bytes = if two_level { 2 } else { 4 } * HEADER_LANES;
+        let block_words = (header_bytes + sample_rate)
+            .div_ceil(4)
             .next_multiple_of(crate::interleave::WORDS_PER_LINE);
+        let groups = if two_level {
+            blocks.div_ceil(superblock_rate)
+        } else {
+            0
+        };
         let mut data = AlignedWords::zeroed(blocks * block_words);
+        let mut superblocks = AlignedWords::zeroed(groups * HEADER_LANES);
         let mut running = [0u32; 5];
-        for (i, &s) in bwt.iter().enumerate() {
-            let block = i / sample_rate;
-            let offset = i - block * sample_rate;
+        let mut group_row = [0u32; 5];
+        for block in 0..blocks {
             let base = block * block_words;
-            if offset == 0 {
-                data.words_mut()[base..base + HEADER_WORDS].copy_from_slice(&running);
+            if two_level {
+                if block % superblock_rate == 0 {
+                    let g = (block / superblock_rate) * HEADER_LANES;
+                    superblocks.words_mut()[g..g + HEADER_LANES].copy_from_slice(&running);
+                    group_row = running;
+                }
+                for (lane, (&now, &at_group)) in running.iter().zip(group_row.iter()).enumerate() {
+                    // The span bound above proves this cast lossless.
+                    data.halves_mut()[base * 2 + lane] = (now - at_group) as u16;
+                }
+            } else {
+                data.words_mut()[base..base + HEADER_LANES].copy_from_slice(&running);
             }
             // Codes live in the block's tail as plain byte lanes.
-            data.bytes_mut()[(base + HEADER_WORDS) * 4 + offset] = s.code();
-            running[s.code() as usize] += 1;
+            let code_base = base * 4 + header_bytes;
+            let lo = block * sample_rate;
+            let hi = (lo + sample_rate).min(len);
+            for (offset, &s) in bwt[lo..hi].iter().enumerate() {
+                data.bytes_mut()[code_base + offset] = s.code();
+                running[s.code() as usize] += 1;
+            }
         }
-        if len % sample_rate == 0 {
-            // The final block covers zero codes; its checkpoint row (the
-            // full counts) was never reached by the loop above.
-            let base = (blocks - 1) * block_words;
-            data.words_mut()[base..base + HEADER_WORDS].copy_from_slice(&running);
-        }
-        OccTable {
+        Ok(OccTable {
             data,
+            superblocks,
             block_words,
+            header_bytes,
             len,
             sample_rate,
+            superblock_rate,
             totals: running,
-        }
+        })
     }
 
     /// Length of the underlying BWT.
@@ -107,6 +187,26 @@ impl OccTable {
         self.sample_rate
     }
 
+    /// Blocks per superblock row; `0` means the flat `u32` layout.
+    pub fn superblock_rate(&self) -> usize {
+        self.superblock_rate
+    }
+
+    /// The absolute count of symbol code `code` at `block`'s checkpoint.
+    #[inline]
+    fn checkpoint(&self, block: usize, code: usize) -> u32 {
+        let base = block * self.block_words;
+        // `superblock_rate == 0` encodes the flat layout, so checked_div
+        // doubles as the layout dispatch.
+        match block.checked_div(self.superblock_rate) {
+            None => self.data.words()[base + code],
+            Some(group) => {
+                self.superblocks.words()[group * HEADER_LANES + code]
+                    + u32::from(self.data.halves()[base * 2 + code])
+            }
+        }
+    }
+
     /// The BWT symbol at position `i`.
     ///
     /// # Panics
@@ -116,7 +216,9 @@ impl OccTable {
         assert!(i < self.len, "symbol position {i} out of range");
         let block = i / self.sample_rate;
         let offset = i - block * self.sample_rate;
-        Symbol::from_code(self.data.bytes()[(block * self.block_words + HEADER_WORDS) * 4 + offset])
+        Symbol::from_code(
+            self.data.bytes()[block * self.block_words * 4 + self.header_bytes + offset],
+        )
     }
 
     /// `Occ(s, i)`: occurrences of `s` in `BWT[0..i]` (exclusive of `i`).
@@ -131,14 +233,13 @@ impl OccTable {
         if i == self.len {
             return u64::from(self.totals[code as usize]);
         }
-        // The block's checkpoint word, then a short forward scan over the
-        // codes interleaved right behind it — one contiguous region. The
-        // codes are plain byte lanes, so the scan autovectorizes.
+        // The block's checkpoint counter, then a short forward scan over
+        // the codes interleaved right behind it — one contiguous region.
+        // The codes are plain byte lanes, so the scan autovectorizes.
         let block = i / self.sample_rate;
-        let base = block * self.block_words;
-        let mut count = self.data.words()[base + code as usize];
+        let mut count = self.checkpoint(block, code as usize);
         let scan = i - block * self.sample_rate;
-        let code_base = (base + HEADER_WORDS) * 4;
+        let code_base = block * self.block_words * 4 + self.header_bytes;
         for &c in &self.data.bytes()[code_base..code_base + scan] {
             count += u32::from(c == code);
         }
@@ -147,7 +248,7 @@ impl OccTable {
 
     /// The BWT symbol at `i` together with `Occ(symbol, i)` — the two
     /// loads of one LF step fused into a single block visit: the symbol
-    /// read, the checkpoint word, and the code scan all touch the same
+    /// read, the checkpoint counter, and the code scan all touch the same
     /// interleaved block, so deriving it once halves the per-step work of
     /// the locate resolver's LF-walks.
     ///
@@ -158,11 +259,10 @@ impl OccTable {
     pub fn lf_data(&self, i: usize) -> (Symbol, u64) {
         assert!(i < self.len, "LF position {i} out of range");
         let block = i / self.sample_rate;
-        let base = block * self.block_words;
         let offset = i - block * self.sample_rate;
-        let code_base = (base + HEADER_WORDS) * 4;
+        let code_base = block * self.block_words * 4 + self.header_bytes;
         let code = self.data.bytes()[code_base + offset];
-        let mut count = self.data.words()[base + code as usize];
+        let mut count = self.checkpoint(block, code as usize);
         for &c in &self.data.bytes()[code_base..code_base + offset] {
             count += u32::from(c == code);
         }
@@ -176,12 +276,12 @@ impl OccTable {
             return self.totals.map(u64::from);
         }
         let block = i / self.sample_rate;
-        let base = block * self.block_words;
-        let mut counts: [u32; 5] = self.data.words()[base..base + HEADER_WORDS]
-            .try_into()
-            .unwrap();
+        let mut counts = [0u32; 5];
+        for (code, count) in counts.iter_mut().enumerate() {
+            *count = self.checkpoint(block, code);
+        }
         let scan = i - block * self.sample_rate;
-        let code_base = (base + HEADER_WORDS) * 4;
+        let code_base = block * self.block_words * 4 + self.header_bytes;
         for &c in &self.data.bytes()[code_base..code_base + scan] {
             counts[c as usize] += 1;
         }
@@ -189,23 +289,37 @@ impl OccTable {
     }
 
     /// Hints the CPU to pull the block a later `rank(s, i)` will touch
-    /// toward L1 — at the default spacing the whole block is one line.
-    /// Never faults; a no-op off x86-64 and for the `i == len` totals
-    /// fast path.
+    /// toward L1 — at the default spacings the whole block is one line —
+    /// plus, two-level, the superblock row it is relative to. Never
+    /// faults; a no-op off x86-64 and for the `i == len` totals fast
+    /// path.
     #[inline]
     pub fn prefetch_rank(&self, _s: Symbol, i: usize) {
         if i >= self.len {
             return; // answered from `totals`, which stays cache-hot
         }
-        // The five checkpoint words and the scan's first codes share the
+        // The checkpoint counters and the scan's first codes share the
         // block's first line, whichever symbol is asked for.
-        self.data
-            .prefetch((i / self.sample_rate) * self.block_words);
+        let block = i / self.sample_rate;
+        self.data.prefetch(block * self.block_words);
+        // checked_div: rate 0 is the flat layout with no superblocks.
+        if let Some(group) = block.checked_div(self.superblock_rate) {
+            self.superblocks.prefetch(group * HEADER_LANES);
+        }
     }
 
-    /// Heap bytes of the interleaved blocks.
+    /// Heap bytes attributed under [`HeapBreakdown::one_step_occ`]:
+    /// interleaved blocks plus (two-level) the superblock rows.
+    pub fn heap_breakdown(&self) -> HeapBreakdown {
+        HeapBreakdown {
+            one_step_occ: self.data.heap_bytes() + self.superblocks.heap_bytes(),
+            ..HeapBreakdown::default()
+        }
+    }
+
+    /// Heap bytes of the interleaved blocks and superblock rows.
     pub fn heap_bytes(&self) -> usize {
-        self.data.heap_bytes()
+        self.heap_breakdown().total()
     }
 }
 
@@ -226,18 +340,29 @@ mod tests {
         bwt_from_sa(&text, &sa)
     }
 
+    /// Both layouts at a given spacing: flat and a few superblock rates.
+    fn layouts(bwt: &[Symbol], rate: usize) -> Vec<OccTable> {
+        let mut tables = vec![OccTable::new(bwt, rate)];
+        for sb in [2, 8, 64] {
+            tables.push(OccTable::two_level(bwt, rate, sb).unwrap());
+        }
+        tables
+    }
+
     #[test]
     fn rank_matches_naive_at_every_position() {
         let bwt = bwt_of("CATAGACATTAGACCATAGGA");
-        for rate in [1, 2, 3, 5, 7, 16, 44, 64, 200] {
-            let occ = OccTable::new(&bwt, rate);
-            for i in 0..=bwt.len() {
-                for &s in &SYMBOL_ALPHABET {
-                    assert_eq!(
-                        occ.rank(s, i),
-                        naive_rank(&bwt, s, i),
-                        "rate {rate}, symbol {s}, prefix {i}"
-                    );
+        for rate in [1, 2, 3, 5, 7, 16, 44, 54, 64, 200] {
+            for occ in layouts(&bwt, rate) {
+                let sb = occ.superblock_rate();
+                for i in 0..=bwt.len() {
+                    for &s in &SYMBOL_ALPHABET {
+                        assert_eq!(
+                            occ.rank(s, i),
+                            naive_rank(&bwt, s, i),
+                            "rate {rate}, sb {sb}, symbol {s}, prefix {i}"
+                        );
+                    }
                 }
             }
         }
@@ -246,12 +371,14 @@ mod tests {
     #[test]
     fn lf_data_fuses_symbol_and_rank() {
         let bwt = bwt_of("CATAGACATTAGACCATAGGA");
-        for rate in [1, 3, 7, 44] {
-            let occ = OccTable::new(&bwt, rate);
-            for i in 0..bwt.len() {
-                let (s, rank) = occ.lf_data(i);
-                assert_eq!(s, occ.symbol(i), "rate {rate}, position {i}");
-                assert_eq!(rank, occ.rank(s, i), "rate {rate}, position {i}");
+        for rate in [1, 3, 7, 44, 54] {
+            for occ in layouts(&bwt, rate) {
+                let sb = occ.superblock_rate();
+                for i in 0..bwt.len() {
+                    let (s, rank) = occ.lf_data(i);
+                    assert_eq!(s, occ.symbol(i), "rate {rate}, sb {sb}, position {i}");
+                    assert_eq!(rank, occ.rank(s, i), "rate {rate}, sb {sb}, position {i}");
+                }
             }
         }
     }
@@ -259,11 +386,12 @@ mod tests {
     #[test]
     fn rank_all_agrees_with_rank() {
         let bwt = bwt_of("GGGCCCAAATTTGGGCCCAAATTT");
-        let occ = OccTable::new(&bwt, 4);
-        for i in 0..=bwt.len() {
-            let all = occ.rank_all(i);
-            for &s in &SYMBOL_ALPHABET {
-                assert_eq!(all[s.code() as usize], occ.rank(s, i));
+        for occ in layouts(&bwt, 4) {
+            for i in 0..=bwt.len() {
+                let all = occ.rank_all(i);
+                for &s in &SYMBOL_ALPHABET {
+                    assert_eq!(all[s.code() as usize], occ.rank(s, i));
+                }
             }
         }
     }
@@ -271,28 +399,54 @@ mod tests {
     #[test]
     fn symbols_round_trip() {
         let bwt = bwt_of("GATTACA");
-        let occ = OccTable::new(&bwt, 3);
-        assert_eq!(occ.len(), bwt.len());
-        for (i, &s) in bwt.iter().enumerate() {
-            assert_eq!(occ.symbol(i), s);
+        for occ in layouts(&bwt, 3) {
+            assert_eq!(occ.len(), bwt.len());
+            for (i, &s) in bwt.iter().enumerate() {
+                assert_eq!(occ.symbol(i), s);
+            }
         }
     }
 
     #[test]
     fn default_rate_blocks_are_one_cache_line() {
-        // 5 header words + ceil(44 / 4) code words = 16 words = 64 bytes.
+        // Flat: 20 header bytes + 44 codes = 64. Two-level: 10 header
+        // bytes + 54 codes = 64 — ten more codes in the same line.
         let bwt = bwt_of(&"ACGT".repeat(100));
-        let occ = OccTable::new(&bwt, 44);
-        assert_eq!(occ.heap_bytes(), (bwt.len() / 44 + 1) * 64);
+        let flat = OccTable::new(&bwt, 44);
+        assert_eq!(flat.heap_bytes(), (bwt.len() / 44 + 1) * 64);
+        let two = OccTable::two_level(&bwt, 54, 32).unwrap();
+        let blocks = bwt.len() / 54 + 1;
+        let sb_lines = blocks
+            .div_ceil(32)
+            .saturating_mul(HEADER_LANES)
+            .div_ceil(16);
+        assert_eq!(two.heap_bytes(), blocks * 64 + sb_lines * 64);
+    }
+
+    #[test]
+    fn too_wide_superblock_span_is_a_typed_error() {
+        let bwt = bwt_of("ACGT");
+        let err = OccTable::two_level(&bwt, 44, 4096).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::SuperblockSpanTooWide {
+                sample_rate: 44,
+                superblock_rate: 4096,
+                max_span: 65_535,
+            }
+        );
+        // 44 * 1489 = 65516 <= 65535: the widest legal spacing builds.
+        assert!(OccTable::two_level(&bwt, 44, 1489).is_ok());
     }
 
     #[test]
     fn prefetch_is_a_safe_no_op_everywhere() {
         let bwt = bwt_of("CATAGACATTAGACCATAGGA");
-        let occ = OccTable::new(&bwt, 7);
-        for i in [0usize, 3, 21, 22, 1000] {
-            for &s in &SYMBOL_ALPHABET {
-                occ.prefetch_rank(s, i); // must never fault or panic
+        for occ in layouts(&bwt, 7) {
+            for i in [0usize, 3, 21, 22, 1000] {
+                for &s in &SYMBOL_ALPHABET {
+                    occ.prefetch_rank(s, i); // must never fault or panic
+                }
             }
         }
     }
@@ -303,6 +457,11 @@ mod tests {
         let fine = OccTable::new(&bwt, 4);
         let coarse = OccTable::new(&bwt, 128);
         assert!(coarse.heap_bytes() < fine.heap_bytes());
+        // And at matched spacing, halving the header does not cost more
+        // than the superblock rows it adds.
+        let flat = OccTable::new(&bwt, 54);
+        let two = OccTable::two_level(&bwt, 54, 32).unwrap();
+        assert!(two.heap_bytes() <= flat.heap_bytes());
     }
 
     #[test]

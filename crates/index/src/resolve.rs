@@ -506,8 +506,10 @@ mod tests {
             FmBuildConfig {
                 occ_sample_rate: 7,
                 sa_sample_rate: 5,
+                ..FmBuildConfig::default()
             },
         )
+        .unwrap()
     }
 
     /// Every schedule the benchmarks exercise, plus a short look-ahead.

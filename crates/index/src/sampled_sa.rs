@@ -191,9 +191,18 @@ impl SampledSuffixArray {
         self.samples.len()
     }
 
+    /// Heap bytes attributed to SA samples vs the rank-bits marks.
+    pub fn heap_breakdown(&self) -> crate::layout::HeapBreakdown {
+        crate::layout::HeapBreakdown {
+            sa_samples: self.samples.capacity() * 4,
+            rank_bits: self.marks.heap_bytes(),
+            ..crate::layout::HeapBreakdown::default()
+        }
+    }
+
     /// Heap bytes used by marks and samples.
     pub fn heap_bytes(&self) -> usize {
-        self.marks.heap_bytes() + self.samples.capacity() * 4
+        self.heap_breakdown().total()
     }
 }
 

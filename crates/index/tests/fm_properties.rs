@@ -89,8 +89,12 @@ fn count_is_exact_across_sampling_rates() {
             FmBuildConfig {
                 occ_sample_rate: occ_rate,
                 sa_sample_rate: sa_rate,
+                // Keep the superblock span provable at coarse spacings.
+                superblock_rate: (65_535 / occ_rate).clamp(1, 16),
+                ..FmBuildConfig::default()
             },
-        );
+        )
+        .unwrap();
         for pattern in &patterns {
             assert_eq!(
                 fm.count(pattern),

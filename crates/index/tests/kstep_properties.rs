@@ -100,8 +100,12 @@ fn sampling_rates_do_not_change_kstep_answers() {
                     occ_sample_rate: occ_rate,
                     sa_sample_rate: 17,
                     k_occ_sample_rate: k_occ_rate,
+                    // Keep the superblock span provable at coarse spacings.
+                    superblock_rate: (65_535 / occ_rate).clamp(1, 16),
+                    ..KStepBuildConfig::for_k(k)
                 },
-            );
+            )
+            .unwrap();
             for pattern in &patterns {
                 assert_eq!(
                     kstep.count(pattern),

@@ -89,9 +89,45 @@ pub struct ServerStats {
     pub resolve_rounds: AtomicU64,
     /// Submissions currently queued (admitted, not yet drained).
     pub queue_depth: AtomicU64,
+    /// Total heap bytes of the served index, set once at bind.
+    pub heap_total: AtomicU64,
+    /// k-mer checkpoint rows of the served index.
+    pub heap_k_occ_checkpoints: AtomicU64,
+    /// Per-block k-mer delta rows of the served index.
+    pub heap_k_occ_deltas: AtomicU64,
+    /// k-mer code lanes and totals of the served index.
+    pub heap_k_occ_codes: AtomicU64,
+    /// The served index's 1-step occurrence table.
+    pub heap_one_step_occ: AtomicU64,
+    /// The served index's sampled suffix-array positions.
+    pub heap_sa_samples: AtomicU64,
+    /// The served index's sampled-row rank bitvector.
+    pub heap_rank_bits: AtomicU64,
+    /// Remaining served-index bytes (C-array, marker exceptions).
+    pub heap_other: AtomicU64,
 }
 
 impl ServerStats {
+    /// Publishes the served index's heap attribution — called once at
+    /// [`crate::Server::bind`]; the fields are static thereafter.
+    pub fn record_heap(&self, heap: &exma_engine::HeapBreakdown) {
+        self.heap_total
+            .store(heap.total() as u64, Ordering::Relaxed);
+        self.heap_k_occ_checkpoints
+            .store(heap.k_occ_checkpoints as u64, Ordering::Relaxed);
+        self.heap_k_occ_deltas
+            .store(heap.k_occ_deltas as u64, Ordering::Relaxed);
+        self.heap_k_occ_codes
+            .store(heap.k_occ_codes as u64, Ordering::Relaxed);
+        self.heap_one_step_occ
+            .store(heap.one_step_occ as u64, Ordering::Relaxed);
+        self.heap_sa_samples
+            .store(heap.sa_samples as u64, Ordering::Relaxed);
+        self.heap_rank_bits
+            .store(heap.rank_bits as u64, Ordering::Relaxed);
+        self.heap_other.store(heap.other as u64, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy, as sent in a STATS_REPLY frame.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -107,6 +143,14 @@ impl ServerStats {
             search_rounds: self.search_rounds.load(Ordering::Relaxed),
             resolve_rounds: self.resolve_rounds.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            heap_total: self.heap_total.load(Ordering::Relaxed),
+            heap_k_occ_checkpoints: self.heap_k_occ_checkpoints.load(Ordering::Relaxed),
+            heap_k_occ_deltas: self.heap_k_occ_deltas.load(Ordering::Relaxed),
+            heap_k_occ_codes: self.heap_k_occ_codes.load(Ordering::Relaxed),
+            heap_one_step_occ: self.heap_one_step_occ.load(Ordering::Relaxed),
+            heap_sa_samples: self.heap_sa_samples.load(Ordering::Relaxed),
+            heap_rank_bits: self.heap_rank_bits.load(Ordering::Relaxed),
+            heap_other: self.heap_other.load(Ordering::Relaxed),
         }
     }
 

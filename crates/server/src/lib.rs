@@ -136,12 +136,16 @@ impl Server {
             .attach(&index)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
+        let stats = Arc::new(ServerStats::default());
+        // The served index is fixed for the server's lifetime, so its
+        // heap attribution is published once and snapshots just read it.
+        stats.record_heap(&index.heap_breakdown());
         Ok(Server {
             listener,
             index,
             builder,
             config,
-            stats: Arc::new(ServerStats::default()),
+            stats,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }

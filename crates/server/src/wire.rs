@@ -502,11 +502,32 @@ pub struct StatsSnapshot {
     pub resolve_rounds: u64,
     /// Submissions sitting in the admission queue right now.
     pub queue_depth: u64,
+    /// Total heap bytes of the served index (set once at startup; the
+    /// seven fields below are its exact per-component attribution and
+    /// always sum to this total).
+    pub heap_total: u64,
+    /// k-mer checkpoint rows (superblock rows under a two-level
+    /// layout, every absolute row under the flat one).
+    pub heap_k_occ_checkpoints: u64,
+    /// Narrow per-block k-mer delta rows (zero under the flat layout).
+    pub heap_k_occ_deltas: u64,
+    /// Per-row k-mer code lanes and totals.
+    pub heap_k_occ_codes: u64,
+    /// The 1-step occurrence table, checkpoints and symbols.
+    pub heap_one_step_occ: u64,
+    /// Sampled suffix-array positions.
+    pub heap_sa_samples: u64,
+    /// The sampled-row rank bitvector.
+    pub heap_rank_bits: u64,
+    /// Everything else (k-mer C-array, marker exception list).
+    pub heap_other: u64,
 }
 
 impl StatsSnapshot {
-    /// The snapshot's fields in wire order.
-    fn fields(&self) -> [u64; 12] {
+    /// The snapshot's fields in wire order. The heap fields sit after
+    /// every counter precisely because the count-prefixed encoding
+    /// lets pre-v7 clients keep reading the prefix they know.
+    fn fields(&self) -> [u64; 20] {
         [
             self.connections,
             self.submissions_admitted,
@@ -520,6 +541,14 @@ impl StatsSnapshot {
             self.search_rounds,
             self.resolve_rounds,
             self.queue_depth,
+            self.heap_total,
+            self.heap_k_occ_checkpoints,
+            self.heap_k_occ_deltas,
+            self.heap_k_occ_codes,
+            self.heap_one_step_occ,
+            self.heap_sa_samples,
+            self.heap_rank_bits,
+            self.heap_other,
         ]
     }
 }
@@ -541,7 +570,7 @@ pub fn encode_stats(stats: &StatsSnapshot, buf: &mut Vec<u8>) {
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
     let mut cursor = Cursor::new(payload);
     let announced = cursor.u32()? as usize;
-    let mut fields = [0u64; 12];
+    let mut fields = [0u64; 20];
     if announced < fields.len() {
         return Err(WireError::Truncated {
             needed: fields.len() * 8,
@@ -555,7 +584,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         cursor.take(8)?;
     }
     cursor.finish()?;
-    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth] =
+    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other] =
         fields;
     Ok(StatsSnapshot {
         connections,
@@ -570,6 +599,14 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         search_rounds,
         resolve_rounds,
         queue_depth,
+        heap_total,
+        heap_k_occ_checkpoints,
+        heap_k_occ_deltas,
+        heap_k_occ_codes,
+        heap_one_step_occ,
+        heap_sa_samples,
+        heap_rank_bits,
+        heap_other,
     })
 }
 
@@ -742,14 +779,22 @@ mod tests {
             search_rounds: 90,
             resolve_rounds: 40,
             queue_depth: 2,
+            heap_total: 36,
+            heap_k_occ_checkpoints: 8,
+            heap_k_occ_deltas: 4,
+            heap_k_occ_codes: 9,
+            heap_one_step_occ: 6,
+            heap_sa_samples: 5,
+            heap_rank_bits: 3,
+            heap_other: 1,
         };
         let mut payload = Vec::new();
         encode_stats(&stats, &mut payload);
         assert_eq!(decode_stats(&payload).unwrap(), stats);
 
-        // A newer server appending a 13th counter still decodes.
+        // A newer server appending a 21st counter still decodes.
         let mut extended = payload.clone();
-        extended[0..4].copy_from_slice(&13u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&21u32.to_le_bytes());
         extended.extend_from_slice(&999u64.to_le_bytes());
         assert_eq!(decode_stats(&extended).unwrap(), stats);
         assert!(decode_stats(&payload[..8]).is_err());

@@ -174,6 +174,19 @@ fn concurrent_clients_get_byte_exact_executor_results() {
     assert!(stats.batches_run >= 1 && stats.batches_run <= 20);
     assert_eq!(stats.submissions_busy, 0);
     assert_eq!(stats.queue_depth, 0);
+    // The heap fields published at bind describe the served index
+    // exactly: non-zero, and components summing to the total.
+    assert!(stats.heap_total > 0);
+    assert_eq!(
+        stats.heap_total,
+        stats.heap_k_occ_checkpoints
+            + stats.heap_k_occ_deltas
+            + stats.heap_k_occ_codes
+            + stats.heap_one_step_occ
+            + stats.heap_sa_samples
+            + stats.heap_rank_bits
+            + stats.heap_other
+    );
     drop(probe);
     server.stop();
 }
