@@ -22,6 +22,17 @@
 //! into per-rate deltas; `mean_coalesced_batch` (submissions per
 //! engine run) is the continuous-batching figure of merit.
 //!
+//! Robustness knobs ride along: `--deadline-us` stamps every QUERY
+//! with a protocol-v2 latency budget and reports the deadline-miss
+//! (LATE) rate separately from the latency percentiles — under
+//! overload the honest summary is "p99 of the answered plus the
+//! fraction shed", not a percentile over survivors only. BUSY draws a
+//! bounded retry with jittered exponential backoff. `--chaos` runs a
+//! seeded [`FaultPlan`] sidecar that feeds the server torn, truncated,
+//! stalled, and corrupted frames on sacrificial connections for the
+//! whole measurement window; the measured connections must stay
+//! byte-verified throughout.
+//!
 //! ```text
 //! # self-hosted: spins up a server in-process on an ephemeral port
 //! cargo run --release -p exma-bench --bin exma-loadgen
@@ -38,6 +49,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -45,7 +57,7 @@ use std::time::{Duration, Instant};
 use exma_engine::{EngineBuilder, Executor, QueryBatch, QueryRequest};
 use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
 use exma_server::wire::{self, Opcode, StatsSnapshot, HEADER_LEN};
-use exma_server::{Server, ServerConfig, ServerHandle};
+use exma_server::{FaultPlan, Server, ServerConfig, ServerHandle};
 
 use crate::json::Json;
 
@@ -72,6 +84,18 @@ OPTIONS:
     --queries N        queries per request frame (default: 8)
     --locate-cap N     max_hits cap on every locate query (default: 16)
     --arrival-seed N   seed of the Poisson arrival process (default: 7)
+    --deadline-us N    per-request latency budget stamped on every
+                       QUERY frame; expired requests come back LATE
+                       and count as deadline misses (default: 0 = none)
+    --busy-retries N   retry a BUSY answer up to N times with jittered
+                       exponential backoff (default: 3; 0 = give up)
+    --chaos RATE       run a fault-injection sidecar for the whole
+                       measurement window: sacrificial connections
+                       send frames sabotaged with probability RATE
+                       (torn/truncated/stalled/corrupted) while the
+                       measured load must stay byte-verified
+                       (default: 0 = off)
+    --chaos-seed N     seed of the fault plan (default: 99)
     --linger-us N      self-hosted server's coalescing window (default:
                        1000; ignored with --addr)
     --queue-depth N    self-hosted server's admission queue (default:
@@ -95,6 +119,10 @@ struct Args {
     queries: usize,
     locate_cap: u32,
     arrival_seed: u64,
+    deadline_us: u32,
+    busy_retries: u32,
+    chaos: f64,
+    chaos_seed: u64,
     linger: Duration,
     queue_depth: usize,
     verify: bool,
@@ -114,6 +142,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         queries: 8,
         locate_cap: 16,
         arrival_seed: 7,
+        deadline_us: 0,
+        busy_retries: 3,
+        chaos: 0.0,
+        chaos_seed: 99,
         linger: Duration::from_micros(1000),
         queue_depth: 1024,
         verify: true,
@@ -145,6 +177,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--queries" => args.queries = parse_num(&value("--queries")?)?,
             "--locate-cap" => args.locate_cap = parse_num(&value("--locate-cap")?)?,
             "--arrival-seed" => args.arrival_seed = parse_num(&value("--arrival-seed")?)?,
+            "--deadline-us" => args.deadline_us = parse_num(&value("--deadline-us")?)?,
+            "--busy-retries" => args.busy_retries = parse_num(&value("--busy-retries")?)?,
+            "--chaos" => {
+                args.chaos = value("--chaos")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("--chaos needs a probability in [0, 1]")?;
+            }
+            "--chaos-seed" => args.chaos_seed = parse_num(&value("--chaos-seed")?)?,
             "--linger-us" => {
                 args.linger = Duration::from_micros(parse_num(&value("--linger-us")?)?)
             }
@@ -233,7 +275,8 @@ fn build_requests(genome: &Genome, oracle: Option<&dyn Executor>, args: &Args) -
                 expected
             });
             Request {
-                frame: wire::frame(Opcode::Query, idx as u64, &payload),
+                // A v2 QUERY frame; deadline 0 means no budget.
+                frame: wire::query_frame(idx as u64, args.deadline_us, &payload),
                 expected,
             }
         })
@@ -274,11 +317,25 @@ enum Outcome {
     /// RESULTS that matched the oracle (or went unchecked): latency
     /// from scheduled arrival to last payload byte.
     Ok(Duration),
+    /// BUSY that stayed BUSY through every retry.
     Busy,
+    /// A LATE frame: the server shed the request as past its deadline.
+    /// Reported as a miss rate, never folded into the percentiles.
+    Late,
     /// RESULTS that diverged from the oracle.
     Mismatch,
     /// An ERROR frame, an unanswered request, or a broken connection.
     Error,
+}
+
+/// Bounded jittered-exponential-backoff retry on BUSY.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    /// Retry attempts after the first BUSY; 0 gives up immediately.
+    attempts: u32,
+    /// Backoff before retry `n` is `base << n`, scaled by a uniform
+    /// jitter in `[0.5, 1.5)` so synchronized clients desynchronize.
+    base: Duration,
 }
 
 /// Everything measured at one target rate.
@@ -288,8 +345,11 @@ struct RateOutcome {
     achieved_rps: f64,
     ok: usize,
     busy: usize,
+    late: usize,
     mismatches: usize,
     errors: usize,
+    /// BUSY retries sent across every connection.
+    retries: u64,
     /// Sorted OK latencies in milliseconds.
     latencies_ms: Vec<f64>,
     before: StatsSnapshot,
@@ -306,16 +366,17 @@ fn run_rate(
     schedule: &[Duration],
     conns: usize,
     target_rps: f64,
+    retry: RetryPolicy,
     stats_conn: &mut ControlConn,
 ) -> RateOutcome {
     let before = stats_conn.snapshot();
     let start = Instant::now();
-    let per_conn: Vec<(Vec<Outcome>, Option<Instant>)> = thread::scope(|scope| {
+    let per_conn: Vec<(Vec<Outcome>, u64, Option<Instant>)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
             .map(|c| {
                 scope.spawn(move || {
                     let assigned: Vec<usize> = (c..requests.len()).step_by(conns).collect();
-                    run_connection(addr, requests, schedule, &assigned, start)
+                    run_connection(addr, requests, schedule, &assigned, start, retry)
                 })
             })
             .collect();
@@ -328,11 +389,14 @@ fn run_rate(
 
     let mut ok = 0;
     let mut busy = 0;
+    let mut late = 0;
     let mut mismatches = 0;
     let mut errors = 0;
+    let mut retries = 0;
     let mut latencies_ms = Vec::new();
     let mut last_done = start;
-    for (outcomes, conn_last) in per_conn {
+    for (outcomes, conn_retries, conn_last) in per_conn {
+        retries += conn_retries;
         if let Some(t) = conn_last {
             last_done = last_done.max(t);
         }
@@ -343,6 +407,7 @@ fn run_rate(
                     latencies_ms.push(latency.as_secs_f64() * 1e3);
                 }
                 Outcome::Busy => busy += 1,
+                Outcome::Late => late += 1,
                 Outcome::Mismatch => mismatches += 1,
                 Outcome::Error => errors += 1,
             }
@@ -354,14 +419,16 @@ fn run_rate(
         target_rps,
         offered_rps: requests.len() as f64 / schedule.last().expect("nonempty").as_secs_f64(),
         achieved_rps: if wall > 0.0 {
-            (ok + busy) as f64 / wall
+            (ok + busy + late) as f64 / wall
         } else {
             0.0
         },
         ok,
         busy,
+        late,
         mismatches,
         errors,
+        retries,
         latencies_ms,
         before,
         after,
@@ -369,19 +436,21 @@ fn run_rate(
 }
 
 /// One connection's share of a rate run. Returns an outcome per
-/// assigned request and the instant the last response landed.
+/// assigned request, the BUSY retries sent, and the instant the last
+/// response landed.
 fn run_connection(
     addr: &str,
     requests: &[Request],
     schedule: &[Duration],
     assigned: &[usize],
     start: Instant,
-) -> (Vec<Outcome>, Option<Instant>) {
+    retry: RetryPolicy,
+) -> (Vec<Outcome>, u64, Option<Instant>) {
     let Ok(stream) = TcpStream::connect(addr) else {
-        return (assigned.iter().map(|_| Outcome::Error).collect(), None);
+        return (assigned.iter().map(|_| Outcome::Error).collect(), 0, None);
     };
     let Ok(read_half) = stream.try_clone() else {
-        return (assigned.iter().map(|_| Outcome::Error).collect(), None);
+        return (assigned.iter().map(|_| Outcome::Error).collect(), 0, None);
     };
 
     // The reader runs concurrently with the sender — open loop means
@@ -401,7 +470,7 @@ fn run_connection(
     let responses = reader.join().expect("reader thread");
 
     let mut last_done = None;
-    let outcomes = assigned
+    let mut outcomes: Vec<Outcome> = assigned
         .iter()
         .map(|&idx| {
             let Some((opcode, payload, at)) = responses
@@ -417,11 +486,64 @@ fn run_connection(
                     _ => Outcome::Ok(at - (start + schedule[idx])),
                 },
                 Ok(Opcode::Busy) => Outcome::Busy,
+                Ok(Opcode::Late) => Outcome::Late,
                 _ => Outcome::Error,
             }
         })
         .collect();
-    (outcomes, last_done)
+
+    // BUSY retry pass, after the open-loop schedule completes so the
+    // retries never perturb it: bounded attempts, jittered exponential
+    // backoff, latency still measured from the original scheduled
+    // arrival (the retry wait is part of the client's experience).
+    let mut retries = 0;
+    if retry.attempts > 0 {
+        let mut rng = SeededRng::new(0xB05Fu64 ^ assigned.first().copied().unwrap_or(0) as u64);
+        let _ = sender.set_read_timeout(Some(Duration::from_secs(5)));
+        for (slot, &idx) in assigned.iter().enumerate() {
+            if !matches!(outcomes[slot], Outcome::Busy) {
+                continue;
+            }
+            for attempt in 0..retry.attempts {
+                let jitter = 0.5 + rng.f64();
+                thread::sleep(
+                    Duration::from_secs_f64(retry.base.as_secs_f64() * jitter)
+                        * 2u32.pow(attempt.min(16)),
+                );
+                retries += 1;
+                if sender.write_all(&requests[idx].frame).is_err() {
+                    outcomes[slot] = Outcome::Error;
+                    break;
+                }
+                // Nothing else is in flight here, so the next frame is
+                // this retry's answer.
+                let Some(response) = read_responses(sender.try_clone().expect("clone"), 1).pop()
+                else {
+                    outcomes[slot] = Outcome::Error;
+                    break;
+                };
+                debug_assert_eq!(response.request_id, idx as u64);
+                outcomes[slot] = match response.opcode {
+                    Ok(Opcode::Results) => match &requests[idx].expected {
+                        Some(expected) if &response.payload != expected => Outcome::Mismatch,
+                        _ => {
+                            last_done = Some(
+                                last_done.map_or(response.at, |t: Instant| t.max(response.at)),
+                            );
+                            Outcome::Ok(response.at - (start + schedule[idx]))
+                        }
+                    },
+                    Ok(Opcode::Busy) => Outcome::Busy,
+                    Ok(Opcode::Late) => Outcome::Late,
+                    _ => Outcome::Error,
+                };
+                if !matches!(outcomes[slot], Outcome::Busy) {
+                    break;
+                }
+            }
+        }
+    }
+    (outcomes, retries, last_done)
 }
 
 /// One frame as the reader saw it.
@@ -476,6 +598,48 @@ fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// The fault-injection sidecar: until `stop` flips, sacrificial
+/// connections send workload frames sabotaged per a seeded
+/// [`FaultPlan`] — torn prefixes then hangups, silent stalls, flipped
+/// bytes. Nothing here is asserted or measured beyond the count of
+/// frames thrown; the assertion is that the *measured* connections
+/// stay byte-verified while this runs. Returns the frames thrown.
+fn run_chaos(addr: &str, requests: &[Request], seed: u64, rate: f64, stop: &AtomicBool) -> u64 {
+    let mut plan = FaultPlan::new(seed, rate);
+    let mut stalled: Vec<TcpStream> = Vec::new();
+    let mut thrown = 0u64;
+    for idx in (0..requests.len()).cycle() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = &requests[idx].frame;
+        let fault = plan.decide(frame.len());
+        let Ok(mut conn) = TcpStream::connect(addr) else {
+            // Mid-drain or a refused connect: chaos just moves on.
+            thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let _ = conn.write_all(&fault.wire_bytes(frame));
+        thrown += 1;
+        if fault.stalls() {
+            // Park it half-sent; the server's idle reaper owns it now.
+            // Cap the herd so a long run doesn't hoard sockets.
+            if stalled.len() >= 32 {
+                stalled.remove(0);
+            }
+            stalled.push(conn);
+        } else if !fault.disconnects() {
+            // Whatever the answer is — RESULTS to a different question,
+            // ERROR, a hangup — drain a bounded amount and move on.
+            let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut sink = [0u8; 4096];
+            let _ = conn.read(&mut sink);
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    thrown
 }
 
 /// A dedicated connection for STATS probes, kept apart from the load
@@ -547,12 +711,22 @@ fn rate_entry(outcome: &RateOutcome) -> Json {
         .field("achieved_rps", outcome.achieved_rps)
         .field(
             "requests",
-            outcome.ok + outcome.busy + outcome.mismatches + outcome.errors,
+            outcome.ok + outcome.busy + outcome.late + outcome.mismatches + outcome.errors,
         )
         .field("ok", outcome.ok)
         .field("busy", outcome.busy)
+        .field("late", outcome.late)
         .field("mismatches", outcome.mismatches)
         .field("errors", outcome.errors)
+        .field("busy_retries", outcome.retries)
+        .field(
+            // Misses over everything offered — separate from (and
+            // alongside) percentiles that only cover the answered.
+            "deadline_miss_rate",
+            outcome.late as f64
+                / (outcome.ok + outcome.busy + outcome.late + outcome.mismatches + outcome.errors)
+                    .max(1) as f64,
+        )
         .field(
             "latency_ms",
             Json::obj()
@@ -596,6 +770,22 @@ fn rate_entry(outcome: &RateOutcome) -> Json {
                 .field(
                     "resolve_rounds",
                     after.resolve_rounds.saturating_sub(before.resolve_rounds),
+                )
+                .field(
+                    "late_dropped",
+                    after.late_dropped.saturating_sub(before.late_dropped),
+                )
+                .field(
+                    "writer_shed",
+                    after.writer_shed.saturating_sub(before.writer_shed),
+                )
+                .field(
+                    "conns_reaped",
+                    after.conns_reaped.saturating_sub(before.conns_reaped),
+                )
+                .field(
+                    "goaway_sent",
+                    after.goaway_sent.saturating_sub(before.goaway_sent),
                 ),
         )
 }
@@ -634,6 +824,13 @@ fn run(args: &Args) -> ExitCode {
             let config = ServerConfig {
                 queue_depth: args.queue_depth,
                 linger: args.linger,
+                // Under chaos, stalled sacrificial connections must be
+                // reaped within the run, not after a minute.
+                idle_timeout: if args.chaos > 0.0 {
+                    Some(Duration::from_secs(2))
+                } else {
+                    ServerConfig::default().idle_timeout
+                },
                 ..ServerConfig::default()
             };
             let server = match Server::bind("127.0.0.1:0", Arc::clone(&index), builder, config) {
@@ -659,46 +856,71 @@ fn run(args: &Args) -> ExitCode {
         }
     };
 
+    let retry = RetryPolicy {
+        attempts: args.busy_retries,
+        base: Duration::from_micros(500),
+    };
     let mut rate_entries = Vec::new();
     let mut failed = false;
     let first_before = stats_conn.snapshot();
-    for (ri, &rate) in args.rates.iter().enumerate() {
-        let schedule = arrival_schedule(
-            args.requests,
-            rate,
-            args.arrival_seed ^ (ri as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
-        );
-        eprintln!(
-            "[loadgen] rate {rate} req/s: {} requests x {} queries over {} conns...",
-            args.requests, args.queries, args.conns
-        );
-        let outcome = run_rate(
-            &addr,
-            &requests,
-            &schedule,
-            args.conns,
-            rate,
-            &mut stats_conn,
-        );
-        eprintln!(
-            "[loadgen]   ok {} busy {} mismatch {} error {} | p50 {:.2} ms p99 {:.2} ms p999 {:.2} ms | {:.0} req/s achieved | {:.2} subs/batch",
-            outcome.ok,
-            outcome.busy,
-            outcome.mismatches,
-            outcome.errors,
-            percentile(&outcome.latencies_ms, 0.50),
-            percentile(&outcome.latencies_ms, 0.99),
-            percentile(&outcome.latencies_ms, 0.999),
-            outcome.achieved_rps,
-            mean_coalesced(&outcome.before, &outcome.after),
-        );
-        failed |= outcome.mismatches > 0 || outcome.errors > 0;
-        rate_entries.push(rate_entry(&outcome));
+    let stop_chaos = AtomicBool::new(false);
+    let chaos_thrown = thread::scope(|scope| {
+        // The sidecar spans every rate: the measured load below runs
+        // against a server under continuous attack.
+        let chaos = (args.chaos > 0.0).then(|| {
+            let (addr, requests, stop) = (&addr, &requests, &stop_chaos);
+            eprintln!(
+                "[loadgen] chaos sidecar on: fault rate {} (seed {})",
+                args.chaos, args.chaos_seed
+            );
+            scope.spawn(move || run_chaos(addr, requests, args.chaos_seed, args.chaos, stop))
+        });
+        for (ri, &rate) in args.rates.iter().enumerate() {
+            let schedule = arrival_schedule(
+                args.requests,
+                rate,
+                args.arrival_seed ^ (ri as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+            );
+            eprintln!(
+                "[loadgen] rate {rate} req/s: {} requests x {} queries over {} conns...",
+                args.requests, args.queries, args.conns
+            );
+            let outcome = run_rate(
+                &addr,
+                &requests,
+                &schedule,
+                args.conns,
+                rate,
+                retry,
+                &mut stats_conn,
+            );
+            eprintln!(
+                "[loadgen]   ok {} busy {} late {} mismatch {} error {} | retries {} | p50 {:.2} ms p99 {:.2} ms p999 {:.2} ms | {:.0} req/s achieved | {:.2} subs/batch",
+                outcome.ok,
+                outcome.busy,
+                outcome.late,
+                outcome.mismatches,
+                outcome.errors,
+                outcome.retries,
+                percentile(&outcome.latencies_ms, 0.50),
+                percentile(&outcome.latencies_ms, 0.99),
+                percentile(&outcome.latencies_ms, 0.999),
+                outcome.achieved_rps,
+                mean_coalesced(&outcome.before, &outcome.after),
+            );
+            failed |= outcome.mismatches > 0 || outcome.errors > 0;
+            rate_entries.push(rate_entry(&outcome));
+        }
+        stop_chaos.store(true, Ordering::Relaxed);
+        chaos.map(|h| h.join().expect("chaos thread"))
+    });
+    if let Some(thrown) = chaos_thrown {
+        eprintln!("[loadgen] chaos sidecar threw {thrown} sabotaged frames");
     }
     let last_after = stats_conn.snapshot();
 
     let doc = Json::obj()
-        .field("schema_version", 5u64)
+        .field("schema_version", 7u64)
         .field("mode", "loadgen")
         .field("profile", profile.name.as_str())
         .field("genome_len", genome.len())
@@ -717,6 +939,10 @@ fn run(args: &Args) -> ExitCode {
         .field("queries_per_request", args.queries)
         .field("locate_cap", args.locate_cap as u64)
         .field("arrival_seed", args.arrival_seed)
+        .field("deadline_us", args.deadline_us as u64)
+        .field("busy_retries", args.busy_retries as u64)
+        .field("chaos_rate", args.chaos)
+        .field("chaos_frames", chaos_thrown.unwrap_or(0))
         .field("verified_against_oracle", args.verify && !failed)
         .field(
             "mean_coalesced_batch",
@@ -731,8 +957,9 @@ fn run(args: &Args) -> ExitCode {
     eprintln!("[loadgen] wrote {}", args.out.display());
 
     if let Some((handle, thread)) = hosted {
-        // The batcher only exits once every connection hangs up; close
-        // the control connection before joining or shutdown deadlocks.
+        // The drain no longer needs clients gone first (the server
+        // force-closes and joins them), but closing our control
+        // connection is still the polite order.
         drop(stats_conn);
         handle.shutdown();
         if thread.join().expect("server thread").is_err() {
@@ -789,6 +1016,14 @@ mod tests {
             "5",
             "--locate-cap",
             "9",
+            "--deadline-us",
+            "4000",
+            "--busy-retries",
+            "5",
+            "--chaos",
+            "0.25",
+            "--chaos-seed",
+            "11",
             "--no-verify",
             "--out",
             "/tmp/l.json",
@@ -802,6 +1037,10 @@ mod tests {
         assert_eq!(args.conns, 2);
         assert_eq!(args.queries, 5);
         assert_eq!(args.locate_cap, 9);
+        assert_eq!(args.deadline_us, 4000);
+        assert_eq!(args.busy_retries, 5);
+        assert_eq!(args.chaos, 0.25);
+        assert_eq!(args.chaos_seed, 11);
         assert!(!args.verify);
     }
 
@@ -811,6 +1050,8 @@ mod tests {
         assert!(parse_args(["--rates".to_string(), "0".to_string()].into_iter()).is_err());
         assert!(parse_args(["--rates".to_string(), "x".to_string()].into_iter()).is_err());
         assert!(parse_args(["--requests".to_string(), "0".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--chaos".to_string(), "1.5".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--chaos".to_string(), "-0.1".to_string()].into_iter()).is_err());
         assert!(parse_args(["--help".to_string()].into_iter())
             .unwrap()
             .is_none());

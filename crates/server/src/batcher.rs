@@ -19,25 +19,70 @@
 //! batcher wait briefly after the first submission so concurrent
 //! clients coalesce even when the engine is faster than the arrival
 //! process; `linger = 0` degrades gracefully to drain-what's-there.
+//!
+//! Deadlines are enforced *here*, not at admission: a submission's
+//! budget is checked when the batcher pulls it off the queue and
+//! re-checked after the linger window, because queueing and lingering
+//! are exactly where a request's budget silently drains away. An
+//! expired submission answers a typed LATE frame (elapsed vs budget)
+//! and never reaches the engine — load shedding that saves the whole
+//! engine run a dead client would otherwise burn. Submissions whose
+//! connection died (writer overflow, socket failure) are skipped the
+//! same way: no reply can be delivered, so no work is done.
+//!
+//! On shutdown the batcher *drains*: it keeps executing whatever is
+//! already queued, then exits once the queue is empty, answering any
+//! last-instant stragglers with GOAWAY. It polls rather than blocks,
+//! so it never deadlocks on connections that still hold queue senders
+//! — the PR 6 retained-sender deadlock, designed out.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use exma_engine::{Executor, QueryArena, QueryBatch};
 
-use crate::wire::{self, Opcode, StatsSnapshot};
+use crate::conn::ReplyHandle;
+use crate::wire::{self, LateInfo, Opcode, StatsSnapshot};
+
+/// How often the idle batcher wakes to check the draining flag.
+const DRAIN_POLL: Duration = Duration::from_millis(10);
 
 /// One decoded QUERY frame, queued for the batcher.
 pub struct Submission {
-    /// The client's request id, echoed on the RESULTS frame.
+    /// The client's request id, echoed on the response frame.
     pub request_id: u64,
+    /// The request's protocol version; the response echoes it.
+    pub version: u8,
     /// The decoded batch (caps already clamped to the server ceiling).
     pub batch: QueryBatch,
-    /// The connection's writer channel; the batcher sends the encoded
-    /// RESULTS frame here. A send to a hung-up connection is ignored —
-    /// the work is already done, the client just stopped listening.
-    pub reply: Sender<Vec<u8>>,
+    /// When the frame finished arriving — the deadline clock's zero.
+    pub arrival: Instant,
+    /// The effective latency budget (client deadline clamped to the
+    /// server ceiling); `None` never expires.
+    pub budget: Option<Duration>,
+    /// The connection's bounded writer queue; the batcher sends the
+    /// encoded RESULTS (or LATE) frame here.
+    pub reply: ReplyHandle,
+}
+
+impl Submission {
+    /// `Some(elapsed, budget)` iff the submission's budget has already
+    /// elapsed — the typed payload of the LATE frame it gets instead
+    /// of an engine run.
+    fn expired(&self) -> Option<LateInfo> {
+        let budget = self.budget?;
+        let elapsed = self.arrival.elapsed();
+        (elapsed > budget).then(|| LateInfo {
+            elapsed_us: saturating_us(elapsed),
+            budget_us: saturating_us(budget),
+        })
+    }
+}
+
+/// A duration in whole microseconds, saturating at `u32::MAX`.
+fn saturating_us(d: Duration) -> u32 {
+    d.as_micros().min(u128::from(u32::MAX)) as u32
 }
 
 /// Batcher knobs, fixed at server start.
@@ -105,6 +150,15 @@ pub struct ServerStats {
     pub heap_rank_bits: AtomicU64,
     /// Remaining served-index bytes (C-array, marker exceptions).
     pub heap_other: AtomicU64,
+    /// Submissions answered LATE: deadline elapsed before execution.
+    pub late_dropped: AtomicU64,
+    /// Response frames shed on a full bounded writer queue (each shed
+    /// also disconnects its connection).
+    pub writer_shed: AtomicU64,
+    /// Connections reaped by the read/idle timeout.
+    pub conns_reaped: AtomicU64,
+    /// QUERYs answered GOAWAY while draining for shutdown.
+    pub goaway_sent: AtomicU64,
 }
 
 impl ServerStats {
@@ -151,6 +205,10 @@ impl ServerStats {
             heap_sa_samples: self.heap_sa_samples.load(Ordering::Relaxed),
             heap_rank_bits: self.heap_rank_bits.load(Ordering::Relaxed),
             heap_other: self.heap_other.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.load(Ordering::Relaxed),
+            writer_shed: self.writer_shed.load(Ordering::Relaxed),
+            conns_reaped: self.conns_reaped.load(Ordering::Relaxed),
+            goaway_sent: self.goaway_sent.load(Ordering::Relaxed),
         }
     }
 
@@ -162,44 +220,90 @@ impl ServerStats {
     }
 }
 
-/// The batcher loop: drain → merge → run → split, until every sender
-/// hangs up. Runs on its own thread with exclusive use of `exec`; one
-/// [`QueryArena`] lives for the whole loop, so steady-state batches
-/// execute allocation-free just like an embedded caller's would.
+/// Pulls one submission's worth of bookkeeping: decrements the queue
+/// depth, answers LATE if the budget already elapsed (deadline check
+/// *before* linger), and returns the submission only if it is still
+/// worth batching.
+fn triage(sub: Submission, stats: &ServerStats) -> Option<Submission> {
+    stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    if let Some(info) = sub.expired() {
+        send_late(&sub, info, stats);
+        return None;
+    }
+    if sub.reply.is_dead() {
+        // The client's connection is already torn down: nothing could
+        // deliver the answer, so don't compute one.
+        return None;
+    }
+    Some(sub)
+}
+
+fn send_late(sub: &Submission, info: LateInfo, stats: &ServerStats) {
+    stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+    let mut payload = Vec::with_capacity(8);
+    wire::encode_late(info, &mut payload);
+    sub.reply.send(
+        wire::frame_at(sub.version, Opcode::Late, sub.request_id, &payload),
+        stats,
+    );
+}
+
+/// The batcher loop: drain → triage → merge → run → split, until every
+/// sender hangs up or `draining` is observed with an empty queue. Runs
+/// on its own thread with exclusive use of `exec`; one [`QueryArena`]
+/// lives for the whole loop, so steady-state batches execute
+/// allocation-free just like an embedded caller's would.
 pub fn run_batcher(
     exec: &dyn Executor,
     queue: &Receiver<Submission>,
     config: BatcherConfig,
     stats: &ServerStats,
+    draining: &AtomicBool,
 ) {
     let mut merged = QueryBatch::new();
     let mut arena = QueryArena::new();
-    // Per-submission routing: (request_id, end offset in `merged`, reply).
-    let mut routes: Vec<(u64, usize, Sender<Vec<u8>>)> = Vec::new();
+    let mut pending: Vec<Submission> = Vec::new();
+    // Per-submission routing: (request_id, version, end offset in
+    // `merged`, reply).
+    let mut routes: Vec<(u64, u8, usize, ReplyHandle)> = Vec::new();
     let mut payload = Vec::new();
     let mut disconnected = false;
 
-    while !disconnected {
-        // Block for the batch's first submission; no arrivals, no work.
-        let first = match queue.recv() {
-            Ok(submission) => submission,
-            Err(_) => return,
+    'serve: while !disconnected {
+        // Poll for the batch's first live submission. Polling (rather
+        // than blocking on recv) is what lets a drain finish while
+        // connections still hold queue senders.
+        let first = loop {
+            match queue.recv_timeout(DRAIN_POLL) {
+                Ok(sub) => {
+                    if let Some(sub) = triage(sub, stats) {
+                        break sub;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if draining.load(Ordering::Relaxed) {
+                        break 'serve;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
+            }
         };
-        merged.clear();
-        let mut admit = |s: Submission, merged: &mut QueryBatch| {
-            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            merged.extend_from(&s.batch);
-            routes.push((s.request_id, merged.len(), s.reply));
-        };
-        admit(first, &mut merged);
+        pending.clear();
+        let mut total_queries = first.batch.len();
+        pending.push(first);
 
         // Coalesce: whatever is queued, plus anything that arrives
         // within the linger window, up to the batch-size cap.
         let deadline = Instant::now() + config.linger;
-        while merged.len() < config.max_batch_queries {
+        while total_queries < config.max_batch_queries {
             let wait = deadline.saturating_duration_since(Instant::now());
             match queue.recv_timeout(wait) {
-                Ok(submission) => admit(submission, &mut merged),
+                Ok(sub) => {
+                    if let Some(sub) = triage(sub, stats) {
+                        total_queries += sub.batch.len();
+                        pending.push(sub);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     // Run what we already merged, then exit.
@@ -207,6 +311,26 @@ pub fn run_batcher(
                     break;
                 }
             }
+        }
+
+        // Deadline re-check *after* linger: the window itself consumes
+        // budget, and a submission that expired waiting answers LATE
+        // instead of dragging the whole batch through the engine.
+        merged.clear();
+        routes.clear();
+        for sub in pending.drain(..) {
+            if let Some(info) = sub.expired() {
+                send_late(&sub, info, stats);
+                continue;
+            }
+            if sub.reply.is_dead() {
+                continue;
+            }
+            merged.extend_from(&sub.batch);
+            routes.push((sub.request_id, sub.version, merged.len(), sub.reply));
+        }
+        if merged.is_empty() {
+            continue; // everything expired or died; no engine run
         }
 
         stats.batches_run.fetch_add(1, Ordering::Relaxed);
@@ -234,11 +358,25 @@ pub fn run_batcher(
         // sender would keep the connection's writer thread alive, and
         // with it the connection's queue sender, deadlocking shutdown.
         let mut start = 0;
-        for (request_id, end, reply) in routes.drain(..) {
+        for (request_id, version, end, reply) in routes.drain(..) {
             payload.clear();
             wire::encode_results_range(results, start, end, &mut payload);
-            let _ = reply.send(wire::frame(Opcode::Results, request_id, &payload));
+            reply.send(
+                wire::frame_at(version, Opcode::Results, request_id, &payload),
+                stats,
+            );
             start = end;
         }
+    }
+
+    // Final sweep: submissions that slipped in between the last poll
+    // and this exit get a typed GOAWAY, not silence.
+    while let Ok(sub) = queue.try_recv() {
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        stats.goaway_sent.fetch_add(1, Ordering::Relaxed);
+        sub.reply.send(
+            wire::frame_at(sub.version, Opcode::Goaway, sub.request_id, &[]),
+            stats,
+        );
     }
 }

@@ -2,31 +2,55 @@
 //! dedicated writer thread.
 //!
 //! Each accepted connection gets two threads. The *reader* owns the
-//! request half: it reads frames, decodes QUERY payloads, and pushes
+//! request half: it reads frames, decodes QUERY payloads, stamps their
+//! arrival time and effective deadline budget, and pushes
 //! [`Submission`]s into the shared admission queue with `try_send` —
 //! a full queue answers BUSY immediately instead of blocking the
 //! socket (the explicit-backpressure half of continuous batching).
-//! The *writer* owns the response half: it drains an unbounded channel
+//! The *writer* owns the response half: it drains a **bounded** channel
 //! of pre-encoded frames and writes them to the socket, so the batcher
-//! thread never blocks on a slow client's TCP window.
+//! thread never blocks on a slow client's TCP window. When the writer
+//! queue overflows — a client reading slower than it asks — the frame
+//! is counted as shed and the connection is torn down: a slow reader
+//! costs one bounded buffer, never unbounded memory.
+//!
+//! Reads poll on a short timeout so the reader can notice three things
+//! a blocking read would hide: the connection went dead (writer shed
+//! or write failure), the server began force-closing after a drain,
+//! or the peer has been silent past the idle timeout — stalled and
+//! half-dead connections are *reaped*, not kept forever.
 //!
 //! Because responses are produced by two parties (the reader answers
-//! BUSY/ERROR/STATS_REPLY itself; the batcher produces RESULTS),
-//! responses are *not* globally ordered: a BUSY for a later request
-//! can overtake the RESULTS of an earlier one. Every response echoes
-//! its request id, so clients match by id, never by arrival order.
+//! BUSY/ERROR/GOAWAY/STATS_REPLY itself; the batcher produces RESULTS
+//! and LATE), responses are *not* globally ordered: a BUSY for a later
+//! request can overtake the RESULTS of an earlier one. Every response
+//! echoes its request id — and its request's protocol *version*, so a
+//! v1 client only ever sees v1 frames — and clients match by id, never
+//! by arrival order.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::batcher::{ServerStats, Submission};
-use crate::wire::{self, Opcode, WireError, HEADER_LEN};
+use crate::wire::{self, Opcode, WireError, HEADER_LEN, QUERY_EXT_LEN};
 
-/// Per-connection decode limits, fixed at server start.
+/// How often blocked reads and the idle writer wake to check control
+/// flags (dead, force-close, idle deadline).
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long one `write_all` may stall on a clogged client socket
+/// before the writer declares the connection dead. Without this, a
+/// peer that stops draining its receive window pins the writer thread
+/// in `write_all` forever and shutdown can never join it.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Per-connection decode limits and robustness knobs, fixed at server
+/// start.
 #[derive(Debug, Clone, Copy)]
 pub struct ConnConfig {
     /// Largest accepted `payload_len`.
@@ -36,6 +60,16 @@ pub struct ConnConfig {
     /// Hit-cap ceiling clamped onto every locate request (`None` =
     /// honor client caps verbatim, uncapped stays uncapped).
     pub max_hits_ceiling: Option<u32>,
+    /// Bounded writer-queue capacity in frames. Overflow sheds the
+    /// frame and disconnects the client.
+    pub writer_queue_depth: usize,
+    /// Reap the connection after this much read inactivity (`None` =
+    /// never; a stalled mid-frame peer then lives until it hangs up).
+    pub idle_timeout: Option<Duration>,
+    /// Server-side deadline ceiling applied to every submission: the
+    /// effective budget is the tighter of this and the client's
+    /// `deadline_us` (`None` = only client deadlines apply).
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ConnConfig {
@@ -44,41 +78,167 @@ impl Default for ConnConfig {
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             max_queries_per_frame: 4096,
             max_hits_ceiling: None,
+            writer_queue_depth: 256,
+            idle_timeout: Some(Duration::from_secs(60)),
+            default_deadline: None,
         }
     }
 }
 
-/// Services one connection until the peer hangs up or a framing error
-/// makes the stream untrustworthy. Runs on the connection's reader
-/// thread; spawns (and joins) the paired writer thread.
+/// Server-wide lifecycle flags every connection watches.
+#[derive(Clone, Default)]
+pub struct ConnShared {
+    /// Set by shutdown: new QUERYs answer GOAWAY, in-flight batches
+    /// still drain.
+    pub draining: Arc<AtomicBool>,
+    /// Set after the batcher drained: readers exit at their next poll
+    /// so the server can join every connection thread.
+    pub force_close: Arc<AtomicBool>,
+}
+
+/// The batcher-facing half of a connection's writer queue: a bounded
+/// `try_send` that converts overflow into a counted shed plus a dead
+/// connection, never into blocking or unbounded buffering.
+#[derive(Clone)]
+pub struct ReplyHandle {
+    tx: SyncSender<Vec<u8>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl ReplyHandle {
+    /// Enqueues one pre-encoded frame. On overflow the frame is
+    /// dropped, the shed is counted, and the connection is flagged
+    /// dead — its writer shuts the socket at its next poll. Sends to
+    /// an already-dead or hung-up connection are ignored: the work is
+    /// done, the client just stopped listening.
+    pub fn send(&self, frame: Vec<u8>, stats: &ServerStats) {
+        if self.is_dead() {
+            return;
+        }
+        match self.tx.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.dead.store(true, Ordering::Relaxed);
+                stats.writer_shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// `true` once the connection shed a frame or its socket failed;
+    /// the batcher skips executing submissions whose reply can no
+    /// longer be delivered.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+}
+
+/// Services one connection until the peer hangs up, a framing error
+/// makes the stream untrustworthy, the idle timeout reaps it, or the
+/// server force-closes. Runs on the connection's reader thread; spawns
+/// (and joins) the paired writer thread.
 pub fn handle_conn(
     stream: TcpStream,
     submit: SyncSender<Submission>,
     stats: Arc<ServerStats>,
     config: ConnConfig,
+    shared: ConnShared,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(config.writer_queue_depth.max(1));
+    let dead = Arc::new(AtomicBool::new(false));
+    let reply = ReplyHandle {
+        tx: reply_tx,
+        dead: Arc::clone(&dead),
+    };
+
+    let writer_dead = Arc::clone(&dead);
     let writer = thread::spawn(move || {
         let mut stream = write_half;
-        for frame in reply_rx {
-            if stream.write_all(&frame).is_err() {
-                break;
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        loop {
+            match reply_rx.recv_timeout(POLL_INTERVAL) {
+                Ok(frame) => {
+                    if writer_dead.load(Ordering::Relaxed) || stream.write_all(&frame).is_err() {
+                        writer_dead.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                // A dead connection stops flushing immediately; a live
+                // one keeps waiting for the batcher's route senders.
+                Err(RecvTimeoutError::Timeout) => {
+                    if writer_dead.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        // Reader already saw EOF or gave up; mirror the close.
+        // Reader saw EOF/gave up, or this half declared the conn dead;
+        // mirror the close so the other half wakes too.
         let _ = stream.shutdown(Shutdown::Both);
     });
 
-    read_loop(stream, &submit, &stats, config, &reply_tx);
+    read_loop(stream, &submit, &stats, config, &shared, &reply);
 
     // Closing our reply sender (and dropping any Submission clones is
     // the batcher's business) ends the writer once in-flight RESULTS
     // frames drain.
-    drop(reply_tx);
+    drop(reply);
     let _ = writer.join();
+}
+
+/// Why a poll-read ended without filling its buffer.
+enum ReadEnd {
+    /// Zero bytes at a frame boundary: the peer closed cleanly.
+    CleanEof,
+    /// The peer was silent past the idle timeout (mid-frame counts).
+    Idle,
+    /// The connection was flagged dead or the server is force-closing.
+    Stopped,
+    /// An I/O error or a mid-frame EOF.
+    Gone,
+}
+
+/// `read_exact` on a poll-timeout socket: fills `buf` or reports why
+/// it could not, checking the control flags and the idle deadline at
+/// every timeout tick. Clean EOF is only clean at `filled == 0` with
+/// `at_boundary` — anywhere else a close is a torn frame.
+fn poll_read_exact(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    at_boundary: bool,
+    last_activity: &mut Instant,
+    config: &ConnConfig,
+    dead: &AtomicBool,
+    shared: &ConnShared,
+) -> Result<(), ReadEnd> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_boundary => return Err(ReadEnd::CleanEof),
+            Ok(0) => return Err(ReadEnd::Gone),
+            Ok(n) => {
+                filled += n;
+                *last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if dead.load(Ordering::Relaxed) || shared.force_close.load(Ordering::Relaxed) {
+                    return Err(ReadEnd::Stopped);
+                }
+                if let Some(idle) = config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        return Err(ReadEnd::Idle);
+                    }
+                }
+            }
+            Err(_) => return Err(ReadEnd::Gone),
+        }
+    }
+    Ok(())
 }
 
 /// The reader loop proper; returns when the connection is done.
@@ -87,31 +247,80 @@ fn read_loop(
     submit: &SyncSender<Submission>,
     stats: &ServerStats,
     config: ConnConfig,
-    reply_tx: &mpsc::Sender<Vec<u8>>,
+    shared: &ConnShared,
+    reply: &ReplyHandle,
 ) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let dead = Arc::clone(&reply.dead);
+    let mut last_activity = Instant::now();
     let mut header_bytes = [0u8; HEADER_LEN];
     let mut payload = Vec::new();
     loop {
-        match read_exact_or_eof(&mut stream, &mut header_bytes) {
-            Ok(true) => {}
-            // Clean EOF between frames, or a mid-header cut: either
-            // way the peer is gone and there is no one to answer.
-            Ok(false) | Err(_) => return,
+        // A read helper call per frame section: header, then the v2
+        // QUERY deadline extension, then the payload. Idle reaping is
+        // only counted once, wherever the stall happened.
+        let mut read = |buf: &mut [u8], at_boundary: bool, last_activity: &mut Instant| {
+            poll_read_exact(
+                &mut stream,
+                buf,
+                at_boundary,
+                last_activity,
+                &config,
+                &dead,
+                shared,
+            )
+        };
+        match read(&mut header_bytes, true, &mut last_activity) {
+            Ok(()) => {}
+            Err(ReadEnd::Idle) => {
+                stats.conns_reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Clean EOF between frames, a mid-header cut, or a
+            // force-close: either way this connection is done.
+            Err(_) => return,
         }
         let header = match wire::decode_header(&header_bytes, config.max_frame_len) {
             Ok(header) => header,
             Err(e) => {
                 // Bad magic/version/length: the stream can no longer
-                // be framed. Answer once and hang up.
+                // be framed. Answer once (at the floor version every
+                // client parses — the header's own version byte is
+                // untrustworthy here) and hang up.
                 stats.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(error_frame(0, &e));
+                reply.send(error_frame(wire::MIN_VERSION, 0, &e), stats);
                 return;
             }
         };
+        let deadline_us = if header.has_deadline_ext() {
+            let mut ext = [0u8; QUERY_EXT_LEN];
+            match read(&mut ext, false, &mut last_activity) {
+                Ok(()) => u32::from_le_bytes(ext),
+                Err(ReadEnd::Idle) => {
+                    stats.conns_reaped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => return,
+            }
+        } else {
+            0
+        };
         payload.resize(header.payload_len as usize, 0);
-        if stream.read_exact(&mut payload).is_err() {
-            return; // truncated frame: peer died mid-payload
+        match read(&mut payload, false, &mut last_activity) {
+            Ok(()) => {}
+            Err(ReadEnd::Idle) => {
+                // A peer that announced a payload longer than it ever
+                // sends stalls here; the idle timeout reaps it.
+                stats.conns_reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return, // truncated frame: peer died mid-payload
         }
+        // The submission's clock starts the instant its frame finished
+        // arriving; the batcher measures the deadline from here.
+        let arrival = Instant::now();
 
         // From here the frame boundary is sound, so protocol errors
         // are answerable without losing sync.
@@ -119,12 +328,20 @@ fn read_loop(
             Ok(opcode) => opcode,
             Err(e) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(error_frame(header.request_id, &e));
+                reply.send(error_frame(header.version, header.request_id, &e), stats);
                 continue;
             }
         };
         match opcode {
             Opcode::Query => {
+                if shared.draining.load(Ordering::Relaxed) {
+                    stats.goaway_sent.fetch_add(1, Ordering::Relaxed);
+                    reply.send(
+                        wire::frame_at(header.version, Opcode::Goaway, header.request_id, &[]),
+                        stats,
+                    );
+                    continue;
+                }
                 let batch = match wire::decode_query_batch(
                     &payload,
                     config.max_queries_per_frame,
@@ -133,7 +350,7 @@ fn read_loop(
                     Ok(batch) => batch,
                     Err(e) => {
                         stats.errors.fetch_add(1, Ordering::Relaxed);
-                        let _ = reply_tx.send(error_frame(header.request_id, &e));
+                        reply.send(error_frame(header.version, header.request_id, &e), stats);
                         continue;
                     }
                 };
@@ -142,8 +359,11 @@ fn read_loop(
                 stats.queue_depth.fetch_add(1, Ordering::Relaxed);
                 match submit.try_send(Submission {
                     request_id: header.request_id,
+                    version: header.version,
                     batch,
-                    reply: reply_tx.clone(),
+                    arrival,
+                    budget: effective_budget(deadline_us, config.default_deadline),
+                    reply: reply.clone(),
                 }) {
                     Ok(()) => {
                         stats.submissions_admitted.fetch_add(1, Ordering::Relaxed);
@@ -151,56 +371,85 @@ fn read_loop(
                     Err(TrySendError::Full(_)) => {
                         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         stats.submissions_busy.fetch_add(1, Ordering::Relaxed);
-                        let _ = reply_tx.send(wire::frame(Opcode::Busy, header.request_id, &[]));
+                        reply.send(
+                            wire::frame_at(header.version, Opcode::Busy, header.request_id, &[]),
+                            stats,
+                        );
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        // Batcher is gone: the server is shutting down.
+                        // The batcher already drained and exited: the
+                        // server is past the point of admitting work.
                         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        return;
+                        stats.goaway_sent.fetch_add(1, Ordering::Relaxed);
+                        reply.send(
+                            wire::frame_at(header.version, Opcode::Goaway, header.request_id, &[]),
+                            stats,
+                        );
                     }
                 }
             }
             Opcode::Stats => {
-                payload.clear();
-                wire::encode_stats(&stats.snapshot(), &mut payload);
-                let _ = reply_tx.send(wire::frame(Opcode::StatsReply, header.request_id, &payload));
+                let mut buf = Vec::new();
+                wire::encode_stats(&stats.snapshot(), &mut buf);
+                reply.send(
+                    wire::frame_at(header.version, Opcode::StatsReply, header.request_id, &buf),
+                    stats,
+                );
             }
             // A client sending response opcodes is confused; tell it so.
             _ => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(error_frame(
-                    header.request_id,
-                    &WireError::BadOpcode {
-                        opcode: header.opcode,
-                    },
-                ));
+                reply.send(
+                    error_frame(
+                        header.version,
+                        header.request_id,
+                        &WireError::BadOpcode {
+                            opcode: header.opcode,
+                        },
+                    ),
+                    stats,
+                );
             }
         }
+        if reply.is_dead() {
+            // The writer queue overflowed (or the socket failed) while
+            // answering: stop reading so the teardown completes.
+            return;
+        }
+    }
+}
+
+/// The effective deadline budget of a submission: the tighter of the
+/// client's wire deadline (`0` = none) and the server's ceiling.
+fn effective_budget(deadline_us: u32, default_deadline: Option<Duration>) -> Option<Duration> {
+    let client = (deadline_us != 0).then(|| Duration::from_micros(u64::from(deadline_us)));
+    match (client, default_deadline) {
+        (Some(c), Some(d)) => Some(c.min(d)),
+        (c, d) => c.or(d),
     }
 }
 
 /// An ERROR frame carrying the error's display string.
-fn error_frame(request_id: u64, error: &WireError) -> Vec<u8> {
-    wire::frame(Opcode::Error, request_id, error.to_string().as_bytes())
+fn error_frame(version: u8, request_id: u64, error: &WireError) -> Vec<u8> {
+    wire::frame_at(
+        version,
+        Opcode::Error,
+        request_id,
+        error.to_string().as_bytes(),
+    )
 }
 
-/// `read_exact` that distinguishes clean EOF at a frame boundary
-/// (`Ok(false)`) from data and from mid-read failures.
-fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(false),
-            Ok(0) => {
-                return Err(std::io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "peer closed mid-frame",
-                ))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_budget_takes_the_tighter_bound() {
+        let ms = |n| Duration::from_millis(n);
+        assert_eq!(effective_budget(0, None), None);
+        assert_eq!(effective_budget(5_000, None), Some(ms(5)));
+        assert_eq!(effective_budget(0, Some(ms(7))), Some(ms(7)));
+        assert_eq!(effective_budget(5_000, Some(ms(7))), Some(ms(5)));
+        assert_eq!(effective_budget(9_000, Some(ms(7))), Some(ms(7)));
     }
-    Ok(true)
 }

@@ -16,6 +16,14 @@
 //! network client supplies that — while a full queue answers BUSY
 //! instead of buffering unboundedly.
 //!
+//! The pipeline is deadline-aware and drains cleanly: protocol-v2
+//! QUERY frames carry a latency budget the batcher enforces (expired
+//! submissions answer LATE, never an engine run), writer queues are
+//! bounded (overflow sheds and disconnects, never OOMs), idle
+//! connections are reaped, and [`ServerHandle::shutdown`] performs a
+//! graceful drain — stop accepting, GOAWAY new queries, finish
+//! everything queued, join every thread.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use exma_engine::EngineBuilder;
@@ -32,10 +40,11 @@
 
 pub mod batcher;
 pub mod conn;
+pub mod fault;
 pub mod wire;
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -45,7 +54,8 @@ use exma_engine::EngineBuilder;
 use exma_index::KStepFmIndex;
 
 pub use batcher::{BatcherConfig, ServerStats, Submission};
-pub use conn::ConnConfig;
+pub use conn::{ConnConfig, ConnShared, ReplyHandle};
+pub use fault::{Fault, FaultPlan};
 pub use wire::{Opcode, StatsSnapshot, WireError, WireOutput};
 
 /// Every serving knob in one place, fixed at [`Server::bind`].
@@ -66,6 +76,15 @@ pub struct ServerConfig {
     /// Hit-cap ceiling clamped onto every locate (the resolution
     /// budget; `None` honors client caps verbatim).
     pub max_hits_ceiling: Option<u32>,
+    /// Per-connection bounded writer-queue capacity, in frames;
+    /// overflow sheds the frame and disconnects the slow reader.
+    pub writer_queue_depth: usize,
+    /// Reap a connection after this much read silence (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Server-side deadline ceiling on every submission; the effective
+    /// budget is the tighter of this and the client's `deadline_us`
+    /// (`None` = only client deadlines apply).
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +96,9 @@ impl Default for ServerConfig {
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             max_queries_per_frame: 4096,
             max_hits_ceiling: None,
+            writer_queue_depth: 256,
+            idle_timeout: Some(Duration::from_secs(60)),
+            default_deadline: None,
         }
     }
 }
@@ -90,6 +112,7 @@ pub struct Server {
     config: ServerConfig,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
+    shared: ConnShared,
 }
 
 /// A remote control for a running [`Server`]: lets tests and signal
@@ -99,6 +122,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    shared: ConnShared,
 }
 
 impl ServerHandle {
@@ -112,10 +136,12 @@ impl ServerHandle {
         &self.stats
     }
 
-    /// Flags the accept loop down and wakes it with a throwaway
-    /// connection. [`Server::run`] returns once in-flight batches
-    /// drain.
+    /// Begins a graceful drain: connections answer new QUERYs with
+    /// GOAWAY immediately, the accept loop is flagged down and woken
+    /// with a throwaway connection, and [`Server::run`] returns once
+    /// in-flight batches drain and every connection thread is joined.
     pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop only observes the flag between accepts.
         let _ = TcpStream::connect(self.addr);
@@ -147,6 +173,7 @@ impl Server {
             config,
             stats,
             shutdown: Arc::new(AtomicBool::new(false)),
+            shared: ConnShared::default(),
         })
     }
 
@@ -161,13 +188,16 @@ impl Server {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
             stats: Arc::clone(&self.stats),
+            shared: self.shared.clone(),
         })
     }
 
     /// Serves until [`ServerHandle::shutdown`]: spawns the batcher
-    /// thread, then accepts connections, two threads each. Returns
-    /// after the batcher drains (connection threads wind down on
-    /// their own once their peers hang up).
+    /// thread, then accepts connections, two threads each. On shutdown
+    /// it drains — the batcher finishes everything already queued
+    /// (answering GOAWAY to stragglers), then every connection thread
+    /// is force-closed and joined, so returning means no thread of
+    /// this server is still running.
     pub fn run(self) -> io::Result<()> {
         let (submit, queue) = mpsc::sync_channel::<Submission>(self.config.queue_depth);
         let batcher_config = BatcherConfig {
@@ -178,18 +208,26 @@ impl Server {
             max_frame_len: self.config.max_frame_len,
             max_queries_per_frame: self.config.max_queries_per_frame,
             max_hits_ceiling: self.config.max_hits_ceiling,
+            writer_queue_depth: self.config.writer_queue_depth,
+            idle_timeout: self.config.idle_timeout,
+            default_deadline: self.config.default_deadline,
         };
 
         let batcher = {
             let index = Arc::clone(&self.index);
             let builder = self.builder;
             let stats = Arc::clone(&self.stats);
+            let draining = Arc::clone(&self.shared.draining);
             thread::spawn(move || {
                 let exec = builder.attach(&index).expect("recipe validated at bind");
-                batcher::run_batcher(exec.as_ref(), &queue, batcher_config, &stats);
+                batcher::run_batcher(exec.as_ref(), &queue, batcher_config, &stats, &draining);
             })
         };
 
+        // Every live connection: a socket clone (to force-close its
+        // blocked reader at drain time) and the reader thread's handle
+        // (joined at drain time — no thread outlives `run`).
+        let mut conns: Vec<(Option<TcpStream>, thread::JoinHandle<()>)> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -198,18 +236,48 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            // Reap registry entries whose threads already finished so
+            // connection churn doesn't grow the registry unboundedly.
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].1.is_finished() {
+                    let (_, done) = conns.swap_remove(i);
+                    let _ = done.join();
+                } else {
+                    i += 1;
+                }
+            }
             self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let peer = stream.try_clone().ok();
             let submit = submit.clone();
             let stats = Arc::clone(&self.stats);
-            thread::spawn(move || conn::handle_conn(stream, submit, stats, conn_config));
+            let shared = self.shared.clone();
+            let handle = thread::spawn(move || {
+                conn::handle_conn(stream, submit, stats, conn_config, shared)
+            });
+            conns.push((peer, handle));
         }
 
-        // Dropping the last queue sender ends the batcher; connection
-        // threads each hold a clone, so shutdown waits for their peers
-        // to hang up — tests close their clients before shutting down.
+        // Graceful drain, in order: stop admitting (readers GOAWAY new
+        // QUERYs), let the batcher finish everything already queued,
+        // then force-close the readers and join every connection
+        // thread. The batcher polls rather than blocking on recv, so
+        // connections still holding queue senders cannot deadlock it —
+        // the PR 6 retained-sender deadlock, designed out.
+        self.shared.draining.store(true, Ordering::SeqCst);
         drop(submit);
         batcher
             .join()
-            .map_err(|_| io::Error::other("batcher thread panicked"))
+            .map_err(|_| io::Error::other("batcher thread panicked"))?;
+        self.shared.force_close.store(true, Ordering::SeqCst);
+        for (peer, handle) in conns {
+            if let Some(peer) = peer {
+                // Unstick a reader blocked mid-read; its writer still
+                // flushes queued responses before closing.
+                let _ = peer.shutdown(Shutdown::Read);
+            }
+            let _ = handle.join();
+        }
+        Ok(())
     }
 }

@@ -8,18 +8,25 @@
 //! same `--profile`/`--len`/`--seed` (synthesis is deterministic) —
 //! which is exactly what `exma-loadgen --verify` does.
 //!
+//! SIGTERM and SIGINT trigger a graceful drain: the server stops
+//! accepting, answers new QUERYs with GOAWAY, finishes the batches
+//! already queued, joins every thread, and exits 0 — `kill -TERM`
+//! followed by `wait` is a clean shutdown, not a crash.
+//!
 //! ```text
 //! cargo run --release -p exma-server -- --profile toy --port 7878
 //! cargo run --release -p exma-server -- --profile human_rel --k 4 --linger-us 500
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use exma_engine::EngineBuilder;
 use exma_genome::{Genome, GenomeProfile};
-use exma_server::{Server, ServerConfig};
+use exma_server::{Server, ServerConfig, ServerHandle};
 
 const USAGE: &str = "\
 exma-server: serve EXMA QueryBatches over TCP with continuous batching
@@ -41,6 +48,14 @@ OPTIONS:
     --max-batch N         per-run query cap for the batcher (default: 4096)
     --max-frame-len N     largest accepted frame payload (default: 1 MiB)
     --max-hits-ceiling N  clamp every locate's hit cap to N (default: none)
+    --default-deadline-us N
+                          server-side deadline ceiling on every query,
+                          in microseconds; 0 = none (default: 0)
+    --idle-timeout-ms N   reap connections silent for N ms; 0 = never
+                          (default: 60000)
+    --writer-queue N      per-connection writer-queue depth in frames;
+                          overflow disconnects the slow reader
+                          (default: 256)
     --help                print this help
 ";
 
@@ -86,6 +101,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--max-hits-ceiling" => {
                 args.config.max_hits_ceiling = Some(parse_num(&value("--max-hits-ceiling")?)?)
             }
+            "--default-deadline-us" => {
+                let us: u64 = parse_num(&value("--default-deadline-us")?)?;
+                args.config.default_deadline = (us != 0).then(|| Duration::from_micros(us));
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = parse_num(&value("--idle-timeout-ms")?)?;
+                args.config.idle_timeout = (ms != 0).then(|| Duration::from_millis(ms));
+            }
+            "--writer-queue" => {
+                args.config.writer_queue_depth = parse_num(&value("--writer-queue")?)?
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -96,6 +122,43 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
 fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
     raw.parse().map_err(|_| format!("bad number '{raw}'"))
 }
+
+/// Set by the signal handler; the watcher thread turns it into a
+/// graceful drain. A handler may only do async-signal-safe work, and a
+/// relaxed atomic store is exactly that.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGTERM/SIGINT handlers and a watcher thread that calls
+/// [`ServerHandle::shutdown`] when either fires. Uses `signal(2)`
+/// directly — std already links libc, and one extern declaration beats
+/// a dependency this workspace otherwise does without.
+#[cfg(unix)]
+fn drain_on_signals(handle: ServerHandle) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_terminate);
+        signal(SIGINT, on_terminate);
+    }
+    thread::spawn(move || loop {
+        if TERMINATE.load(Ordering::Relaxed) {
+            eprintln!("signal received: draining...");
+            handle.shutdown();
+            return;
+        }
+        thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn drain_on_signals(_handle: ServerHandle) {}
 
 /// Resolves a profile name, applying the `--len` override.
 fn profile_for(name: &str, len: Option<usize>) -> Result<GenomeProfile, String> {
@@ -161,10 +224,18 @@ fn run(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match server.handle() {
+        Ok(handle) => drain_on_signals(handle),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Err(e) = server.run() {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    eprintln!("drained; exiting");
     ExitCode::SUCCESS
 }
 
@@ -212,6 +283,12 @@ mod tests {
             "500",
             "--max-hits-ceiling",
             "32",
+            "--default-deadline-us",
+            "2500",
+            "--idle-timeout-ms",
+            "0",
+            "--writer-queue",
+            "8",
         ];
         let args = parse_args(argv.iter().map(|s| s.to_string()))
             .unwrap()
@@ -224,6 +301,12 @@ mod tests {
         assert_eq!(args.config.queue_depth, 4);
         assert_eq!(args.config.linger, Duration::from_micros(500));
         assert_eq!(args.config.max_hits_ceiling, Some(32));
+        assert_eq!(
+            args.config.default_deadline,
+            Some(Duration::from_micros(2500))
+        );
+        assert_eq!(args.config.idle_timeout, None);
+        assert_eq!(args.config.writer_queue_depth, 8);
     }
 
     #[test]

@@ -8,12 +8,25 @@
 //! ```text
 //! offset  size  field
 //!      0     1  magic        (0xE5)
-//!      1     1  version      (1)
-//!      2     1  opcode       (request 0x01-0x02, response 0x81-0x84)
+//!      1     1  version      (1 or 2)
+//!      2     1  opcode       (request 0x01-0x02, response 0x81-0x86)
 //!      3     1  reserved     (0 on send, ignored on receive)
 //!      4     8  request_id   (echoed verbatim on every response)
-//!     12     4  payload_len  (bytes following the header)
+//!     12     4  payload_len  (bytes following the header + extension)
 //! ```
+//!
+//! **Protocol v2** activates the header's reserved region on QUERY
+//! frames only: a version-2 QUERY header is followed by a 4-byte
+//! extension carrying `deadline_us` (`u32`, `0` = no deadline) before
+//! the payload proper. `payload_len` does *not* include the extension.
+//! The deadline is the client's end-to-end latency budget in
+//! microseconds, measured by the server from the instant the frame
+//! finished arriving: a submission whose budget has already elapsed
+//! when the batcher would execute it is answered with a typed LATE
+//! frame (payload: `u32 elapsed_us`, `u32 budget_us`) instead of
+//! burning an engine run. Version-1 frames carry no extension and no
+//! deadline; servers accept both versions and echo each request's
+//! version on its responses, so a v1 client never sees a v2 frame.
 //!
 //! A QUERY payload is a [`QueryBatch`]: `u32` query count, then per
 //! query a `u8` operation (`0` count, `1` locate, `2` interval), for
@@ -25,7 +38,10 @@
 //! that many `u32` positions). Positions arrive sorted ascending, so a
 //! client can byte-compare a response against a locally encoded oracle
 //! run — which is exactly how the loopback tests and the load
-//! generator verify the server.
+//! generator verify the server. GOAWAY frames (empty payload) answer
+//! QUERYs that arrive while the server is draining for shutdown: the
+//! request was *not* executed and the client should reconnect
+//! elsewhere (or later).
 //!
 //! Decoding never panics: every malformed input surfaces as a typed
 //! [`WireError`], mirroring the engine's [`exma_engine::EngineError`]
@@ -39,10 +55,16 @@ use exma_genome::Base;
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xE5;
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Newest protocol version this build speaks (and the default for
+/// frames it originates).
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this build still accepts. v1 frames carry
+/// no deadline extension and are answered with v1 responses.
+pub const MIN_VERSION: u8 = 1;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 16;
+/// Size of the deadline extension following a v2 QUERY header.
+pub const QUERY_EXT_LEN: usize = 4;
 /// Default cap on `payload_len`; anything larger is rejected before
 /// the payload is read, so a hostile length prefix cannot OOM the
 /// server.
@@ -69,6 +91,14 @@ pub enum Opcode {
     Error = 0x83,
     /// Server → client: an encoded [`StatsSnapshot`].
     StatsReply = 0x84,
+    /// Server → client: the submission's deadline elapsed before the
+    /// batcher could execute it. Payload is an encoded [`LateInfo`];
+    /// the request was *not* executed.
+    Late = 0x85,
+    /// Server → client: the server is draining for shutdown and admits
+    /// no new work. Carries no payload — the request was *not*
+    /// executed, and no further requests on this connection will be.
+    Goaway = 0x86,
 }
 
 impl Opcode {
@@ -81,6 +111,8 @@ impl Opcode {
             0x82 => Ok(Opcode::Busy),
             0x83 => Ok(Opcode::Error),
             0x84 => Ok(Opcode::StatsReply),
+            0x85 => Ok(Opcode::Late),
+            0x86 => Ok(Opcode::Goaway),
             other => Err(WireError::BadOpcode { opcode: other }),
         }
     }
@@ -161,7 +193,7 @@ impl fmt::Display for WireError {
             WireError::BadVersion { version } => {
                 write!(
                     f,
-                    "unsupported protocol version {version}, this build speaks {VERSION}"
+                    "unsupported protocol version {version}, this build speaks {MIN_VERSION}..={VERSION}"
                 )
             }
             WireError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode:#04x}"),
@@ -207,26 +239,50 @@ impl std::error::Error for WireError {}
 /// stream sync.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// The negotiated protocol version (`MIN_VERSION..=VERSION`);
+    /// responses echo it so old clients never see new framing.
+    pub version: u8,
     /// The raw opcode byte; validate with [`Opcode::from_byte`].
     pub opcode: u8,
     /// Client-chosen id, echoed on the matching response.
     pub request_id: u64,
-    /// Payload bytes following the header.
+    /// Payload bytes following the header (and extension, if any).
     pub payload_len: u32,
 }
 
-/// Serializes a header into `HEADER_LEN` bytes.
+impl FrameHeader {
+    /// `true` iff a [`QUERY_EXT_LEN`]-byte deadline extension follows
+    /// this header before the payload — v2 QUERY frames only.
+    pub fn has_deadline_ext(&self) -> bool {
+        self.version >= 2 && self.opcode == Opcode::Query as u8
+    }
+}
+
+/// Serializes a header at the current [`VERSION`] into `HEADER_LEN`
+/// bytes. The caller of a v2 QUERY frame must append the deadline
+/// extension itself (or use [`query_frame`], which does).
 pub fn encode_header(opcode: Opcode, request_id: u64, payload_len: u32) -> [u8; HEADER_LEN] {
+    encode_header_at(VERSION, opcode, request_id, payload_len)
+}
+
+/// Serializes a header at an explicit protocol version.
+pub fn encode_header_at(
+    version: u8,
+    opcode: Opcode,
+    request_id: u64,
+    payload_len: u32,
+) -> [u8; HEADER_LEN] {
     let mut bytes = [0u8; HEADER_LEN];
     bytes[0] = MAGIC;
-    bytes[1] = VERSION;
+    bytes[1] = version;
     bytes[2] = opcode as u8;
     bytes[4..12].copy_from_slice(&request_id.to_le_bytes());
     bytes[12..16].copy_from_slice(&payload_len.to_le_bytes());
     bytes
 }
 
-/// Deserializes and validates a header (magic, version, frame cap).
+/// Deserializes and validates a header (magic, version range, frame
+/// cap).
 pub fn decode_header(
     bytes: &[u8; HEADER_LEN],
     max_frame_len: usize,
@@ -234,7 +290,7 @@ pub fn decode_header(
     if bytes[0] != MAGIC {
         return Err(WireError::BadMagic { byte: bytes[0] });
     }
-    if bytes[1] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&bytes[1]) {
         return Err(WireError::BadVersion { version: bytes[1] });
     }
     let payload_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
@@ -245,19 +301,83 @@ pub fn decode_header(
         });
     }
     Ok(FrameHeader {
+        version: bytes[1],
         opcode: bytes[2],
         request_id: u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")),
         payload_len,
     })
 }
 
-/// A whole frame — header plus payload — as one buffer, ready for a
-/// single `write_all`.
-pub fn frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&encode_header(opcode, request_id, payload.len() as u32));
+/// A whole frame at an explicit version — header, extension when the
+/// version and opcode demand one (deadline 0), and payload — ready for
+/// a single `write_all`.
+pub fn frame_at(version: u8, opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let ext = if version >= 2 && opcode == Opcode::Query {
+        QUERY_EXT_LEN
+    } else {
+        0
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + ext + payload.len());
+    out.extend_from_slice(&encode_header_at(
+        version,
+        opcode,
+        request_id,
+        payload.len() as u32,
+    ));
+    out.resize(out.len() + ext, 0);
     out.extend_from_slice(payload);
     out
+}
+
+/// A whole frame at the current [`VERSION`]. QUERY frames get a
+/// zeroed (no-deadline) extension; use [`query_frame`] to set one.
+pub fn frame(opcode: Opcode, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    frame_at(VERSION, opcode, request_id, payload)
+}
+
+/// A v2 QUERY frame carrying `deadline_us` (`0` = no deadline) in the
+/// header's extension bytes.
+pub fn query_frame(request_id: u64, deadline_us: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + QUERY_EXT_LEN + payload.len());
+    out.extend_from_slice(&encode_header_at(
+        VERSION,
+        Opcode::Query,
+        request_id,
+        payload.len() as u32,
+    ));
+    out.extend_from_slice(&deadline_us.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The LATE response payload: how far past its budget a submission was
+/// when the batcher triaged it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LateInfo {
+    /// Microseconds between the frame's arrival and the triage that
+    /// dropped it (saturating).
+    pub elapsed_us: u32,
+    /// The effective budget that was exceeded: the client's
+    /// `deadline_us` clamped to the server's `--default-deadline-us`
+    /// ceiling, whichever is tighter.
+    pub budget_us: u32,
+}
+
+/// Appends a LATE payload to `buf`.
+pub fn encode_late(info: LateInfo, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&info.elapsed_us.to_le_bytes());
+    buf.extend_from_slice(&info.budget_us.to_le_bytes());
+}
+
+/// Decodes a LATE payload.
+pub fn decode_late(payload: &[u8]) -> Result<LateInfo, WireError> {
+    let mut cursor = Cursor::new(payload);
+    let info = LateInfo {
+        elapsed_us: cursor.u32()?,
+        budget_us: cursor.u32()?,
+    };
+    cursor.finish()?;
+    Ok(info)
 }
 
 /// Little-endian payload reader that turns every overrun into a typed
@@ -521,13 +641,25 @@ pub struct StatsSnapshot {
     pub heap_rank_bits: u64,
     /// Everything else (k-mer C-array, marker exception list).
     pub heap_other: u64,
+    /// Submissions dropped with a LATE response: their deadline
+    /// elapsed before the batcher could execute them.
+    pub late_dropped: u64,
+    /// Response frames shed because a connection's bounded writer
+    /// queue overflowed (the connection is disconnected alongside).
+    pub writer_shed: u64,
+    /// Connections reaped by the read/idle timeout.
+    pub conns_reaped: u64,
+    /// QUERY submissions answered GOAWAY during shutdown drain.
+    pub goaway_sent: u64,
 }
 
 impl StatsSnapshot {
-    /// The snapshot's fields in wire order. The heap fields sit after
-    /// every counter precisely because the count-prefixed encoding
-    /// lets pre-v7 clients keep reading the prefix they know.
-    fn fields(&self) -> [u64; 20] {
+    /// The snapshot's fields in wire order. New counters append at the
+    /// end precisely because the count-prefixed encoding lets older
+    /// clients keep reading the prefix they know — the heap fields
+    /// (PR 7) and the robustness counters (this PR) both used that
+    /// latitude.
+    fn fields(&self) -> [u64; 24] {
         [
             self.connections,
             self.submissions_admitted,
@@ -549,6 +681,10 @@ impl StatsSnapshot {
             self.heap_sa_samples,
             self.heap_rank_bits,
             self.heap_other,
+            self.late_dropped,
+            self.writer_shed,
+            self.conns_reaped,
+            self.goaway_sent,
         ]
     }
 }
@@ -570,7 +706,7 @@ pub fn encode_stats(stats: &StatsSnapshot, buf: &mut Vec<u8>) {
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
     let mut cursor = Cursor::new(payload);
     let announced = cursor.u32()? as usize;
-    let mut fields = [0u64; 20];
+    let mut fields = [0u64; 24];
     if announced < fields.len() {
         return Err(WireError::Truncated {
             needed: fields.len() * 8,
@@ -584,7 +720,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         cursor.take(8)?;
     }
     cursor.finish()?;
-    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other] =
+    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other, late_dropped, writer_shed, conns_reaped, goaway_sent] =
         fields;
     Ok(StatsSnapshot {
         connections,
@@ -607,6 +743,10 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         heap_sa_samples,
         heap_rank_bits,
         heap_other,
+        late_dropped,
+        writer_shed,
+        conns_reaped,
+        goaway_sent,
     })
 }
 
@@ -628,10 +768,66 @@ mod tests {
     fn header_round_trips() {
         let bytes = encode_header(Opcode::Query, 0xDEAD_BEEF_0042, 96);
         let header = decode_header(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(header.version, VERSION);
         assert_eq!(header.opcode, Opcode::Query as u8);
         assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Query));
         assert_eq!(header.request_id, 0xDEAD_BEEF_0042);
         assert_eq!(header.payload_len, 96);
+        assert!(header.has_deadline_ext());
+    }
+
+    #[test]
+    fn v1_headers_decode_without_a_deadline_extension() {
+        let bytes = encode_header_at(1, Opcode::Query, 7, 12);
+        let header = decode_header(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(header.version, 1);
+        assert!(!header.has_deadline_ext());
+        // Responses never carry the extension, at either version.
+        let bytes = encode_header(Opcode::Results, 7, 12);
+        let header = decode_header(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(!header.has_deadline_ext());
+    }
+
+    #[test]
+    fn query_frame_places_the_deadline_in_the_extension_bytes() {
+        let built = query_frame(9, 1500, b"pp");
+        assert_eq!(built.len(), HEADER_LEN + QUERY_EXT_LEN + 2);
+        let header = decode_header(
+            built[..HEADER_LEN].try_into().unwrap(),
+            DEFAULT_MAX_FRAME_LEN,
+        )
+        .unwrap();
+        assert!(header.has_deadline_ext());
+        assert_eq!(header.payload_len, 2, "extension is not payload");
+        let ext: [u8; QUERY_EXT_LEN] = built[HEADER_LEN..HEADER_LEN + QUERY_EXT_LEN]
+            .try_into()
+            .unwrap();
+        assert_eq!(u32::from_le_bytes(ext), 1500);
+        assert_eq!(&built[HEADER_LEN + QUERY_EXT_LEN..], b"pp");
+        // The generic builder zeroes the extension (no deadline).
+        assert_eq!(frame(Opcode::Query, 9, b"pp")[HEADER_LEN..][..4], [0; 4]);
+        // v1 query frames carry no extension at all.
+        assert_eq!(frame_at(1, Opcode::Query, 9, b"pp").len(), HEADER_LEN + 2);
+    }
+
+    #[test]
+    fn late_info_round_trips_and_rejects_short_payloads() {
+        let info = LateInfo {
+            elapsed_us: 2_000_000,
+            budget_us: 1_000,
+        };
+        let mut payload = Vec::new();
+        encode_late(info, &mut payload);
+        assert_eq!(decode_late(&payload).unwrap(), info);
+        assert_eq!(
+            decode_late(&payload[..5]),
+            Err(WireError::Truncated { needed: 4, got: 1 })
+        );
+        payload.push(0);
+        assert_eq!(
+            decode_late(&payload),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
     }
 
     #[test]
@@ -648,6 +844,12 @@ mod tests {
         assert_eq!(
             decode_header(&bad, DEFAULT_MAX_FRAME_LEN),
             Err(WireError::BadVersion { version: 9 })
+        );
+        let mut bad = good;
+        bad[1] = 0;
+        assert_eq!(
+            decode_header(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::BadVersion { version: 0 })
         );
         assert_eq!(
             decode_header(&good, 10),
@@ -787,14 +989,18 @@ mod tests {
             heap_sa_samples: 5,
             heap_rank_bits: 3,
             heap_other: 1,
+            late_dropped: 11,
+            writer_shed: 2,
+            conns_reaped: 4,
+            goaway_sent: 6,
         };
         let mut payload = Vec::new();
         encode_stats(&stats, &mut payload);
         assert_eq!(decode_stats(&payload).unwrap(), stats);
 
-        // A newer server appending a 21st counter still decodes.
+        // A newer server appending a 25th counter still decodes.
         let mut extended = payload.clone();
-        extended[0..4].copy_from_slice(&21u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&25u32.to_le_bytes());
         extended.extend_from_slice(&999u64.to_le_bytes());
         assert_eq!(decode_stats(&extended).unwrap(), stats);
         assert!(decode_stats(&payload[..8]).is_err());

@@ -1,0 +1,555 @@
+//! Chaos loopback suite: the robustness acceptance tests of ISSUE 8.
+//!
+//! Every test here hurts the server on purpose — expired deadlines,
+//! mid-drain submissions, torn headers, truncated payloads, stalled
+//! reads, flipped bytes, unread response floods — and asserts the
+//! contract that matters: expired work answers LATE without an engine
+//! run, shutdown drains without deadlock, healthy clients stay
+//! byte-verified against direct execution throughout, v1 frames keep
+//! round-tripping, and `Server::run` returning means every thread the
+//! server spawned has been joined (a leak would hang `stop()` and fail
+//! the suite by timeout).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use exma_engine::{EngineBuilder, QueryBatch, QueryRequest};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::KStepFmIndex;
+use exma_server::wire::{self, FrameHeader, Opcode, HEADER_LEN};
+use exma_server::{FaultPlan, Server, ServerConfig, ServerHandle};
+
+/// A bound server on its own thread. `stop()` performs the graceful
+/// drain and joins — it must complete even with clients still
+/// connected, which is itself the no-deadlock assertion.
+struct TestServer {
+    handle: ServerHandle,
+    thread: thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(index: Arc<KStepFmIndex>, builder: EngineBuilder, config: ServerConfig) -> TestServer {
+        let server = Server::bind("127.0.0.1:0", index, builder, config).expect("bind loopback");
+        let handle = server.handle().expect("local addr");
+        let thread = thread::spawn(move || server.run());
+        TestServer { handle, thread }
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread").expect("serve");
+    }
+}
+
+/// A blocking test client speaking one frame at a time.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &TestServer) -> Client {
+        Client {
+            stream: TcpStream::connect(server.handle.addr()).expect("connect loopback"),
+        }
+    }
+
+    /// A v2 QUERY frame carrying `deadline_us` (0 = none).
+    fn send_query(&mut self, request_id: u64, deadline_us: u32, batch: &QueryBatch) {
+        let mut payload = Vec::new();
+        wire::encode_query_batch(batch, &mut payload).expect("encodable batch");
+        self.send_raw(&wire::query_frame(request_id, deadline_us, &payload));
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write frame");
+    }
+
+    /// Reads one frame; `None` on a server-side close.
+    fn read_frame(&mut self) -> Option<(FrameHeader, Vec<u8>)> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match self.stream.read(&mut header_bytes[filled..]) {
+                Ok(0) => return None,
+                Ok(n) => filled += n,
+                Err(_) => return None,
+            }
+        }
+        let header =
+            wire::decode_header(&header_bytes, usize::MAX).expect("server frames well-formed");
+        let mut payload = vec![0u8; header.payload_len as usize];
+        self.stream.read_exact(&mut payload).ok()?;
+        Some((header, payload))
+    }
+
+    fn stats_snapshot(&mut self, request_id: u64) -> wire::StatsSnapshot {
+        self.send_raw(&wire::frame(Opcode::Stats, request_id, &[]));
+        let (header, payload) = self.read_frame().expect("stats reply");
+        assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::StatsReply));
+        wire::decode_stats(&payload).expect("stats payload")
+    }
+}
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+/// A mixed-op batch in the property suites' style.
+fn mixed_batch(genome: &Genome, total: usize, seed: u64) -> QueryBatch {
+    let mut rng = SeededRng::new(seed);
+    let mut batch = QueryBatch::new();
+    for i in 0..total {
+        let pattern: Vec<Base> = if i % 17 == 0 {
+            Vec::new()
+        } else {
+            let len = rng.range(1, 30);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        };
+        match i % 4 {
+            0 => batch.push(QueryRequest::Count, pattern),
+            1 => batch.push(QueryRequest::locate(), pattern),
+            2 => batch.push(QueryRequest::locate_capped(rng.range(0, 8) as u32), pattern),
+            _ => batch.push(QueryRequest::Interval, pattern),
+        }
+    }
+    batch
+}
+
+/// The byte-exact RESULTS payload a direct executor run produces.
+fn expected_payload(builder: &EngineBuilder, index: &KStepFmIndex, batch: &QueryBatch) -> Vec<u8> {
+    let engine = builder.attach(index).expect("attach oracle");
+    let (results, _) = engine.run(batch);
+    let mut payload = Vec::new();
+    wire::encode_results_range(&results, 0, results.len(), &mut payload);
+    payload
+}
+
+#[test]
+fn expired_submissions_answer_late_without_an_engine_run() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    // A long linger guarantees a 1 ms budget expires inside the
+    // coalescing window — the post-linger recheck must catch it.
+    let config = ServerConfig {
+        linger: Duration::from_millis(120),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    let batch = mixed_batch(&genome, 12, 1);
+    client.send_query(1, 1_000, &batch);
+    let (header, payload) = client.read_frame().expect("late frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Late));
+    assert_eq!(header.request_id, 1);
+    let info = wire::decode_late(&payload).expect("late payload");
+    assert_eq!(info.budget_us, 1_000);
+    assert!(
+        info.elapsed_us > info.budget_us,
+        "LATE must report elapsed ({}) past budget ({})",
+        info.elapsed_us,
+        info.budget_us
+    );
+
+    // The expired submission must never have reached the engine.
+    let stats = client.stats_snapshot(2);
+    assert_eq!(stats.late_dropped, 1);
+    assert_eq!(stats.batches_run, 0, "LATE work still ran the engine");
+    assert_eq!(stats.queries_executed, 0);
+
+    // A deadline-free query on the same connection still answers
+    // byte-exactly — deadlines shed work, not connections.
+    client.send_query(3, 0, &batch);
+    let (header, payload) = client.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn server_deadline_ceiling_applies_to_deadline_free_clients() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        linger: Duration::from_millis(120),
+        default_deadline: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    // The client asked for no deadline at all; the server's ceiling
+    // still sheds it once the linger window outlives 1 ms.
+    client.send_query(1, 0, &mixed_batch(&genome, 8, 2));
+    let (header, payload) = client.read_frame().expect("late frame");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Late));
+    let info = wire::decode_late(&payload).expect("late payload");
+    assert_eq!(info.budget_us, 1_000);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn v1_frames_round_trip_and_get_v1_responses() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = TestServer::start(Arc::clone(&index), builder, ServerConfig::default());
+    let mut client = Client::connect(&server);
+
+    // A v1 QUERY frame: 16-byte header, payload immediately after —
+    // no deadline extension. The response must come back as v1 too,
+    // so a v1 client never sees bytes it cannot parse.
+    let batch = mixed_batch(&genome, 10, 3);
+    let mut payload = Vec::new();
+    wire::encode_query_batch(&batch, &mut payload).expect("encodable batch");
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&wire::encode_header_at(
+        1,
+        Opcode::Query,
+        7,
+        payload.len() as u32,
+    ));
+    frame.extend_from_slice(&payload);
+    client.send_raw(&frame);
+
+    let (header, payload) = client.read_frame().expect("results");
+    assert_eq!(
+        header.version, 1,
+        "v1 request drew a v{} response",
+        header.version
+    );
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(header.request_id, 7);
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_goaways_new_queries() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    // A long linger holds the admitted batch in flight while shutdown
+    // lands, so the drain provably finishes queued work.
+    let config = ServerConfig {
+        linger: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    let batch = mixed_batch(&genome, 25, 4);
+    client.send_query(1, 0, &batch);
+    // Let the reader admit it before the drain flag flips.
+    thread::sleep(Duration::from_millis(30));
+    server.handle.shutdown();
+    thread::sleep(Duration::from_millis(10));
+    // Anything submitted after the drain began answers GOAWAY.
+    client.send_query(2, 0, &batch);
+
+    let mut saw_results = false;
+    let mut saw_goaway = false;
+    while let Some((header, payload)) = client.read_frame() {
+        match Opcode::from_byte(header.opcode).expect("known opcode") {
+            Opcode::Results => {
+                assert_eq!(header.request_id, 1);
+                assert_eq!(
+                    payload,
+                    expected_payload(&builder, &index, &batch),
+                    "drained work diverged from direct execution"
+                );
+                saw_results = true;
+            }
+            Opcode::Goaway => {
+                assert_eq!(header.request_id, 2);
+                saw_goaway = true;
+            }
+            other => panic!("unexpected {other:?} during drain"),
+        }
+    }
+    assert!(saw_results, "in-flight batch was dropped by shutdown");
+    assert!(saw_goaway, "post-drain query was not told to go away");
+
+    // The client is still connected: run() must return anyway. This
+    // join hangs (and the test fails by timeout) if any server thread
+    // leaks — the PR 6 retained-sender deadlock regression.
+    let started = Instant::now();
+    server.thread.join().expect("server thread").expect("serve");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain took implausibly long"
+    );
+}
+
+#[test]
+fn slow_readers_are_shed_and_disconnected_not_buffered() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        linger: Duration::ZERO,
+        // One-frame writer queue: a client that doesn't read overflows
+        // it as soon as the socket's own buffer is full.
+        writer_queue_depth: 1,
+        max_frame_len: 16 << 20,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    // Each submission draws one ~800 KB RESULTS frame (twenty uncapped
+    // empty-pattern locates each resolve the whole 10 kb toy
+    // reference); forty of them total ~32 MB — far past what the
+    // kernel's socket buffers can absorb. The victim never reads: the
+    // buffers fill, the writer blocks, the one-slot queue fills, and
+    // the next route send sheds.
+    let mut victim = Client::connect(&server);
+    let heavy = QueryBatch::uniform(QueryRequest::locate(), vec![Vec::<Base>::new(); 20]);
+    for id in 0..40u64 {
+        victim.send_query(id, 0, &heavy);
+    }
+
+    // Healthy clients keep verifying byte-exactly while the victim rots.
+    let mut healthy = Client::connect(&server);
+    let batch = mixed_batch(&genome, 15, 5);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        healthy.send_query(100, 0, &batch);
+        let (header, payload) = healthy.read_frame().expect("results");
+        assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+        assert_eq!(payload, expected_payload(&builder, &index, &batch));
+        if healthy.stats_snapshot(101).writer_shed >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "writer queue never overflowed: shed path untested"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+    drop(victim); // unblocks the victim's writer thread immediately
+    drop(healthy);
+    server.stop();
+}
+
+#[test]
+fn injected_faults_never_disturb_healthy_clients() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        // Short idle timeout so stalled chaos connections are reaped
+        // within the test's lifetime.
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    thread::scope(|scope| {
+        // The control group: two healthy clients byte-verify every
+        // response while the storm rages.
+        for client_id in 0..2u64 {
+            let server = &server;
+            let genome = &genome;
+            let index = &index;
+            scope.spawn(move || {
+                let mut client = Client::connect(server);
+                for round in 0..12u64 {
+                    let batch = mixed_batch(genome, 20, client_id * 100 + round);
+                    let id = (client_id << 32) | round;
+                    client.send_query(id, 0, &batch);
+                    let (header, payload) = client.read_frame().expect("response");
+                    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+                    assert_eq!(header.request_id, id);
+                    assert_eq!(
+                        payload,
+                        expected_payload(&builder, index, &batch),
+                        "healthy client {client_id} diverged during the fault storm"
+                    );
+                }
+            });
+        }
+
+        // The storm: every frame sabotaged per a seeded plan, each on
+        // its own sacrificial connection. Chaos clients assert nothing
+        // about their own answers — only that the server outlives them.
+        let server_ref = &server;
+        let genome_ref = &genome;
+        scope.spawn(move || {
+            let mut plan = FaultPlan::new(1234, 1.0);
+            let mut stalled = Vec::new();
+            for i in 0..40u64 {
+                let batch = mixed_batch(genome_ref, 6, 9000 + i);
+                let mut payload = Vec::new();
+                wire::encode_query_batch(&batch, &mut payload).expect("encodable");
+                let frame = wire::query_frame(i, 0, &payload);
+                let fault = plan.decide(frame.len());
+                let mut chaos = Client::connect(server_ref);
+                let _ = chaos.stream.write_all(&fault.wire_bytes(&frame));
+                if fault.stalls() {
+                    stalled.push(chaos); // park it for the reaper
+                } else if !fault.disconnects() {
+                    // Corrupt frames may draw ERROR, RESULTS to a
+                    // different question, or a hangup; just drain one
+                    // response bounded in time, never asserting.
+                    let _ = chaos
+                        .stream
+                        .set_read_timeout(Some(Duration::from_millis(300)));
+                    let _ = chaos.read_frame();
+                }
+                // Truncate faults drop the connection here.
+            }
+            // Outlive the idle timeout so every parked connection is
+            // reaped by the server, not by this drop.
+            thread::sleep(Duration::from_millis(500));
+            for mut conn in stalled {
+                // A reaped connection reads EOF, not an answer.
+                let _ = conn
+                    .stream
+                    .set_read_timeout(Some(Duration::from_millis(300)));
+                let mut byte = [0u8; 1];
+                assert!(
+                    matches!(conn.stream.read(&mut byte), Ok(0)) || {
+                        // Allow a late RST instead of clean EOF.
+                        matches!(conn.stream.read(&mut byte), Ok(0) | Err(_))
+                    },
+                    "stalled connection was never reaped"
+                );
+            }
+        });
+    });
+
+    // The storm reaped stalls and the server is still fully coherent.
+    let mut probe = Client::connect(&server);
+    let stats = probe.stats_snapshot(999);
+    assert!(
+        stats.conns_reaped >= 1,
+        "no stalled connection was reaped: {stats:?}"
+    );
+    let batch = mixed_batch(&genome, 10, 77);
+    probe.send_query(1000, 0, &batch);
+    let (header, payload) = probe.read_frame().expect("post-storm results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(probe);
+    // stop() joins every thread: a leaked connection thread from any
+    // injected fault would hang the drain and fail the suite.
+    server.stop();
+}
+
+#[test]
+fn partial_writes_and_short_reads_hit_typed_wire_errors() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(250)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    // A header split across three TCP segments with pauses between
+    // them must reassemble into a normal byte-exact response — the
+    // poll-read path cannot mistake a slow segment for a torn frame.
+    let mut client = Client::connect(&server);
+    let batch = mixed_batch(&genome, 10, 6);
+    let mut payload = Vec::new();
+    wire::encode_query_batch(&batch, &mut payload).expect("encodable");
+    let frame = wire::query_frame(5, 0, &payload);
+    for chunk in [&frame[..4], &frame[4..9], &frame[9..]] {
+        client.send_raw(chunk);
+        client.stream.flush().expect("flush");
+        thread::sleep(Duration::from_millis(40));
+    }
+    let (header, got) = client.read_frame().expect("reassembled results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(got, expected_payload(&builder, &index, &batch));
+    drop(client);
+
+    // payload_len larger than the stream ever delivers: the reader
+    // waits, the idle timeout reaps, the client sees EOF — and the
+    // reap is counted.
+    let mut short = Client::connect(&server);
+    short.send_raw(&wire::encode_header(Opcode::Stats, 8, 64));
+    short.send_raw(&[0u8; 10]); // 54 promised bytes never arrive
+    let mut byte = [0u8; 1];
+    let _ = short.stream.set_read_timeout(Some(Duration::from_secs(5)));
+    assert!(
+        matches!(short.stream.read(&mut byte), Ok(0) | Err(_)),
+        "short-read connection was answered instead of reaped"
+    );
+    drop(short);
+
+    // A header truncated by a hangup (partial write then close) kills
+    // only that connection.
+    let mut torn = Client::connect(&server);
+    torn.send_raw(&wire::encode_header(Opcode::Query, 9, 4)[..7]);
+    drop(torn);
+
+    let mut probe = Client::connect(&server);
+    let stats = probe.stats_snapshot(999);
+    assert!(stats.conns_reaped >= 1, "short read was not reaped");
+    probe.send_query(10, 0, &batch);
+    let (header, got) = probe.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(got, expected_payload(&builder, &index, &batch));
+    drop(probe);
+    server.stop();
+}
+
+#[test]
+fn busy_storm_answers_every_frame_and_recovers() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        queue_depth: 1,
+        linger: Duration::ZERO,
+        max_frame_len: 16 << 20,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+    let mut client = Client::connect(&server);
+
+    // A burst far past the 1-slot queue: every frame must draw either
+    // RESULTS or BUSY — nothing dropped silently, no disconnect.
+    let slow = QueryBatch::uniform(QueryRequest::locate(), vec![Vec::<Base>::new(); 40]);
+    let quick = QueryBatch::new().count(genome.seq().slice(0, 8));
+    client.send_query(0, 0, &slow);
+    for id in 1..=20u64 {
+        client.send_query(id, 0, &quick);
+    }
+    let mut answered = 0;
+    let mut busy = 0;
+    for _ in 0..21 {
+        let (header, _) = client.read_frame().expect("an answer per frame");
+        match Opcode::from_byte(header.opcode).expect("known opcode") {
+            Opcode::Results => answered += 1,
+            Opcode::Busy => busy += 1,
+            other => panic!("unexpected {other:?} in a BUSY storm"),
+        }
+    }
+    assert!(busy >= 1, "the storm never tripped backpressure");
+    assert_eq!(answered + busy, 21);
+
+    // After the storm the same connection serves normally.
+    let batch = mixed_batch(&genome, 10, 8);
+    client.send_query(100, 0, &batch);
+    let (header, payload) = client.read_frame().expect("post-storm results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(client);
+    server.stop();
+}
