@@ -17,9 +17,13 @@
 //! every schedule and thread-count variant.
 
 use std::fmt;
+use std::path::Path;
 
 use exma_genome::Symbol;
-use exma_index::{DeltaWidth, FmIndex, IndexError, KStepBuildConfig, KStepFmIndex, ResolveConfig};
+use exma_index::{
+    load_snapshot_expecting, write_snapshot, DeltaWidth, FmIndex, IndexError, KStepBuildConfig,
+    KStepFmIndex, ResolveConfig, SnapshotError,
+};
 
 use crate::batch::{BatchConfig, BatchEngine};
 use crate::exec::Executor;
@@ -74,6 +78,10 @@ pub enum EngineError {
     /// large for `u32` counters, a delta counter saturating before its
     /// superblock boundary, or an unprovable superblock span.
     Index(IndexError),
+    /// The snapshot layer rejected a persisted index: corruption,
+    /// truncation, a stale format, a recipe mismatch, or plain I/O —
+    /// see [`SnapshotError`] for the verification contract.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for EngineError {
@@ -99,6 +107,7 @@ impl fmt::Display for EngineError {
                 write!(f, "only the sequential k=1 recipe runs on a bare FmIndex")
             }
             EngineError::Index(e) => write!(f, "{e}"),
+            EngineError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -107,6 +116,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Index(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -115,6 +125,12 @@ impl std::error::Error for EngineError {
 impl From<IndexError> for EngineError {
     fn from(e: IndexError) -> EngineError {
         EngineError::Index(e)
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> EngineError {
+        EngineError::Snapshot(e)
     }
 }
 
@@ -479,6 +495,45 @@ impl EngineBuilder {
             text,
             self.build_config()?,
         )?)
+    }
+
+    /// Persists `index` to `path` as a crash-safe, checksummed snapshot
+    /// (see [`exma_index::snapshot`]), first checking that the index was
+    /// built with exactly this recipe's layout — a snapshot must always
+    /// load back under the descriptor that wrote it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] with
+    /// [`SnapshotError::LayoutMismatch`] when `index` does not match
+    /// this recipe, or [`SnapshotError::Io`] when the write fails;
+    /// recipe-validation errors as for [`EngineBuilder::build_index`].
+    pub fn snapshot_to(&self, index: &KStepFmIndex, path: &Path) -> Result<(), EngineError> {
+        let expected = self.build_config()?;
+        let found = index.build_config();
+        if expected != found {
+            return Err(EngineError::Snapshot(SnapshotError::LayoutMismatch {
+                expected,
+                found,
+            }));
+        }
+        Ok(write_snapshot(index, path)?)
+    }
+
+    /// Loads the snapshot at `path`, fully verifying checksums and
+    /// structure *and* that its embedded recipe equals this builder's —
+    /// the warm-start path. The returned index is exactly what
+    /// [`EngineBuilder::build_index`] would have produced, ready for
+    /// [`EngineBuilder::attach`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] for any verification failure (the
+    /// caller's cue to fall back to a cold build);
+    /// recipe-validation errors as for [`EngineBuilder::build_index`].
+    pub fn attach_from_snapshot(&self, path: &Path) -> Result<KStepFmIndex, EngineError> {
+        let expected = self.build_config()?;
+        Ok(load_snapshot_expecting(path, Some(&expected))?)
     }
 
     /// Wires an executor onto `index` — sequential, serial lockstep, or

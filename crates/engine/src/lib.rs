@@ -66,6 +66,6 @@ pub use builder::{EngineBuilder, EngineError, IndexLayout};
 pub use exec::Executor;
 // The layout vocabulary an `IndexLayout` is written in, so engine users
 // need not depend on `exma_index` directly.
-pub use exma_index::{DeltaWidth, HeapBreakdown, IndexError};
+pub use exma_index::{DeltaWidth, HeapBreakdown, IndexError, SnapshotError};
 pub use query::{QueryArena, QueryBatch, QueryOutput, QueryRequest, QueryResults};
 pub use shard::ShardedEngine;

@@ -1,0 +1,173 @@
+//! Acceptance properties of snapshot persistence at the engine surface:
+//! for every `IndexLayout` preset and every delta width (u8/u16/u32
+//! across superblock spacings), an index written with
+//! `EngineBuilder::snapshot_to` and reloaded with
+//! `attach_from_snapshot` must be *equal* to the freshly built one —
+//! same build recipe, same heap attribution, and byte-identical
+//! `Executor` results on 600 random mixed queries — and a snapshot must
+//! only ever load under the recipe that wrote it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use exma_engine::{
+    DeltaWidth, EngineBuilder, EngineError, IndexLayout, QueryBatch, QueryRequest, SnapshotError,
+};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+
+fn toy_genome() -> Genome {
+    Genome::synthesize(&GenomeProfile::toy(), 42)
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "exma_engine_snapshot_{}_{}_{tag}.exma",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    path
+}
+
+/// The layout matrix under test: the three named presets, plus one
+/// explicit recipe per delta width exercising non-default superblock
+/// spacings (u8 needs a provably narrow span; u32 is the flat layout).
+fn layout_matrix() -> Vec<(&'static str, IndexLayout)> {
+    vec![
+        ("default", IndexLayout::new()),
+        ("compact", IndexLayout::compact()),
+        ("fast", IndexLayout::fast()),
+        (
+            "u8_sb2",
+            IndexLayout::new()
+                .delta_width(DeltaWidth::U8)
+                .k_occ_sample_rate(64)
+                .superblock_rate(2),
+        ),
+        (
+            "u16_sb32",
+            IndexLayout::new()
+                .delta_width(DeltaWidth::U16)
+                .k_occ_sample_rate(128)
+                .superblock_rate(32),
+        ),
+        (
+            "u32_flat",
+            IndexLayout::new()
+                .delta_width(DeltaWidth::U32)
+                .k_occ_sample_rate(96),
+        ),
+    ]
+}
+
+/// The loopback suites' mixed workload: counts, (capped) locates and
+/// interval requests over hit/miss/empty/short-repeat patterns.
+fn mixed_batch(genome: &Genome, total: usize, seed: u64) -> QueryBatch {
+    let mut rng = SeededRng::new(seed);
+    let mut batch = QueryBatch::new();
+    for i in 0..total {
+        let pattern: Vec<Base> = if i % 101 == 0 {
+            Vec::new()
+        } else {
+            let len = if i % 13 == 0 {
+                rng.range(1, 4)
+            } else {
+                rng.range(1, 40)
+            };
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        };
+        match i % 5 {
+            0 => batch.push(QueryRequest::Count, pattern),
+            1 => batch.push(QueryRequest::locate(), pattern),
+            2 => batch.push(QueryRequest::locate_capped(rng.range(0, 6) as u32), pattern),
+            3 => batch.push(QueryRequest::Interval, pattern),
+            _ => batch.push(QueryRequest::locate_capped(1000), pattern),
+        }
+    }
+    batch
+}
+
+#[test]
+fn round_trip_is_executor_identical_across_every_layout_and_width() {
+    let genome = toy_genome();
+    let text = genome.text_with_sentinel();
+    let batch = mixed_batch(&genome, 600, 227);
+
+    for (name, layout) in layout_matrix() {
+        for k in [2usize, 4] {
+            let builder = EngineBuilder::new().k(k).layout(layout);
+            let fresh = builder.build_index(&text).unwrap();
+            let path = temp_path(name);
+            builder.snapshot_to(&fresh, &path).unwrap();
+            let loaded = builder.attach_from_snapshot(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+
+            // Structural equality: recipe, tables, and allocation-exact
+            // heap attribution (what STATS publishes at bind).
+            assert_eq!(loaded.build_config(), fresh.build_config(), "{name} k={k}");
+            assert_eq!(
+                loaded.heap_breakdown(),
+                fresh.heap_breakdown(),
+                "{name} k={k}"
+            );
+            assert_eq!(loaded, fresh, "{name} k={k}");
+
+            // Behavioral equality: byte-identical executor results on
+            // the mixed workload, through the same descriptor.
+            let (expected, _) = builder.attach(&fresh).unwrap().run(&batch);
+            let (results, _) = builder.attach(&loaded).unwrap().run(&batch);
+            assert_eq!(results, expected, "{name} k={k} ({})", builder.descriptor());
+        }
+    }
+}
+
+#[test]
+fn a_snapshot_only_loads_under_the_recipe_that_wrote_it() {
+    let text = toy_genome().text_with_sentinel();
+    let writer = EngineBuilder::new().k(4).layout(IndexLayout::compact());
+    let index = writer.build_index(&text).unwrap();
+    let path = temp_path("recipe_gate");
+    writer.snapshot_to(&index, &path).unwrap();
+
+    // Every differently-shaped reader is rejected with the typed
+    // mismatch — wrong k, wrong preset, wrong width.
+    for reader in [
+        EngineBuilder::new().k(2).layout(IndexLayout::compact()),
+        EngineBuilder::new().k(4),
+        EngineBuilder::new().k(4).layout(IndexLayout::fast()),
+        EngineBuilder::new()
+            .k(4)
+            .layout(IndexLayout::compact().sa_sample_rate(8)),
+    ] {
+        match reader.attach_from_snapshot(&path) {
+            Err(EngineError::Snapshot(SnapshotError::LayoutMismatch { expected, found })) => {
+                assert_eq!(expected, reader.build_config().unwrap());
+                assert_eq!(found, writer.build_config().unwrap());
+            }
+            other => panic!("{}: {other:?}", reader.descriptor()),
+        }
+    }
+    // The writing recipe still loads.
+    assert_eq!(writer.attach_from_snapshot(&path).unwrap(), index);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshot_to_rejects_an_index_built_elsewhere() {
+    let text = toy_genome().text_with_sentinel();
+    let index = EngineBuilder::new().k(2).build_index(&text).unwrap();
+    let stranger = EngineBuilder::new().k(2).layout(IndexLayout::compact());
+    let path = temp_path("foreign_index");
+    match stranger.snapshot_to(&index, &path) {
+        Err(EngineError::Snapshot(SnapshotError::LayoutMismatch { .. })) => {}
+        other => panic!("foreign index accepted: {other:?}"),
+    }
+    assert!(!path.exists(), "rejected snapshot must not touch the disk");
+}

@@ -230,6 +230,42 @@ impl KStepFmIndex {
         KStepFmIndex::from_text(&genome.text_with_sentinel(), k)
     }
 
+    /// Reassembles the index from snapshot-verified parts; the loader
+    /// has already proven the components mutually consistent.
+    pub(crate) fn from_parts(
+        k: usize,
+        base: FmIndex,
+        kstarts: Vec<u32>,
+        kocc: KmerOccTable,
+    ) -> KStepFmIndex {
+        KStepFmIndex {
+            k,
+            base,
+            kstarts,
+            kocc,
+        }
+    }
+
+    /// The expanded-alphabet C-array, for snapshot serialization.
+    pub(crate) fn kstart_slice(&self) -> &[u32] {
+        &self.kstarts
+    }
+
+    /// The build recipe this index was constructed with, recovered from
+    /// its components. This is the layout-compatibility value snapshots
+    /// embed: two indexes built from the same text agree byte-for-byte
+    /// exactly when their recovered configs are equal.
+    pub fn build_config(&self) -> KStepBuildConfig {
+        KStepBuildConfig {
+            k: self.k,
+            occ_sample_rate: self.base.occ().sample_rate(),
+            sa_sample_rate: self.base.sampled_sa().sample_rate(),
+            k_occ_sample_rate: self.kocc.sample_rate(),
+            delta_width: self.kocc.delta_width(),
+            superblock_rate: self.kocc.superblock_rate(),
+        }
+    }
+
     /// Symbols consumed per LF refinement.
     pub fn k(&self) -> usize {
         self.k

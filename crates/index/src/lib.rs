@@ -32,6 +32,7 @@ pub mod naive;
 pub mod occ;
 pub mod resolve;
 pub mod sampled_sa;
+pub mod snapshot;
 
 pub use fm::{FmBuildConfig, FmIndex};
 pub use kocc::KmerOccTable;
@@ -43,3 +44,7 @@ pub use resolve::{
     DEFAULT_RESOLVE_PREFETCH_DISTANCE, UNCAPPED,
 };
 pub use sampled_sa::{RankBits, SampledSuffixArray};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot, load_snapshot_expecting, write_snapshot,
+    SnapshotError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};

@@ -112,6 +112,26 @@ impl RankBits {
         prefetch_element(&self.prefix, i / 64);
     }
 
+    /// Rebuilds the bitset from its raw words, recomputing the prefix
+    /// counts exactly as [`RankBits::from_fn`] does — the snapshot load
+    /// path. The caller validates that `words` covers `len` bits and
+    /// that no padding bit past `len` is set.
+    pub(crate) fn from_words(words: Vec<u64>, len: usize) -> RankBits {
+        let mut prefix = Vec::with_capacity(words.len());
+        let mut sum = 0u32;
+        for &w in &words {
+            prefix.push(sum);
+            sum += w.count_ones();
+        }
+        RankBits { words, prefix, len }
+    }
+
+    /// The raw mark words (bit `i` of the set lives at word `i / 64`,
+    /// bit `i % 64`), for snapshot serialization.
+    pub(crate) fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Heap bytes used.
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * 8 + self.prefix.capacity() * 4
@@ -189,6 +209,33 @@ impl SampledSuffixArray {
     /// Number of rows actually stored.
     pub fn stored(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Reassembles the structure from snapshot-verified parts. The
+    /// caller (the snapshot loader) has already validated that the
+    /// sample count equals the number of marked rows and that every
+    /// sample is a `sample_rate`-aligned in-range text position.
+    pub(crate) fn from_parts(
+        marks: RankBits,
+        samples: Vec<u32>,
+        sample_rate: usize,
+    ) -> SampledSuffixArray {
+        assert!(sample_rate > 0, "sample rate must be positive");
+        SampledSuffixArray {
+            marks,
+            samples,
+            sample_rate,
+        }
+    }
+
+    /// The mark bitset, for snapshot serialization.
+    pub(crate) fn marks(&self) -> &RankBits {
+        &self.marks
+    }
+
+    /// The stored SA values in row order, for snapshot serialization.
+    pub(crate) fn sample_slice(&self) -> &[u32] {
+        &self.samples
     }
 
     /// Heap bytes attributed to SA samples vs the rank-bits marks.

@@ -1,0 +1,749 @@
+//! Crash-safe, checksummed snapshots of a built [`KStepFmIndex`].
+//!
+//! Rebuilding an FM-index costs a suffix-array construction — the bulk
+//! of a server's startup on real genomes — while everything the suffix
+//! array *produced* is linear to re-derive. A snapshot therefore
+//! persists the four text-derived components the index cannot cheaply
+//! recover (the BWT symbol stream, the k-BWT code stream, the sampled
+//! suffix array, and the expanded-alphabet C-array) together with the
+//! full build recipe, and a load replays the deterministic linear
+//! constructors over them. That buys three guarantees for free: every
+//! structural invariant holds because the ordinary constructors enforce
+//! it, the 64-byte [`AlignedWords`](crate::interleave::AlignedWords)
+//! alignment is preserved because the same allocator path produces it,
+//! and the reloaded index is *equal* to a cold build — byte-identical
+//! query results and an allocation-exact
+//! [`HeapBreakdown`](crate::HeapBreakdown).
+//!
+//! # On-disk format (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"EXMASNAP"
+//!      8     4  format version (= 1)
+//!     12     4  k
+//!     16     4  occ_sample_rate
+//!     20     4  sa_sample_rate
+//!     24     4  k_occ_sample_rate
+//!     28     4  delta width code (0 = u8, 1 = u16, 2 = u32)
+//!     32     4  superblock_rate
+//!     36     8  text length n (sentinel included)
+//!     44     4  section count (= 4)
+//!     48     …  4 sections, each:
+//!                 tag u32 | payload length u64 | payload CRC32 | payload
+//!      …     4  whole-file CRC32 over every preceding byte
+//! ```
+//!
+//! Sections, in order: `1` BWT (n one-byte symbol codes), `2` k-BWT
+//! codes (n u16 k-mer codes), `3` sampled suffix array (sample count
+//! u64, then `⌈n/64⌉` mark words, then the u32 samples), `4` the
+//! expanded C-array (`4^k` u32 bucket starts).
+//!
+//! # Verification before construction
+//!
+//! A load verifies *everything* before building anything: magic,
+//! version, recipe sanity, structural bounds, every section checksum,
+//! the whole-file checksum (which covers the header and section
+//! framing), and finally the semantic range/consistency of each decoded
+//! payload. Every failure is a typed [`SnapshotError`]; a corrupted
+//! file can never panic the loader and never yields an index. The
+//! checksums are the corruption defense — a file that collides CRC32 on
+//! every region it mutated is outside the threat model (that is an
+//! adversarially *crafted* file, not a corrupted one), and even then
+//! the semantic validation keeps every table access in bounds.
+//!
+//! # Crash-safe writes
+//!
+//! [`write_snapshot`] writes the full image to `path.tmp`, fsyncs it,
+//! atomically renames it over `path`, and fsyncs the directory: a crash
+//! at any point leaves either the old snapshot or the new one, never a
+//! torn file at `path`. A torn `path.tmp` that somehow gets renamed by
+//! hand is still caught by the length and checksum verification above.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use exma_genome::{count_table, Symbol};
+
+use crate::fm::FmIndex;
+use crate::kocc::KmerOccTable;
+use crate::kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};
+use crate::layout::DeltaWidth;
+use crate::occ::OccTable;
+use crate::sampled_sa::{RankBits, SampledSuffixArray};
+
+/// The leading eight bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EXMASNAP";
+
+/// The on-disk format version this build writes and reads.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 48;
+const SECTION_HEADER_LEN: usize = 16;
+const SECTION_COUNT: usize = 4;
+const SECTION_NAMES: [&str; SECTION_COUNT] = ["bwt", "k-codes", "sampled-sa", "k-starts"];
+
+/// Why a snapshot could not be written or loaded. Every load-side
+/// failure is typed and total: corrupted input yields an error, never a
+/// panic and never an index.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is not the one this build reads.
+    VersionMismatch { found: u32, supported: u32 },
+    /// A CRC32 did not match: `section` names the covered region
+    /// (a payload section, or `"file"` for the whole-file trailer).
+    ChecksumMismatch { section: &'static str },
+    /// The file ends before the bytes its own framing promises.
+    Truncated { needed: u64, len: u64 },
+    /// The snapshot's build recipe differs from the one the caller
+    /// requires (e.g. the serving builder's layout).
+    LayoutMismatch {
+        expected: KStepBuildConfig,
+        found: KStepBuildConfig,
+    },
+    /// A checksum-valid region decoded to a semantically impossible
+    /// value; `field` names it.
+    Malformed { field: &'static str },
+    /// The underlying filesystem operation failed.
+    Io { kind: io::ErrorKind },
+}
+
+fn write_config(f: &mut fmt::Formatter<'_>, c: &KStepBuildConfig) -> fmt::Result {
+    write!(
+        f,
+        "k{}_occ{}_sa{}_kocc{}_{}_sb{}",
+        c.k,
+        c.occ_sample_rate,
+        c.sa_sample_rate,
+        c.k_occ_sample_rate,
+        c.delta_width,
+        c.superblock_rate
+    )
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an EXMA index snapshot (bad magic)"),
+            SnapshotError::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format v{found} is not readable by this build (supports v{supported})"
+            ),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in snapshot {section} region")
+            }
+            SnapshotError::Truncated { needed, len } => {
+                write!(f, "snapshot truncated: needs {needed} bytes, has {len}")
+            }
+            SnapshotError::LayoutMismatch { expected, found } => {
+                write!(f, "snapshot layout mismatch: expected ")?;
+                write_config(f, expected)?;
+                write!(f, ", found ")?;
+                write_config(f, found)
+            }
+            SnapshotError::Malformed { field } => {
+                write!(f, "malformed snapshot: invalid {field}")
+            }
+            SnapshotError::Io { kind } => write!(f, "snapshot I/O error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        SnapshotError::Io { kind: e.kind() }
+    }
+}
+
+/// CRC32 (IEEE 802.3), table-driven; the table is const-evaluated so
+/// the implementation stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC32 checksum guarding every snapshot region.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn delta_width_code(width: DeltaWidth) -> u32 {
+    match width {
+        DeltaWidth::U8 => 0,
+        DeltaWidth::U16 => 1,
+        DeltaWidth::U32 => 2,
+    }
+}
+
+fn delta_width_from_code(code: u32) -> Option<DeltaWidth> {
+    match code {
+        0 => Some(DeltaWidth::U8),
+        1 => Some(DeltaWidth::U16),
+        2 => Some(DeltaWidth::U32),
+        _ => None,
+    }
+}
+
+fn u32_at(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+fn need(bytes: &[u8], needed: usize) -> Result<(), SnapshotError> {
+    if bytes.len() < needed {
+        return Err(SnapshotError::Truncated {
+            needed: needed as u64,
+            len: bytes.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+fn malformed(field: &'static str) -> SnapshotError {
+    SnapshotError::Malformed { field }
+}
+
+/// Serializes `index` into the version-1 snapshot image, checksums
+/// included — the pure counterpart of [`write_snapshot`].
+pub fn encode_snapshot(index: &KStepFmIndex) -> Vec<u8> {
+    let config = index.build_config();
+    let n = index.text_len();
+    let stride = 1usize << (2 * config.k);
+    let occ = index.base_index().occ();
+    let kocc = index.kmer_occ();
+    let ssa = index.base_index().sampled_sa();
+
+    // Section payloads: the canonical linear inputs the constructors
+    // replay on load.
+    let mut bwt = Vec::with_capacity(n);
+    for i in 0..n {
+        bwt.push(occ.symbol(i).code());
+    }
+    let mut kcodes = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        kcodes.extend_from_slice(&kocc.code(i).to_le_bytes());
+    }
+    let words = ssa.marks().word_slice();
+    let samples = ssa.sample_slice();
+    let mut ssa_payload = Vec::with_capacity(8 + 8 * words.len() + 4 * samples.len());
+    ssa_payload.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+    for &w in words {
+        ssa_payload.extend_from_slice(&w.to_le_bytes());
+    }
+    for &s in samples {
+        ssa_payload.extend_from_slice(&s.to_le_bytes());
+    }
+    let mut kstarts = Vec::with_capacity(4 * stride);
+    for &start in index.kstart_slice() {
+        kstarts.extend_from_slice(&start.to_le_bytes());
+    }
+
+    let sections = [bwt, kcodes, ssa_payload, kstarts];
+    let total = HEADER_LEN
+        + sections
+            .iter()
+            .map(|s| SECTION_HEADER_LEN + s.len())
+            .sum::<usize>()
+        + 4;
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(config.k as u32).to_le_bytes());
+    out.extend_from_slice(&(config.occ_sample_rate as u32).to_le_bytes());
+    out.extend_from_slice(&(config.sa_sample_rate as u32).to_le_bytes());
+    out.extend_from_slice(&(config.k_occ_sample_rate as u32).to_le_bytes());
+    out.extend_from_slice(&delta_width_code(config.delta_width).to_le_bytes());
+    out.extend_from_slice(&(config.superblock_rate as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    for (i, payload) in sections.iter().enumerate() {
+        out.extend_from_slice(&(i as u32 + 1).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let file_crc = crc32(&out);
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    out
+}
+
+/// Writes `index` to `path` crash-safely: full image to `path.tmp`,
+/// fsync, atomic rename over `path`, directory fsync. A crash at any
+/// point leaves either the previous snapshot or the complete new one.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] if any filesystem step fails; the partial
+/// `path.tmp` is best-effort removed on failure.
+pub fn write_snapshot(index: &KStepFmIndex, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = encode_snapshot(index);
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let result = (|| -> io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        // The rename is only durable once the directory entry is.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result.map_err(SnapshotError::from)
+}
+
+/// Loads and fully verifies the snapshot at `path`.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`]; see [`decode_snapshot`] for the verification
+/// contract.
+pub fn load_snapshot(path: &Path) -> Result<KStepFmIndex, SnapshotError> {
+    load_snapshot_expecting(path, None)
+}
+
+/// [`load_snapshot`], additionally requiring the snapshot's embedded
+/// build recipe to equal `expected` — the warm-start compatibility
+/// check, performed on the header before any payload work.
+pub fn load_snapshot_expecting(
+    path: &Path,
+    expected: Option<&KStepBuildConfig>,
+) -> Result<KStepFmIndex, SnapshotError> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes, expected)
+}
+
+/// Decodes a snapshot image, verifying everything before constructing
+/// anything: magic, version, recipe sanity, structural bounds, the four
+/// section checksums, the whole-file checksum, and the semantic
+/// consistency of every decoded payload. Returns a typed error — never
+/// panics, never yields a partially-verified index.
+pub fn decode_snapshot(
+    bytes: &[u8],
+    expected: Option<&KStepBuildConfig>,
+) -> Result<KStepFmIndex, SnapshotError> {
+    need(bytes, 8)?;
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    need(bytes, 12)?;
+    let version = u32_at(bytes, 8);
+    if version != SNAPSHOT_FORMAT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found: version,
+            supported: SNAPSHOT_FORMAT_VERSION,
+        });
+    }
+    need(bytes, HEADER_LEN)?;
+    let k = u32_at(bytes, 12) as usize;
+    let occ_rate = u32_at(bytes, 16) as usize;
+    let sa_rate = u32_at(bytes, 20) as usize;
+    let kocc_rate = u32_at(bytes, 24) as usize;
+    let width_code = u32_at(bytes, 28);
+    let superblock_rate = u32_at(bytes, 32) as usize;
+    let text_len = u64_at(bytes, 36);
+    let section_count = u32_at(bytes, 44) as usize;
+
+    if !(1..=MAX_STEP).contains(&k) {
+        return Err(malformed("step width k"));
+    }
+    let delta_width = delta_width_from_code(width_code).ok_or(malformed("delta width code"))?;
+    if occ_rate == 0 || sa_rate == 0 || kocc_rate == 0 || superblock_rate == 0 {
+        return Err(malformed("zero sample rate"));
+    }
+    if text_len == 0 || text_len >= u64::from(u32::MAX) {
+        return Err(malformed("text length"));
+    }
+    if section_count != SECTION_COUNT {
+        return Err(malformed("section count"));
+    }
+    if !delta_width.is_absolute() && occ_rate.saturating_mul(superblock_rate) > u16::MAX as usize {
+        return Err(malformed("occ superblock span"));
+    }
+    let config = KStepBuildConfig {
+        k,
+        occ_sample_rate: occ_rate,
+        sa_sample_rate: sa_rate,
+        k_occ_sample_rate: kocc_rate,
+        delta_width,
+        superblock_rate,
+    };
+    if let Some(expected) = expected {
+        if *expected != config {
+            return Err(SnapshotError::LayoutMismatch {
+                expected: *expected,
+                found: config,
+            });
+        }
+    }
+
+    let n = text_len as usize;
+    let stride = 1usize << (2 * k);
+
+    // Structural walk: every section header and payload must lie within
+    // the buffer, in tag order, with exactly the 4-byte file checksum
+    // after the last.
+    let mut offset = HEADER_LEN;
+    let mut sections: [(usize, usize); SECTION_COUNT] = [(0, 0); SECTION_COUNT];
+    let mut section_crcs = [0u32; SECTION_COUNT];
+    for (i, span) in sections.iter_mut().enumerate() {
+        need(bytes, offset + SECTION_HEADER_LEN)?;
+        let tag = u32_at(bytes, offset) as usize;
+        let payload_len = u64_at(bytes, offset + 4);
+        section_crcs[i] = u32_at(bytes, offset + 12);
+        if tag != i + 1 {
+            return Err(malformed("section tag"));
+        }
+        let payload_len = usize::try_from(payload_len).map_err(|_| SnapshotError::Truncated {
+            needed: u64::MAX,
+            len: bytes.len() as u64,
+        })?;
+        let start = offset + SECTION_HEADER_LEN;
+        let end = start
+            .checked_add(payload_len)
+            .ok_or(SnapshotError::Truncated {
+                needed: u64::MAX,
+                len: bytes.len() as u64,
+            })?;
+        need(bytes, end)?;
+        *span = (start, end);
+        offset = end;
+    }
+    match bytes.len().cmp(&(offset + 4)) {
+        std::cmp::Ordering::Less => {
+            return Err(SnapshotError::Truncated {
+                needed: (offset + 4) as u64,
+                len: bytes.len() as u64,
+            })
+        }
+        std::cmp::Ordering::Greater => return Err(malformed("file length")),
+        std::cmp::Ordering::Equal => {}
+    }
+
+    // Integrity: each section's own checksum, then the whole-file
+    // checksum (which also covers the header and section framing — a
+    // flipped sample rate must never silently rebuild a different
+    // index).
+    for (i, &(start, end)) in sections.iter().enumerate() {
+        if crc32(&bytes[start..end]) != section_crcs[i] {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: SECTION_NAMES[i],
+            });
+        }
+    }
+    if crc32(&bytes[..offset]) != u32_at(bytes, offset) {
+        return Err(SnapshotError::ChecksumMismatch { section: "file" });
+    }
+
+    // Semantic decode, every value range-checked before any constructor
+    // that could assert sees it.
+    let (bwt_start, bwt_end) = sections[0];
+    if bwt_end - bwt_start != n {
+        return Err(malformed("bwt length"));
+    }
+    let mut bwt = Vec::with_capacity(n);
+    for &b in &bytes[bwt_start..bwt_end] {
+        if b > 4 {
+            return Err(malformed("bwt symbol code"));
+        }
+        bwt.push(Symbol::from_code(b));
+    }
+
+    let (kc_start, kc_end) = sections[1];
+    if kc_end - kc_start != 2 * n {
+        return Err(malformed("k-codes length"));
+    }
+    let mut codes = Vec::with_capacity(n);
+    for pair in bytes[kc_start..kc_end].chunks_exact(2) {
+        let c = u16::from_le_bytes([pair[0], pair[1]]);
+        if usize::from(c) > stride {
+            return Err(malformed("k-mer code"));
+        }
+        codes.push(c);
+    }
+
+    let (ssa_start, ssa_end) = sections[2];
+    let word_count = n.div_ceil(64);
+    if ssa_end - ssa_start < 8 {
+        return Err(malformed("sampled-sa length"));
+    }
+    let sample_count = u64_at(bytes, ssa_start);
+    let sample_count = usize::try_from(sample_count).map_err(|_| malformed("sample count"))?;
+    if ssa_end - ssa_start != 8 + 8 * word_count + 4 * sample_count {
+        return Err(malformed("sampled-sa length"));
+    }
+    if sample_count == 0 {
+        // Text position 0 is always 0 (mod rate), so a real index
+        // always marks at least one row; zero marks would make locate's
+        // LF walk endless.
+        return Err(malformed("sample count"));
+    }
+    let words_bytes = &bytes[ssa_start + 8..ssa_start + 8 + 8 * word_count];
+    let mut words = Vec::with_capacity(word_count);
+    for chunk in words_bytes.chunks_exact(8) {
+        words.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    if n % 64 != 0 {
+        if let Some(&last) = words.last() {
+            if last >> (n % 64) != 0 {
+                return Err(malformed("mark padding bits"));
+            }
+        }
+    }
+    let marks = RankBits::from_words(words, n);
+    if marks.rank(n) != sample_count {
+        return Err(malformed("sample count"));
+    }
+    let mut samples = Vec::with_capacity(sample_count);
+    for chunk in bytes[ssa_start + 8 + 8 * word_count..ssa_end].chunks_exact(4) {
+        let v = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        if v as usize >= n || v as usize % sa_rate != 0 {
+            return Err(malformed("suffix-array sample"));
+        }
+        samples.push(v);
+    }
+    let ssa = SampledSuffixArray::from_parts(marks, samples, sa_rate);
+
+    let (ks_start, ks_end) = sections[3];
+    if ks_end - ks_start != 4 * stride {
+        return Err(malformed("k-starts length"));
+    }
+    let mut kstarts = Vec::with_capacity(stride);
+    let mut previous = 0u32;
+    for chunk in bytes[ks_start..ks_end].chunks_exact(4) {
+        let v = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        if v < previous || v as usize > n {
+            return Err(malformed("k-starts entry"));
+        }
+        kstarts.push(v);
+        previous = v;
+    }
+
+    // Replay the cold-build constructors over the verified inputs. The
+    // recipe sanity checks above make the remaining constructor errors
+    // (delta overflow on crafted code streams) typed, not panics.
+    let occ = if delta_width.is_absolute() {
+        OccTable::new(&bwt, occ_rate)
+    } else {
+        OccTable::two_level(&bwt, occ_rate, superblock_rate).map_err(|_| malformed("occ layout"))?
+    };
+    // The BWT is a permutation of the text, so symbol frequencies — all
+    // the C-array depends on — are identical.
+    let counts = count_table(&bwt);
+    let base = FmIndex::from_parts(counts, occ, ssa);
+    let kocc = KmerOccTable::new(codes, stride, kocc_rate, delta_width, superblock_rate)
+        .map_err(|_| malformed("k-occ layout"))?;
+    // Bucket bounds: `kstart(r) + rank(r, n) <= n` keeps every interval
+    // a k-step refinement can produce inside `0..n`, so no later rank
+    // call can assert out of range even on a crafted-but-checksummed
+    // file.
+    for (r, &start) in kstarts.iter().enumerate() {
+        if start as usize + kocc.rank(r as u16, n) as usize > n {
+            return Err(malformed("k-starts bucket"));
+        }
+    }
+    Ok(KStepFmIndex::from_parts(k, base, kstarts, kocc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exma_genome::{Genome, GenomeProfile};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn toy_index(k: usize) -> KStepFmIndex {
+        let mut profile = GenomeProfile::toy();
+        profile.len = 3000;
+        let genome = Genome::synthesize(&profile, 7);
+        KStepFmIndex::from_text(&genome.text_with_sentinel(), k)
+    }
+
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "exma_snapshot_{}_{}_{tag}.exma",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        path
+    }
+
+    #[test]
+    fn round_trip_reproduces_the_index_exactly() {
+        for k in [1, 2, 4] {
+            let index = toy_index(k);
+            let bytes = encode_snapshot(&index);
+            let loaded = decode_snapshot(&bytes, None).expect("valid snapshot");
+            assert_eq!(loaded, index, "k={k}");
+            // Allocation-exact: the warm server's heap attribution must
+            // equal the cold one's, capacity for capacity.
+            assert_eq!(loaded.heap_breakdown(), index.heap_breakdown());
+            assert_eq!(loaded.build_config(), index.build_config());
+        }
+    }
+
+    #[test]
+    fn round_trip_through_the_filesystem() {
+        let index = toy_index(4);
+        let path = temp_path("fs_round_trip");
+        write_snapshot(&index, &path).expect("write");
+        // The tmp staging file never survives a successful write.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        let loaded = load_snapshot(&path).expect("load");
+        assert_eq!(loaded, index);
+        // Rewriting over an existing snapshot is the normal cold-start
+        // refresh path.
+        write_snapshot(&index, &path).expect("rewrite");
+        assert_eq!(load_snapshot(&path).expect("reload"), index);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = load_snapshot(Path::new("/nonexistent/dir/snap.exma")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_stale_version_are_typed() {
+        let bytes = encode_snapshot(&toy_index(2));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            decode_snapshot(&bad, None).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        let mut stale = bytes.clone();
+        stale[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode_snapshot(&stale, None).unwrap_err(),
+            SnapshotError::VersionMismatch {
+                found: 99,
+                supported: SNAPSHOT_FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed_and_total() {
+        let bytes = encode_snapshot(&toy_index(2));
+        for keep in [
+            0,
+            4,
+            8,
+            11,
+            20,
+            HEADER_LEN,
+            HEADER_LEN + 7,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            let err = decode_snapshot(&bytes[..keep], None).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                ),
+                "keep {keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_names_the_section() {
+        let index = toy_index(2);
+        let bytes = encode_snapshot(&index);
+        // One byte inside the first section's payload.
+        let mut corrupt = bytes.clone();
+        corrupt[HEADER_LEN + SECTION_HEADER_LEN] ^= 0x40;
+        assert_eq!(
+            decode_snapshot(&corrupt, None).unwrap_err(),
+            SnapshotError::ChecksumMismatch { section: "bwt" }
+        );
+        // A header flip that stays structurally sane (the occ sample
+        // rate) is caught by the whole-file checksum — it must never
+        // silently rebuild a differently-shaped index.
+        let mut resampled = bytes.clone();
+        resampled[16] ^= 0x01;
+        assert_eq!(
+            decode_snapshot(&resampled, None).unwrap_err(),
+            SnapshotError::ChecksumMismatch { section: "file" }
+        );
+        // Trailing garbage after the file checksum.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_snapshot(&padded, None).unwrap_err(),
+            SnapshotError::Malformed {
+                field: "file length"
+            }
+        );
+    }
+
+    #[test]
+    fn layout_mismatch_is_checked_on_the_header() {
+        let index = toy_index(4);
+        let bytes = encode_snapshot(&index);
+        let mut expected = index.build_config();
+        expected.k = 2;
+        expected.k_occ_sample_rate = 128;
+        let err = decode_snapshot(&bytes, Some(&expected)).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::LayoutMismatch {
+                expected,
+                found: index.build_config()
+            }
+        );
+        // The matching recipe loads.
+        assert!(decode_snapshot(&bytes, Some(&index.build_config())).is_ok());
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

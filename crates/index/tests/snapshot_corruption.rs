@@ -1,0 +1,195 @@
+//! Seeded corruption sweep over the snapshot loader.
+//!
+//! The robustness contract of `exma_index::snapshot`: a corrupted file
+//! can never panic the loader and never yields an index — every
+//! mutation is caught as a typed [`SnapshotError`], after which a
+//! rebuild from the text (the server's fallback path) serves results
+//! identical to a brute-force oracle. The sweep drives well over 200
+//! seeded mutations — single-bit flips, truncations at arbitrary
+//! offsets, torn tmp-style prefixes, and stale-version headers — over
+//! valid snapshot images.
+
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_index::{decode_snapshot, encode_snapshot, naive, KStepFmIndex, SnapshotError};
+
+fn toy_genome(seed: u64) -> Genome {
+    let mut profile = GenomeProfile::toy();
+    profile.len = 2500;
+    Genome::synthesize(&profile, seed)
+}
+
+/// One corruption to apply to a pristine snapshot image.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Flip one bit anywhere in the file.
+    BitFlip { offset: usize, bit: u8 },
+    /// Cut the file at an arbitrary offset — an interrupted copy.
+    Truncate { keep: usize },
+    /// A torn write: the prefix landed, the tail reads as zeros. This
+    /// is what a non-atomic writer could leave; the atomic
+    /// tmp+rename protocol never exposes it at the real path, but the
+    /// loader must still reject it if it ever appears.
+    Torn { prefix: usize },
+    /// A snapshot from a future (or garbled) format revision.
+    StaleVersion { version: u32 },
+}
+
+impl Mutation {
+    fn draw(rng: &mut SeededRng, len: usize) -> Mutation {
+        match rng.below(4) {
+            0 => Mutation::BitFlip {
+                offset: rng.below(len as u64) as usize,
+                bit: rng.below(8) as u8,
+            },
+            1 => Mutation::Truncate {
+                keep: rng.below(len as u64) as usize,
+            },
+            2 => Mutation::Torn {
+                prefix: rng.below(len as u64) as usize,
+            },
+            _ => Mutation::StaleVersion {
+                version: 2 + rng.below(1000) as u32,
+            },
+        }
+    }
+
+    /// Applies the mutation; `None` when it would be a no-op (e.g. a
+    /// torn write whose zero tail matches the original bytes).
+    fn apply(self, pristine: &[u8]) -> Option<Vec<u8>> {
+        let mut bytes = pristine.to_vec();
+        match self {
+            Mutation::BitFlip { offset, bit } => bytes[offset] ^= 1 << bit,
+            Mutation::Truncate { keep } => bytes.truncate(keep),
+            Mutation::Torn { prefix } => {
+                for b in &mut bytes[prefix..] {
+                    *b = 0;
+                }
+            }
+            Mutation::StaleVersion { version } => {
+                bytes[8..12].copy_from_slice(&version.to_le_bytes());
+            }
+        }
+        if bytes == pristine {
+            return None;
+        }
+        Some(bytes)
+    }
+}
+
+/// A handful of reference patterns whose counts the fallback index must
+/// reproduce against a brute-force scan of the genome.
+fn oracle_patterns(genome: &Genome, rng: &mut SeededRng) -> Vec<Vec<Base>> {
+    let mut patterns = Vec::new();
+    for _ in 0..4 {
+        let len = rng.range(4, 16);
+        let start = rng.below((genome.len() - len) as u64) as usize;
+        patterns.push(genome.seq().slice(start, len));
+    }
+    patterns
+}
+
+#[test]
+fn corruption_sweep_never_panics_and_never_yields_an_index() {
+    let genome = toy_genome(11);
+    let text = genome.text_with_sentinel();
+    let mut rng = SeededRng::new(0x534E_4150 ^ 9);
+
+    // Two images with different recipes so flips also hit two-level
+    // checkpoint geometry; mutations alternate between them.
+    let index_default = KStepFmIndex::from_text(&text, 4);
+    let index_k2 = KStepFmIndex::from_text(&text, 2);
+    let images = [encode_snapshot(&index_default), encode_snapshot(&index_k2)];
+    let patterns = oracle_patterns(&genome, &mut rng);
+
+    let mut rejected = 0usize;
+    let mut cases = 0usize;
+    while cases < 240 {
+        let pristine = &images[cases % 2];
+        let mutation = Mutation::draw(&mut rng, pristine.len());
+        let Some(corrupt) = mutation.apply(pristine) else {
+            continue;
+        };
+        cases += 1;
+
+        // The loader must return a typed error — any Ok here means a
+        // corrupted file produced an index, the one outcome the
+        // verification pipeline exists to make impossible.
+        let err = match decode_snapshot(&corrupt, None) {
+            Err(e) => e,
+            Ok(_) => panic!("{mutation:?} yielded an index"),
+        };
+        match err {
+            SnapshotError::BadMagic
+            | SnapshotError::VersionMismatch { .. }
+            | SnapshotError::ChecksumMismatch { .. }
+            | SnapshotError::Truncated { .. }
+            | SnapshotError::LayoutMismatch { .. }
+            | SnapshotError::Malformed { .. } => {}
+            other => panic!("{mutation:?} produced non-corruption error {other:?}"),
+        }
+        rejected += 1;
+
+        // The error Display path must also hold for every variant.
+        assert!(!err.to_string().is_empty());
+    }
+    assert_eq!(rejected, cases);
+
+    // The fallback the server takes after any rejection: rebuild from
+    // the text and serve. Verify it against the brute-force oracle.
+    let rebuilt = KStepFmIndex::from_text(&text, 4);
+    for pattern in &patterns {
+        assert_eq!(rebuilt.count(pattern), naive::count(genome.seq(), pattern));
+        let mut positions = rebuilt.locate(pattern);
+        positions.sort_unstable();
+        assert_eq!(positions, naive::occurrences(genome.seq(), pattern));
+    }
+    assert_eq!(rebuilt, index_default);
+}
+
+#[test]
+fn every_single_byte_flip_in_the_header_is_rejected() {
+    // Exhaustive over the 48-byte header: whatever byte corruption
+    // lands on — magic, version, recipe, text length, section count —
+    // the load fails typed. This is the region where a silent
+    // acceptance would be worst: a flipped recipe rebuilds a
+    // *different* index that would serve wrong-geometry answers.
+    let text = toy_genome(12).text_with_sentinel();
+    let index = KStepFmIndex::from_text(&text, 3);
+    let pristine = encode_snapshot(&index);
+    for offset in 0..48 {
+        for bit in 0..8 {
+            let mut corrupt = pristine.clone();
+            corrupt[offset] ^= 1 << bit;
+            assert!(
+                decode_snapshot(&corrupt, None).is_err(),
+                "header byte {offset} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_length_is_rejected() {
+    // Exhaustive truncation sweep on a small image: every possible cut
+    // point is a typed rejection, not a panic.
+    let mut profile = GenomeProfile::toy();
+    profile.len = 400;
+    let text = Genome::synthesize(&profile, 13).text_with_sentinel();
+    let index = KStepFmIndex::from_text(&text, 2);
+    let pristine = encode_snapshot(&index);
+    for keep in 0..pristine.len() {
+        let err = decode_snapshot(&pristine[..keep], None).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::BadMagic
+                    | SnapshotError::Malformed { .. }
+            ),
+            "keep {keep}: {err:?}"
+        );
+    }
+    // And the pristine image still loads — the sweep did not depend on
+    // a broken baseline.
+    assert_eq!(decode_snapshot(&pristine, None).unwrap(), index);
+}

@@ -159,6 +159,12 @@ pub struct ServerStats {
     pub conns_reaped: AtomicU64,
     /// QUERYs answered GOAWAY while draining for shutdown.
     pub goaway_sent: AtomicU64,
+    /// 1 when this process warm-started from a verified snapshot; set
+    /// once at startup alongside the heap fields.
+    pub snapshot_loaded: AtomicU64,
+    /// Snapshot files rejected by the verified loader at startup, each
+    /// followed by a cold rebuild; set once at startup.
+    pub snapshot_rejected: AtomicU64,
 }
 
 impl ServerStats {
@@ -209,6 +215,8 @@ impl ServerStats {
             writer_shed: self.writer_shed.load(Ordering::Relaxed),
             conns_reaped: self.conns_reaped.load(Ordering::Relaxed),
             goaway_sent: self.goaway_sent.load(Ordering::Relaxed),
+            snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
+            snapshot_rejected: self.snapshot_rejected.load(Ordering::Relaxed),
         }
     }
 

@@ -2,11 +2,14 @@
 //! serve the EXMA wire protocol.
 //!
 //! The server announces its bound address on stdout
-//! (`exma-server listening on HOST:PORT`) once the index is built, so
-//! a script can wait for readiness by reading one line. Clients that
-//! want to verify responses rebuild the identical reference from the
-//! same `--profile`/`--len`/`--seed` (synthesis is deterministic) —
-//! which is exactly what `exma-loadgen --verify` does.
+//! (`exma-server listening on HOST:PORT (cold|warm start, ...)`) once
+//! the index is ready, so a script can wait for readiness by reading
+//! one line; the suffix reports whether the index was rebuilt (cold)
+//! or loaded from a verified `--snapshot-path` snapshot (warm), and
+//! how long that took. Clients that want to verify responses rebuild
+//! the identical reference from the same `--profile`/`--len`/`--seed`
+//! (synthesis is deterministic) — which is exactly what
+//! `exma-loadgen --verify` does.
 //!
 //! SIGTERM and SIGINT trigger a graceful drain: the server stops
 //! accepting, answers new QUERYs with GOAWAY, finishes the batches
@@ -18,6 +21,7 @@
 //! cargo run --release -p exma-server -- --profile human_rel --k 4 --linger-us 500
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,6 +30,7 @@ use std::time::{Duration, Instant};
 
 use exma_engine::EngineBuilder;
 use exma_genome::{Genome, GenomeProfile};
+use exma_index::KStepFmIndex;
 use exma_server::{Server, ServerConfig, ServerHandle};
 
 const USAGE: &str = "\
@@ -56,6 +61,10 @@ OPTIONS:
     --writer-queue N      per-connection writer-queue depth in frames;
                           overflow disconnects the slow reader
                           (default: 256)
+    --snapshot-path FILE  persisted-index snapshot: load it if it
+                          verifies (warm start, skipping the rebuild);
+                          otherwise rebuild and write it crash-safely
+                          (default: none — always rebuild)
     --help                print this help
 ";
 
@@ -67,6 +76,7 @@ struct Args {
     threads: usize,
     host: String,
     port: u16,
+    snapshot_path: Option<PathBuf>,
     config: ServerConfig,
 }
 
@@ -79,6 +89,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         threads: 1,
         host: "127.0.0.1".to_string(),
         port: 7878,
+        snapshot_path: None,
         config: ServerConfig::default(),
     };
     let mut argv = argv.peekable();
@@ -111,6 +122,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             }
             "--writer-queue" => {
                 args.config.writer_queue_depth = parse_num(&value("--writer-queue")?)?
+            }
+            "--snapshot-path" => {
+                args.snapshot_path = Some(PathBuf::from(value("--snapshot-path")?))
             }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
@@ -193,21 +207,78 @@ fn run(args: &Args) -> ExitCode {
         profile.name, profile.len, args.seed
     );
     let genome = Genome::synthesize(&profile, args.seed);
-    let build_start = Instant::now();
-    let index = match builder.build_index(&genome.text_with_sentinel()) {
-        Ok(index) => Arc::new(index),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+    let text = genome.text_with_sentinel();
+
+    // Warm path: a verified snapshot skips the index rebuild entirely.
+    // Any rejection — corruption, truncation, stale version, layout or
+    // reference mismatch — falls back to a cold build, which then
+    // refreshes the snapshot crash-safely.
+    let mut snapshot_loaded = 0u64;
+    let mut snapshot_rejected = 0u64;
+    let load_start = Instant::now();
+    let mut warm: Option<KStepFmIndex> = None;
+    if let Some(path) = args.snapshot_path.as_deref().filter(|p| p.exists()) {
+        match builder.attach_from_snapshot(path) {
+            Ok(index) if index.text_len() != text.len() => {
+                eprintln!(
+                    "snapshot rejected: indexes {} symbols but the synthesized reference has {}; rebuilding",
+                    index.text_len(),
+                    text.len()
+                );
+                snapshot_rejected = 1;
+            }
+            Ok(index) => warm = Some(index),
+            Err(e) => {
+                eprintln!("snapshot rejected: {e}; rebuilding");
+                snapshot_rejected = 1;
+            }
+        }
+    }
+
+    let (index, startup) = match warm {
+        Some(index) => {
+            let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+            snapshot_loaded = 1;
+            eprintln!(
+                "loaded k={} index snapshot in {load_ms:.1} ms ({:.1} MiB), engine {}",
+                args.k,
+                index.heap_bytes() as f64 / (1024.0 * 1024.0),
+                builder.descriptor(),
+            );
+            (
+                Arc::new(index),
+                format!("(warm start, snapshot loaded in {load_ms:.1} ms)"),
+            )
+        }
+        None => {
+            let build_start = Instant::now();
+            let index = match builder.build_index(&text) {
+                Ok(index) => index,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "built k={} index in {build_ms:.1} ms ({:.1} MiB), engine {}",
+                args.k,
+                index.heap_bytes() as f64 / (1024.0 * 1024.0),
+                builder.descriptor(),
+            );
+            if let Some(path) = args.snapshot_path.as_deref() {
+                // Best-effort: a failed write must not stop serving.
+                match builder.snapshot_to(&index, path) {
+                    Ok(()) => eprintln!("wrote index snapshot to {}", path.display()),
+                    Err(e) => eprintln!("warning: cannot write snapshot: {e}"),
+                }
+            }
+            (
+                Arc::new(index),
+                format!("(cold start, index built in {build_ms:.1} ms)"),
+            )
         }
     };
-    eprintln!(
-        "built k={} index in {:.1?} ({:.1} MiB), engine {}",
-        args.k,
-        build_start.elapsed(),
-        index.heap_bytes() as f64 / (1024.0 * 1024.0),
-        builder.descriptor(),
-    );
 
     let server = match Server::bind((args.host.as_str(), args.port), index, builder, args.config) {
         Ok(server) => server,
@@ -217,15 +288,26 @@ fn run(args: &Args) -> ExitCode {
         }
     };
     match server.local_addr() {
-        // The readiness line scripts wait for — keep its shape stable.
-        Ok(addr) => println!("exma-server listening on {addr}"),
+        // The readiness line scripts wait for — keep its prefix stable.
+        // The parenthesized suffix reports cold vs warm startup and how
+        // long the build or verified load took.
+        Ok(addr) => println!("exma-server listening on {addr} {startup}"),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     }
     match server.handle() {
-        Ok(handle) => drain_on_signals(handle),
+        Ok(handle) => {
+            let stats = handle.stats();
+            stats
+                .snapshot_loaded
+                .store(snapshot_loaded, Ordering::Relaxed);
+            stats
+                .snapshot_rejected
+                .store(snapshot_rejected, Ordering::Relaxed);
+            drain_on_signals(handle);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -289,6 +371,8 @@ mod tests {
             "0",
             "--writer-queue",
             "8",
+            "--snapshot-path",
+            "/tmp/exma_index.snap",
         ];
         let args = parse_args(argv.iter().map(|s| s.to_string()))
             .unwrap()
@@ -307,6 +391,10 @@ mod tests {
         );
         assert_eq!(args.config.idle_timeout, None);
         assert_eq!(args.config.writer_queue_depth, 8);
+        assert_eq!(
+            args.snapshot_path.as_deref(),
+            Some(std::path::Path::new("/tmp/exma_index.snap"))
+        );
     }
 
     #[test]
@@ -314,6 +402,7 @@ mod tests {
         assert!(parse_args(["--frobnicate".to_string()].into_iter()).is_err());
         assert!(parse_args(["--seed".to_string(), "x".to_string()].into_iter()).is_err());
         assert!(parse_args(["--len".to_string()].into_iter()).is_err());
+        assert!(parse_args(["--snapshot-path".to_string()].into_iter()).is_err());
         assert!(parse_args(["--help".to_string()].into_iter())
             .unwrap()
             .is_none());

@@ -651,6 +651,13 @@ pub struct StatsSnapshot {
     pub conns_reaped: u64,
     /// QUERY submissions answered GOAWAY during shutdown drain.
     pub goaway_sent: u64,
+    /// 1 when this process warm-started from a verified snapshot
+    /// (the index was loaded, not rebuilt).
+    pub snapshot_loaded: u64,
+    /// Snapshot files rejected at startup by the verified loader
+    /// (corruption, truncation, stale version, layout mismatch), each
+    /// followed by a cold rebuild.
+    pub snapshot_rejected: u64,
 }
 
 impl StatsSnapshot {
@@ -659,7 +666,7 @@ impl StatsSnapshot {
     /// clients keep reading the prefix they know — the heap fields
     /// (PR 7) and the robustness counters (this PR) both used that
     /// latitude.
-    fn fields(&self) -> [u64; 24] {
+    fn fields(&self) -> [u64; 26] {
         [
             self.connections,
             self.submissions_admitted,
@@ -685,6 +692,8 @@ impl StatsSnapshot {
             self.writer_shed,
             self.conns_reaped,
             self.goaway_sent,
+            self.snapshot_loaded,
+            self.snapshot_rejected,
         ]
     }
 }
@@ -706,7 +715,7 @@ pub fn encode_stats(stats: &StatsSnapshot, buf: &mut Vec<u8>) {
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
     let mut cursor = Cursor::new(payload);
     let announced = cursor.u32()? as usize;
-    let mut fields = [0u64; 24];
+    let mut fields = [0u64; 26];
     if announced < fields.len() {
         return Err(WireError::Truncated {
             needed: fields.len() * 8,
@@ -720,7 +729,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         cursor.take(8)?;
     }
     cursor.finish()?;
-    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other, late_dropped, writer_shed, conns_reaped, goaway_sent] =
+    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other, late_dropped, writer_shed, conns_reaped, goaway_sent, snapshot_loaded, snapshot_rejected] =
         fields;
     Ok(StatsSnapshot {
         connections,
@@ -747,6 +756,8 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         writer_shed,
         conns_reaped,
         goaway_sent,
+        snapshot_loaded,
+        snapshot_rejected,
     })
 }
 
@@ -993,14 +1004,16 @@ mod tests {
             writer_shed: 2,
             conns_reaped: 4,
             goaway_sent: 6,
+            snapshot_loaded: 1,
+            snapshot_rejected: 2,
         };
         let mut payload = Vec::new();
         encode_stats(&stats, &mut payload);
         assert_eq!(decode_stats(&payload).unwrap(), stats);
 
-        // A newer server appending a 25th counter still decodes.
+        // A newer server appending a 27th counter still decodes.
         let mut extended = payload.clone();
-        extended[0..4].copy_from_slice(&25u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&27u32.to_le_bytes());
         extended.extend_from_slice(&999u64.to_le_bytes());
         assert_eq!(decode_stats(&extended).unwrap(), stats);
         assert!(decode_stats(&payload[..8]).is_err());

@@ -553,3 +553,155 @@ fn busy_storm_answers_every_frame_and_recovers() {
     drop(client);
     server.stop();
 }
+
+#[test]
+fn stats_opcode_survives_the_fault_storm() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let config = ServerConfig {
+        // Short idle timeout so stalled chaos connections are reaped
+        // within the test's lifetime.
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(Arc::clone(&index), builder, config);
+
+    thread::scope(|scope| {
+        // The control group: a healthy monitor polls STATS throughout
+        // the storm. Every reply must decode, counters must stay
+        // monotone, and the heap attribution published at bind must
+        // keep summing exactly — a torn STATS frame on another
+        // connection can never bleed into this one.
+        let server_ref = &server;
+        scope.spawn(move || {
+            let mut monitor = Client::connect(server_ref);
+            let mut last = monitor.stats_snapshot(0);
+            for round in 1..=12u64 {
+                thread::sleep(Duration::from_millis(25));
+                let stats = monitor.stats_snapshot(round);
+                assert!(
+                    stats.connections >= last.connections
+                        && stats.errors >= last.errors
+                        && stats.conns_reaped >= last.conns_reaped,
+                    "counters went backwards during the storm: {last:?} -> {stats:?}"
+                );
+                assert_eq!(
+                    stats.heap_total,
+                    stats.heap_k_occ_checkpoints
+                        + stats.heap_k_occ_deltas
+                        + stats.heap_k_occ_codes
+                        + stats.heap_one_step_occ
+                        + stats.heap_sa_samples
+                        + stats.heap_rank_bits
+                        + stats.heap_other,
+                    "heap attribution stopped summing mid-storm"
+                );
+                // The snapshot counters are process-startup facts set
+                // by the binary; an in-process bind reports zero.
+                assert_eq!(stats.snapshot_loaded, 0);
+                assert_eq!(stats.snapshot_rejected, 0);
+                last = stats;
+            }
+        });
+
+        // The storm: STATS frames sabotaged per a seeded plan — torn
+        // headers, truncated frames, flipped bytes, stalls — each on a
+        // sacrificial connection that asserts nothing about its own
+        // answer.
+        scope.spawn(move || {
+            let mut plan = FaultPlan::new(4321, 1.0);
+            let mut stalled = Vec::new();
+            for i in 0..40u64 {
+                let frame = wire::frame(Opcode::Stats, i, &[]);
+                let fault = plan.decide(frame.len());
+                let mut chaos = Client::connect(server_ref);
+                let _ = chaos.stream.write_all(&fault.wire_bytes(&frame));
+                if fault.stalls() {
+                    stalled.push(chaos); // park it for the reaper
+                } else if !fault.disconnects() {
+                    let _ = chaos
+                        .stream
+                        .set_read_timeout(Some(Duration::from_millis(300)));
+                    let _ = chaos.read_frame();
+                }
+            }
+            // A STATS frame towing an unexpected payload still answers
+            // (the payload is ignored), rather than wedging the reader.
+            let mut junk = Client::connect(server_ref);
+            junk.send_raw(&wire::frame(Opcode::Stats, 999, b"junk payload"));
+            let (header, payload) = junk.read_frame().expect("stats reply to junk");
+            assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::StatsReply));
+            wire::decode_stats(&payload).expect("decodable under storm");
+            // Outlive the idle timeout so parked connections are
+            // reaped by the server, not by this drop.
+            thread::sleep(Duration::from_millis(500));
+            drop(stalled);
+        });
+    });
+
+    // Post-storm coherence: STATS still serves, and so do queries,
+    // byte-verified.
+    let mut probe = Client::connect(&server);
+    let stats = probe.stats_snapshot(5000);
+    assert!(stats.connections >= 40, "storm connections unaccounted");
+    let batch = mixed_batch(&genome, 10, 91);
+    probe.send_query(5001, 0, &batch);
+    let (header, payload) = probe.read_frame().expect("post-storm results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+    drop(probe);
+    server.stop();
+}
+
+#[test]
+fn concurrent_shutdowns_are_idempotent_and_join_cleanly() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(2);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&index),
+        builder,
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let handle_a = server.handle().expect("handle");
+    let handle_b = server.handle().expect("handle");
+    let addr = handle_a.addr();
+    let server_thread = thread::spawn(move || server.run());
+
+    // Traffic before the race, so the drain has a live connection and
+    // verified in-flight state to finish.
+    let mut client = Client {
+        stream: TcpStream::connect(addr).expect("connect loopback"),
+    };
+    let batch = mixed_batch(&genome, 20, 17);
+    client.send_query(1, 0, &batch);
+    let (header, payload) = client.read_frame().expect("pre-drain results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+
+    // The race: two handles shut down at the same instant. Both calls
+    // must return (no deadlock, no panic) and the drain must happen
+    // exactly once — `run()` returning Ok is the join-cleanly claim.
+    let barrier = std::sync::Barrier::new(2);
+    thread::scope(|scope| {
+        for handle in [&handle_a, &handle_b] {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                handle.shutdown();
+            });
+        }
+    });
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("drain exits clean");
+
+    // Late shutdowns after the drain completed are no-ops, mirroring a
+    // second SIGTERM landing on an already-draining process.
+    handle_a.shutdown();
+    handle_b.shutdown();
+}

@@ -1,0 +1,364 @@
+//! Process-level warm-restart acceptance: a real `exma-server` binary
+//! writing and reloading its `--snapshot-path` snapshot.
+//!
+//! The claims under test are the ISSUE 9 acceptance criteria: a warm
+//! restart demonstrably skips the rebuild (the readiness line reports a
+//! warm load whose time beats the cold build time), warm answers are
+//! byte-identical to the cold server's, a corrupted snapshot is
+//! rejected typed on stderr and falls back to a rebuild that still
+//! serves verified results, the STATS counters report
+//! `snapshot_loaded`/`snapshot_rejected` truthfully, and SIGTERM —
+//! even racing a second SIGTERM — drains to exit code 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use exma_engine::{EngineBuilder, QueryBatch, QueryRequest};
+use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_server::wire::{self, FrameHeader, Opcode, HEADER_LEN};
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn sigterm(child: &Child) {
+    let rc = unsafe { kill(child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "kill(SIGTERM) failed");
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "exma_restart_{}_{}_{tag}.exma",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    path
+}
+
+/// A running `exma-server` process with its parsed readiness line.
+struct ServerProcess {
+    child: Child,
+    addr: String,
+    /// The parenthesized readiness suffix: `cold start, index built in
+    /// 12.3 ms` or `warm start, snapshot loaded in 4.5 ms`.
+    startup: String,
+    stderr: mpsc::Receiver<String>,
+}
+
+impl ServerProcess {
+    /// Spawns the release/debug test binary with `extra` CLI arguments
+    /// on an ephemeral port and waits for its readiness line.
+    fn start(extra: &[&str]) -> ServerProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_exma-server"))
+            .args(["--profile", "toy", "--len", "120000", "--port", "0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn exma-server");
+
+        // Drain stderr continuously so the child never blocks on a full
+        // pipe; lines are collected for post-exit assertions.
+        let stderr_pipe = child.stderr.take().expect("stderr piped");
+        let (stderr_tx, stderr) = mpsc::channel();
+        thread::spawn(move || {
+            for line in BufReader::new(stderr_pipe).lines().map_while(Result::ok) {
+                let _ = stderr_tx.send(line);
+            }
+        });
+
+        // The readiness line arrives once the index is built or loaded;
+        // a bounded wait turns a wedged startup into a test failure
+        // instead of a suite hang.
+        let stdout = child.stdout.take().expect("stdout piped");
+        let (ready_tx, ready_rx) = mpsc::channel();
+        thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                let _ = ready_tx.send(line);
+            }
+        });
+        let line = ready_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("readiness line before timeout");
+        let rest = line
+            .strip_prefix("exma-server listening on ")
+            .unwrap_or_else(|| panic!("unexpected readiness line {line:?}"));
+        let (addr, suffix) = rest.split_once(" (").expect("startup suffix");
+        let startup = suffix.strip_suffix(')').expect("closing paren").to_string();
+        ServerProcess {
+            child,
+            addr: addr.to_string(),
+            startup,
+            stderr,
+        }
+    }
+
+    /// SIGTERMs the process and asserts the drain: exit code 0 and the
+    /// `drained; exiting` farewell on stderr. Returns all stderr lines.
+    fn terminate(mut self) -> Vec<String> {
+        sigterm(&self.child);
+        let status = self.child.wait().expect("wait for server");
+        assert!(status.success(), "drain exited {status:?}");
+        let lines: Vec<String> = self.stderr.iter().collect();
+        assert!(
+            lines.iter().any(|l| l == "drained; exiting"),
+            "no drain farewell in {lines:?}"
+        );
+        lines
+    }
+}
+
+/// The startup suffix's timing: the trailing `NNN.N ms` float.
+fn startup_ms(startup: &str) -> f64 {
+    startup
+        .strip_suffix(" ms")
+        .and_then(|s| s.rsplit(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable startup suffix {startup:?}"))
+}
+
+/// A blocking one-frame-at-a-time client, as in the loopback suites.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        Client {
+            stream: TcpStream::connect(addr).expect("connect to server process"),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write frame");
+    }
+
+    fn read_frame(&mut self) -> (FrameHeader, Vec<u8>) {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        self.stream
+            .read_exact(&mut header_bytes)
+            .expect("frame header");
+        let header =
+            wire::decode_header(&header_bytes, usize::MAX).expect("server frames well-formed");
+        let mut payload = vec![0u8; header.payload_len as usize];
+        self.stream.read_exact(&mut payload).expect("frame payload");
+        (header, payload)
+    }
+
+    /// Runs `batch` and returns the raw RESULTS payload bytes.
+    fn results_payload(&mut self, request_id: u64, batch: &QueryBatch) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::encode_query_batch(batch, &mut payload).expect("encodable batch");
+        self.send_raw(&wire::query_frame(request_id, 0, &payload));
+        let (header, payload) = self.read_frame();
+        assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+        assert_eq!(header.request_id, request_id);
+        payload
+    }
+
+    fn stats(&mut self, request_id: u64) -> wire::StatsSnapshot {
+        self.send_raw(&wire::frame(Opcode::Stats, request_id, &[]));
+        let (header, payload) = self.read_frame();
+        assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::StatsReply));
+        wire::decode_stats(&payload).expect("stats payload")
+    }
+}
+
+/// The genome the spawned servers synthesize (`--profile toy --len
+/// 120000`, default seed), for building oracle batches and indexes.
+fn server_genome() -> Genome {
+    let mut profile = GenomeProfile::toy();
+    profile.len = 120_000;
+    Genome::synthesize(&profile, 42)
+}
+
+/// A mixed-op batch in the loopback suites' style.
+fn mixed_batch(genome: &Genome, total: usize, seed: u64) -> QueryBatch {
+    let mut rng = SeededRng::new(seed);
+    let mut batch = QueryBatch::new();
+    for i in 0..total {
+        let pattern: Vec<Base> = if i % 17 == 0 {
+            Vec::new()
+        } else {
+            let len = rng.range(1, 30);
+            if i % 2 == 0 {
+                let start = rng.range(0, genome.len() - len + 1);
+                genome.seq().slice(start, len)
+            } else {
+                (0..len).map(|_| rng.base()).collect()
+            }
+        };
+        match i % 4 {
+            0 => batch.push(QueryRequest::Count, pattern),
+            1 => batch.push(QueryRequest::locate(), pattern),
+            2 => batch.push(QueryRequest::locate_capped(rng.range(0, 8) as u32), pattern),
+            _ => batch.push(QueryRequest::Interval, pattern),
+        }
+    }
+    batch
+}
+
+#[test]
+fn warm_restart_skips_the_rebuild_and_serves_identical_bytes() {
+    let snapshot = temp_path("warm");
+    let snapshot_arg = snapshot.to_str().expect("utf-8 temp path");
+    let genome = server_genome();
+    let batches: Vec<QueryBatch> = (0..4).map(|i| mixed_batch(&genome, 25, 300 + i)).collect();
+
+    // Cold run: no snapshot exists yet, so the server builds, writes
+    // the snapshot, and reports a cold start.
+    let cold = ServerProcess::start(&["--snapshot-path", snapshot_arg]);
+    assert!(
+        cold.startup.starts_with("cold start, index built in "),
+        "expected a cold start, got {:?}",
+        cold.startup
+    );
+    let build_ms = startup_ms(&cold.startup);
+    let mut client = Client::connect(&cold.addr);
+    let cold_payloads: Vec<Vec<u8>> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| client.results_payload(i as u64, b))
+        .collect();
+    let stats = client.stats(50);
+    assert_eq!(stats.snapshot_loaded, 0, "cold start claimed a load");
+    assert_eq!(stats.snapshot_rejected, 0);
+    let cold_heap = stats.heap_total;
+    drop(client);
+    cold.terminate();
+    assert!(snapshot.exists(), "cold run wrote no snapshot");
+
+    // Warm run: the snapshot verifies, the rebuild is skipped, and the
+    // readiness line proves it — warm load faster than the cold build.
+    let warm = ServerProcess::start(&["--snapshot-path", snapshot_arg]);
+    assert!(
+        warm.startup.starts_with("warm start, snapshot loaded in "),
+        "expected a warm start, got {:?}",
+        warm.startup
+    );
+    let load_ms = startup_ms(&warm.startup);
+    assert!(
+        load_ms < build_ms,
+        "warm load ({load_ms} ms) did not beat the cold build ({build_ms} ms)"
+    );
+
+    // Byte-identical service, and STATS heap fields reflecting the
+    // loaded index (not a placeholder), with snapshot_loaded == 1.
+    let mut client = Client::connect(&warm.addr);
+    for (i, batch) in batches.iter().enumerate() {
+        assert_eq!(
+            client.results_payload(100 + i as u64, batch),
+            cold_payloads[i],
+            "warm batch #{i} diverged from the cold server"
+        );
+    }
+    let stats = client.stats(150);
+    assert_eq!(stats.snapshot_loaded, 1, "warm start not counted");
+    assert_eq!(stats.snapshot_rejected, 0);
+    assert_eq!(
+        stats.heap_total, cold_heap,
+        "warm heap attribution differs from the cold build's"
+    );
+    assert_eq!(
+        stats.heap_total,
+        stats.heap_k_occ_checkpoints
+            + stats.heap_k_occ_deltas
+            + stats.heap_k_occ_codes
+            + stats.heap_one_step_occ
+            + stats.heap_sa_samples
+            + stats.heap_rank_bits
+            + stats.heap_other,
+        "warm heap fields are placeholders, not an attribution"
+    );
+    drop(client);
+    warm.terminate();
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn corrupted_snapshot_is_rejected_and_the_rebuild_still_serves() {
+    // Write a valid snapshot with exactly the server's recipe, then
+    // flip one payload byte.
+    let snapshot = temp_path("corrupt");
+    let snapshot_arg = snapshot.to_str().expect("utf-8 temp path");
+    let genome = server_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    builder
+        .snapshot_to(&index, &snapshot)
+        .expect("seed snapshot");
+    let pristine = std::fs::read(&snapshot).expect("read snapshot");
+    let mut corrupt = pristine.clone();
+    corrupt[pristine.len() / 2] ^= 0x20;
+    std::fs::write(&snapshot, &corrupt).expect("corrupt snapshot");
+
+    // The server must reject it typed on stderr, fall back to a cold
+    // rebuild, and keep serving byte-verified answers.
+    let server = ServerProcess::start(&["--snapshot-path", snapshot_arg]);
+    assert!(
+        server.startup.starts_with("cold start"),
+        "corrupted snapshot warm-started: {:?}",
+        server.startup
+    );
+    let mut client = Client::connect(&server.addr);
+    let batch = mixed_batch(&genome, 30, 77);
+    let payload = client.results_payload(1, &batch);
+    let engine = builder.attach(&index).expect("attach oracle");
+    let (results, _) = engine.run(&batch);
+    let mut expected = Vec::new();
+    wire::encode_results_range(&results, 0, results.len(), &mut expected);
+    assert_eq!(payload, expected, "fallback rebuild served wrong bytes");
+    let stats = client.stats(2);
+    assert_eq!(stats.snapshot_rejected, 1, "rejection not counted");
+    assert_eq!(stats.snapshot_loaded, 0);
+    drop(client);
+    let stderr = server.terminate();
+    assert!(
+        stderr
+            .iter()
+            .any(|l| l.starts_with("snapshot rejected: checksum mismatch")),
+        "no typed rejection on stderr: {stderr:?}"
+    );
+
+    // The fallback refreshed the snapshot crash-safely: the file is
+    // valid again and equal to the pristine image.
+    assert_eq!(
+        std::fs::read(&snapshot).expect("refreshed snapshot"),
+        pristine,
+        "rebuild did not rewrite a valid snapshot"
+    );
+    let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn racing_sigterms_still_drain_to_exit_zero() {
+    // Two SIGTERMs land back to back — the second racing the drain the
+    // first started. The drain must stay idempotent: exit 0, farewell
+    // printed once, no hang for `wait` to trip on.
+    let server = ServerProcess::start(&[]);
+    let mut client = Client::connect(&server.addr);
+    let genome = server_genome();
+    let batch = mixed_batch(&genome, 20, 5);
+    client.results_payload(1, &batch);
+    sigterm(&server.child);
+    sigterm(&server.child);
+    drop(client);
+    let stderr = server.terminate();
+    assert_eq!(
+        stderr.iter().filter(|l| *l == "drained; exiting").count(),
+        1,
+        "drain ran more than once: {stderr:?}"
+    );
+}
