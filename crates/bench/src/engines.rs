@@ -319,7 +319,8 @@ pub fn checksum(results: &QueryResults) -> u64 {
         sum = sum.wrapping_add(match *output {
             exma_engine::QueryOutput::Count(n) => n as u64,
             exma_engine::QueryOutput::Interval { lo, hi } => (lo as u64) << 32 | hi as u64,
-            exma_engine::QueryOutput::Located { truncated } => {
+            exma_engine::QueryOutput::Located { truncated }
+            | exma_engine::QueryOutput::BothLocated { truncated } => {
                 let fold: u64 = results.positions(i).iter().map(|&p| p as u64).sum();
                 fold + u64::from(truncated)
             }

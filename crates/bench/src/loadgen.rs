@@ -54,8 +54,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use exma_engine::{EngineBuilder, Executor, QueryBatch, QueryRequest};
-use exma_genome::{Base, Genome, GenomeProfile, SeededRng};
+use exma_engine::{EngineBuilder, Executor, QueryBatch, QueryOutput, QueryRequest};
+use exma_genome::{
+    Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, SeededRng, ShortReadSimulator,
+};
+use exma_index::bidir::{decode_hit, is_palindromic, Strand};
 use exma_server::wire::{self, Opcode, StatsSnapshot, HEADER_LEN};
 use exma_server::{FaultPlan, Server, ServerConfig, ServerHandle};
 
@@ -83,6 +86,14 @@ OPTIONS:
     --conns N          client connections (default: 4)
     --queries N        queries per request frame (default: 8)
     --locate-cap N     max_hits cap on every locate query (default: 16)
+    --bidirectional    serve and verify a bidirectional (both-strand)
+                       index: every 4th query is a strand-agnostic
+                       SearchBoth over simulated short/long reads drawn
+                       as sequenced from either strand (never
+                       client-side reverse-complemented), the chaos
+                       sidecar sabotages SearchBoth frames too, and the
+                       JSON gains a strand_mix block; a --addr server
+                       must also have been started --bidirectional
     --arrival-seed N   seed of the Poisson arrival process (default: 7)
     --deadline-us N    per-request latency budget stamped on every
                        QUERY frame; expired requests come back LATE
@@ -118,6 +129,7 @@ struct Args {
     conns: usize,
     queries: usize,
     locate_cap: u32,
+    bidirectional: bool,
     arrival_seed: u64,
     deadline_us: u32,
     busy_retries: u32,
@@ -141,6 +153,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         conns: 4,
         queries: 8,
         locate_cap: 16,
+        bidirectional: false,
         arrival_seed: 7,
         deadline_us: 0,
         busy_retries: 3,
@@ -176,6 +189,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--conns" => args.conns = parse_num(&value("--conns")?)?,
             "--queries" => args.queries = parse_num(&value("--queries")?)?,
             "--locate-cap" => args.locate_cap = parse_num(&value("--locate-cap")?)?,
+            "--bidirectional" => args.bidirectional = true,
             "--arrival-seed" => args.arrival_seed = parse_num(&value("--arrival-seed")?)?,
             "--deadline-us" => args.deadline_us = parse_num(&value("--deadline-us")?)?,
             "--busy-retries" => args.busy_retries = parse_num(&value("--busy-retries")?)?,
@@ -239,10 +253,29 @@ struct Request {
 /// locates and intervals over hit-biased substring patterns plus
 /// random (mostly-miss) ones. Locates are always capped — open-loop
 /// response sizes must stay bounded regardless of pattern frequency.
-fn request_batch(genome: &Genome, idx: usize, queries: usize, locate_cap: u32) -> QueryBatch {
+///
+/// With a read pool (`--bidirectional`) the op cycle widens to four:
+/// every fourth query is a capped `SearchBoth` over a simulated read —
+/// short or long, drawn as sequenced from either strand, sent without
+/// any client-side reverse complementing. The cap keeps the
+/// both-strand answers bounded just like the locates.
+fn request_batch(
+    genome: &Genome,
+    reads: Option<&[Vec<Base>]>,
+    idx: usize,
+    queries: usize,
+    locate_cap: u32,
+) -> QueryBatch {
     let mut rng = SeededRng::new(0x10adu64 ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut batch = QueryBatch::new();
     for q in 0..queries {
+        let cycle = if reads.is_some() { 4 } else { 3 };
+        if (idx + q) % cycle == 3 {
+            let pool = reads.expect("cycle 4 only with a read pool");
+            let read = pool[rng.range(0, pool.len())].clone();
+            batch.push(QueryRequest::search_both_capped(locate_cap), read);
+            continue;
+        }
         let len = rng.range(8, 28);
         let pattern: Vec<Base> = if rng.chance(0.7) {
             let start = rng.range(0, genome.len() - len + 1);
@@ -250,7 +283,7 @@ fn request_batch(genome: &Genome, idx: usize, queries: usize, locate_cap: u32) -
         } else {
             (0..len).map(|_| rng.base()).collect()
         };
-        match (idx + q) % 3 {
+        match (idx + q) % cycle {
             0 => batch.push(QueryRequest::Count, pattern),
             1 => batch.push(QueryRequest::locate_capped(locate_cap), pattern),
             _ => batch.push(QueryRequest::Interval, pattern),
@@ -259,17 +292,75 @@ fn request_batch(genome: &Genome, idx: usize, queries: usize, locate_cap: u32) -
     batch
 }
 
+/// The `--bidirectional` pattern pool: error-free simulated reads —
+/// Illumina-length shorts and a few ONT-style longs — whose 50/50
+/// strand draw guarantees reverse-strand patterns in the workload.
+/// Error-free so every read matches its template exactly and the
+/// oracle's SearchBoth answers always contain the origin.
+fn read_pool(genome: &Genome) -> Vec<Vec<Base>> {
+    let short = ShortReadSimulator::new(36, ErrorProfile::error_free());
+    let long = LongReadSimulator::new(150, 40, ErrorProfile::error_free());
+    short
+        .simulate(genome, 64, 0x5EAD)
+        .into_iter()
+        .chain(long.simulate(genome, 16, 0x10E6))
+        .map(|read| read.bases.to_vec())
+        .collect()
+}
+
+/// The strand composition of the workload's SearchBoth share, from the
+/// oracle's own answers (zero hit counts under `--no-verify`): the
+/// per-strand hit totals, the palindromic patterns the dedup rule
+/// collapses to forward-only answers, and the answers the cap
+/// truncated.
+#[derive(Default)]
+struct StrandMix {
+    search_both_queries: u64,
+    forward_hits: u64,
+    reverse_hits: u64,
+    truncated_answers: u64,
+    palindromic_patterns: u64,
+}
+
 /// Builds every request up front: frames encoded, oracle answers
 /// (optionally) computed through the same wire encoder the server
-/// uses. Request ids are the request indices.
-fn build_requests(genome: &Genome, oracle: Option<&dyn Executor>, args: &Args) -> Vec<Request> {
-    (0..args.requests)
+/// uses, the strand mix tallied from them. Request ids are the
+/// request indices.
+fn build_requests(
+    genome: &Genome,
+    reads: Option<&[Vec<Base>]>,
+    oracle: Option<&dyn Executor>,
+    args: &Args,
+) -> (Vec<Request>, StrandMix) {
+    let mut mix = StrandMix::default();
+    let requests = (0..args.requests)
         .map(|idx| {
-            let batch = request_batch(genome, idx, args.queries, args.locate_cap);
+            let batch = request_batch(genome, reads, idx, args.queries, args.locate_cap);
             let mut payload = Vec::new();
             wire::encode_query_batch(&batch, &mut payload).expect("loadgen batches are encodable");
-            let expected = oracle.map(|exec| {
-                let (results, _) = exec.run(&batch);
+            let results = oracle.map(|exec| exec.run(&batch).0);
+            for i in 0..batch.len() {
+                if !matches!(batch.request(i), QueryRequest::SearchBoth { .. }) {
+                    continue;
+                }
+                mix.search_both_queries += 1;
+                mix.palindromic_patterns += u64::from(is_palindromic(batch.pattern(i)));
+                if let Some(results) = &results {
+                    for &hit in results.positions(i) {
+                        match decode_hit(hit).1 {
+                            Strand::Forward => mix.forward_hits += 1,
+                            Strand::Reverse => mix.reverse_hits += 1,
+                        }
+                    }
+                    if matches!(
+                        results.output(i),
+                        QueryOutput::BothLocated { truncated: true }
+                    ) {
+                        mix.truncated_answers += 1;
+                    }
+                }
+            }
+            let expected = results.map(|results| {
                 let mut expected = Vec::new();
                 wire::encode_results_range(&results, 0, results.len(), &mut expected);
                 expected
@@ -280,7 +371,8 @@ fn build_requests(genome: &Genome, oracle: Option<&dyn Executor>, args: &Args) -
                 expected,
             }
         })
-        .collect()
+        .collect();
+    (requests, mix)
 }
 
 /// Cumulative Poisson arrival offsets: `schedule[i]` is request `i`'s
@@ -799,11 +891,21 @@ fn run(args: &Args) -> ExitCode {
         }
     };
     eprintln!(
-        "[loadgen] synthesizing {} ({} bp, seed {}) and building the k={} oracle...",
-        profile.name, profile.len, args.seed, args.k
+        "[loadgen] synthesizing {} ({} bp, seed {}) and building the k={}{} oracle...",
+        profile.name,
+        profile.len,
+        args.seed,
+        args.k,
+        if args.bidirectional {
+            " bidirectional"
+        } else {
+            ""
+        }
     );
     let genome = Genome::synthesize(&profile, args.seed);
-    let builder = EngineBuilder::new().k(args.k);
+    let builder = EngineBuilder::new()
+        .k(args.k)
+        .bidirectional(args.bidirectional);
     let index = match builder.build_index(&genome.text_with_sentinel()) {
         Ok(index) => Arc::new(index),
         Err(e) => {
@@ -814,7 +916,8 @@ fn run(args: &Args) -> ExitCode {
     let oracle = args
         .verify
         .then(|| builder.attach(&index).expect("oracle attach"));
-    let requests = build_requests(&genome, oracle.as_deref(), args);
+    let reads = args.bidirectional.then(|| read_pool(&genome));
+    let (requests, strand_mix) = build_requests(&genome, reads.as_deref(), oracle.as_deref(), args);
 
     // Self-host unless --addr points at a running server.
     let mut hosted: Option<(ServerHandle, thread::JoinHandle<std::io::Result<()>>)> = None;
@@ -919,13 +1022,14 @@ fn run(args: &Args) -> ExitCode {
     }
     let last_after = stats_conn.snapshot();
 
-    let doc = Json::obj()
-        .field("schema_version", 7u64)
+    let mut doc = Json::obj()
+        .field("schema_version", 8u64)
         .field("mode", "loadgen")
         .field("profile", profile.name.as_str())
         .field("genome_len", genome.len())
         .field("seed", args.seed)
         .field("k", args.k)
+        .field("bidirectional", args.bidirectional)
         .field(
             "server",
             if args.addr.is_some() {
@@ -947,8 +1051,19 @@ fn run(args: &Args) -> ExitCode {
         .field(
             "mean_coalesced_batch",
             mean_coalesced(&first_before, &last_after),
-        )
-        .field("rates", rate_entries);
+        );
+    if args.bidirectional {
+        doc = doc.field(
+            "strand_mix",
+            Json::obj()
+                .field("search_both_queries", strand_mix.search_both_queries)
+                .field("forward_hits", strand_mix.forward_hits)
+                .field("reverse_hits", strand_mix.reverse_hits)
+                .field("truncated_answers", strand_mix.truncated_answers)
+                .field("palindromic_patterns", strand_mix.palindromic_patterns),
+        );
+    }
+    let doc = doc.field("rates", rate_entries);
     let rendered = format!("{doc}\n");
     if let Err(err) = std::fs::write(&args.out, rendered) {
         eprintln!("failed to write {}: {err}", args.out.display());
@@ -1016,6 +1131,7 @@ mod tests {
             "5",
             "--locate-cap",
             "9",
+            "--bidirectional",
             "--deadline-us",
             "4000",
             "--busy-retries",
@@ -1037,6 +1153,7 @@ mod tests {
         assert_eq!(args.conns, 2);
         assert_eq!(args.queries, 5);
         assert_eq!(args.locate_cap, 9);
+        assert!(args.bidirectional);
         assert_eq!(args.deadline_us, 4000);
         assert_eq!(args.busy_retries, 5);
         assert_eq!(args.chaos, 0.25);
@@ -1073,8 +1190,8 @@ mod tests {
     #[test]
     fn request_batches_are_deterministic_and_mixed() {
         let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
-        let a = request_batch(&genome, 3, 9, 16);
-        let b = request_batch(&genome, 3, 9, 16);
+        let a = request_batch(&genome, None, 3, 9, 16);
+        let b = request_batch(&genome, None, 3, 9, 16);
         assert_eq!(a.len(), 9);
         for q in 0..a.len() {
             assert_eq!(a.request(q), b.request(q));
@@ -1085,9 +1202,39 @@ mod tests {
         assert_eq!(a.request(1), QueryRequest::locate_capped(16));
         assert_eq!(a.request(2), QueryRequest::Interval);
         assert_ne!(
-            request_batch(&genome, 4, 9, 16).request(0),
+            request_batch(&genome, None, 4, 9, 16).request(0),
             QueryRequest::Count
         );
+    }
+
+    #[test]
+    fn bidirectional_batches_interleave_search_both_reads() {
+        let genome = Genome::synthesize(&GenomeProfile::toy(), 42);
+        let pool = read_pool(&genome);
+        assert_eq!(pool.len(), 64 + 16);
+        // The pool's 50/50 strand draw really does produce reverse
+        // reads — the strand-agnostic contract has something to prove.
+        let short = ShortReadSimulator::new(36, ErrorProfile::error_free());
+        let origins = short.simulate(&genome, 64, 0x5EAD);
+        assert!(origins.iter().any(|r| r.origin.reverse));
+        assert!(origins.iter().any(|r| !r.origin.reverse));
+
+        let a = request_batch(&genome, Some(&pool), 0, 8, 16);
+        let b = request_batch(&genome, Some(&pool), 0, 8, 16);
+        assert_eq!(a.len(), 8);
+        for q in 0..a.len() {
+            assert_eq!(a.request(q), b.request(q));
+            assert_eq!(a.pattern(q), b.pattern(q));
+        }
+        // The widened cycle: every fourth query is a capped SearchBoth
+        // whose pattern is one of the simulated reads, verbatim.
+        for q in [3usize, 7] {
+            assert_eq!(a.request(q), QueryRequest::search_both_capped(16));
+            assert!(pool.iter().any(|read| read[..] == *a.pattern(q)));
+        }
+        assert_eq!(a.request(0), QueryRequest::Count);
+        assert_eq!(a.request(1), QueryRequest::locate_capped(16));
+        assert_eq!(a.request(2), QueryRequest::Interval);
     }
 
     #[test]

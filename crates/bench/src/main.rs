@@ -9,8 +9,14 @@
 //! isolations) is timed on three ops per workload — an all-`count` batch,
 //! an all-`locate` batch, and a `mixed` scenario interleaving counts,
 //! capped and uncapped locates, and interval requests — then writes
-//! `BENCH_exma.json` (schema v6: derived descriptors as engine labels,
-//! per-component heap breakdowns, and the delta-width sweep).
+//! `BENCH_exma.json` (schema v7: derived descriptors as engine labels,
+//! per-component heap breakdowns, the delta-width sweep, and the
+//! bidirectional preset section). Every genome additionally rebuilds
+//! the headline k = 4 index strand-agnostic under each memory-layout
+//! preset (default/compact/fast) and times all-`SearchBoth` batches of
+//! error-free reads drawn from either strand, verified against the
+//! brute-force both-strand scan — the measured cost of the doubled
+//! `forward·revcomp` text next to its forward-only counterpart.
 //! Every variant's answers are cross-checked against the sequential
 //! 1-step oracle, the sorted schedule is checked to issue no extra LF
 //! steps, and the compact layout preset is gated to at most half the
@@ -30,11 +36,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use exma_engine::{DeltaWidth, EngineBuilder, HeapBreakdown, QueryArena, QueryBatch, QueryRequest};
-use exma_genome::{
-    Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator,
+use exma_engine::{
+    DeltaWidth, EngineBuilder, HeapBreakdown, IndexLayout, QueryArena, QueryBatch, QueryRequest,
+    QueryResults,
 };
-use exma_index::KStepBuildConfig;
+use exma_genome::{
+    Base, ErrorProfile, Genome, GenomeProfile, LongReadSimulator, ShortReadSimulator, Symbol,
+};
+use exma_index::{naive, KStepBuildConfig};
 
 use crate::engines::{
     builder_configs, checksum, EngineSet, Measure, SweepPoint, Variant, OP_COUNT, OP_KINDS,
@@ -433,6 +442,176 @@ fn heap_json(heap: &HeapBreakdown) -> Json {
         .field("other", heap.other)
 }
 
+/// The strand-agnostic recipes of the bidirectional section: the
+/// headline k = 4 width under each memory-layout preset, rebuilt over
+/// the doubled `forward·revcomp` text.
+fn bidir_preset_builders() -> [(&'static str, EngineBuilder); 3] {
+    [
+        ("default", EngineBuilder::new().bidirectional(true)),
+        (
+            "compact",
+            EngineBuilder::new()
+                .layout(IndexLayout::compact())
+                .bidirectional(true),
+        ),
+        (
+            "fast",
+            EngineBuilder::new()
+                .layout(IndexLayout::fast())
+                .bidirectional(true),
+        ),
+    ]
+}
+
+/// A named all-`SearchBoth` pattern set and its verification head.
+struct BidirLoad {
+    name: String,
+    queries: usize,
+    batch: QueryBatch,
+    head: QueryBatch,
+}
+
+/// The bidirectional workloads: error-free simulated reads — Illumina
+/// lengths and ONT seed clips — drawn as sequenced from either strand
+/// and submitted verbatim, the "align without client-side reverse
+/// complementing" scenario. Error-free so every read still matches its
+/// template and the answers stay hit-biased; every query is capped at
+/// [`MIXED_MAX_HITS`] so both-strand response sizes stay bounded.
+fn bidir_loads(genome: &Genome, spec: &RunSpec, seed: u64) -> Vec<BidirLoad> {
+    let short: Vec<Vec<Base>> = ShortReadSimulator::new(ILLUMINA_LEN, ErrorProfile::error_free())
+        .simulate(genome, spec.illumina_reads / 5, seed ^ 0x3333)
+        .iter()
+        .map(|r| r.bases.to_vec())
+        .collect();
+    let long: Vec<Vec<Base>> = LongReadSimulator::new(1_200, 300, ErrorProfile::error_free())
+        .simulate(genome, spec.ont_reads / 5, seed ^ 0x4444)
+        .iter()
+        .filter(|r| r.len() >= ONT_SEED_LEN)
+        .map(|r| (0..ONT_SEED_LEN).map(|i| r.bases.get(i)).collect())
+        .collect();
+    let load = |name: String, patterns: Vec<Vec<Base>>| {
+        let head = patterns.len().min(spec.verify_locates);
+        let request = QueryRequest::search_both_capped(MIXED_MAX_HITS);
+        BidirLoad {
+            name,
+            queries: patterns.len(),
+            head: QueryBatch::uniform(request, &patterns[..head]),
+            batch: QueryBatch::uniform(request, &patterns),
+        }
+    };
+    vec![
+        load(format!("illumina_{ILLUMINA_LEN}bp_bothstrand"), short),
+        load(format!("ont_seed_{ONT_SEED_LEN}bp_bothstrand"), long),
+    ]
+}
+
+/// The bidirectional measurement: each preset of
+/// [`bidir_preset_builders`] is built, verified, and timed on the
+/// [`bidir_loads`]. The default preset's verification head is checked
+/// query by query against the brute-force both-strand scan (cap rule
+/// included); the other presets must answer the full batches
+/// identically to the default one — layout changes the footprint,
+/// never the answers. Heap is reported next to the matching
+/// forward-only index's, making the ~2× strand-agnostic cost a
+/// measured number per preset. Returns the JSON entries and the
+/// divergence count.
+fn bidir_section(
+    genome: &Genome,
+    text: &[Symbol],
+    forward_heap: [usize; 3],
+    spec: &RunSpec,
+    seed: u64,
+) -> (Vec<Json>, usize) {
+    let loads = bidir_loads(genome, spec, seed);
+    let mut entries = Vec::new();
+    let mut divergences = 0;
+    let mut reference: Vec<QueryResults> = Vec::new();
+    for (pi, (preset, builder)) in bidir_preset_builders().into_iter().enumerate() {
+        let start = Instant::now();
+        let index = builder
+            .build_index(text)
+            .expect("bidir recipes build on every profile");
+        let build_secs = start.elapsed().as_secs_f64();
+        let exec = builder
+            .attach(&index)
+            .expect("bidir recipes attach to their own index");
+        let mut arena = QueryArena::new();
+        let mut ops: Vec<Json> = Vec::new();
+        for (li, load) in loads.iter().enumerate() {
+            if pi == 0 {
+                // The default preset carries the naive-oracle check.
+                let (head_results, _) = exec.run(&load.head);
+                for i in 0..load.head.len() {
+                    let hits = naive::occurrences_both(genome.seq(), load.head.pattern(i));
+                    let kept = (MIXED_MAX_HITS as usize).min(hits.len());
+                    if head_results.positions(i) != &hits[..kept] {
+                        eprintln!(
+                            "DIVERGENCE: {}/{}/{}: search_both #{i} differs from the \
+                             both-strand naive scan",
+                            genome.profile().name,
+                            builder.descriptor(),
+                            load.name
+                        );
+                        divergences += 1;
+                    }
+                }
+                reference.push(exec.run(&load.batch).0);
+            } else if exec.run(&load.batch).0 != reference[li] {
+                eprintln!(
+                    "DIVERGENCE: {}/{}/{}: search_both differs from the default preset",
+                    genome.profile().name,
+                    builder.descriptor(),
+                    load.name
+                );
+                divergences += 1;
+            }
+            let mut cell = OpTiming::default();
+            for _ in 0..spec.locate_reps {
+                let start = Instant::now();
+                exec.run_into(&load.batch, &mut arena);
+                cell.times.push(start.elapsed().as_secs_f64());
+                cell.checksum = checksum(std::hint::black_box(arena.results()));
+            }
+            let ns_per_query = cell.median_secs() * 1e9 / load.queries as f64;
+            eprintln!(
+                "[{}] {}/{}/{}: search_both {ns_per_query:.0} ns/q",
+                spec.mode,
+                genome.profile().name,
+                builder.descriptor(),
+                load.name,
+            );
+            ops.push(
+                Json::obj()
+                    .field("op", "search_both")
+                    .field("workload", load.name.as_str())
+                    .field("queries", load.queries)
+                    .field("reps", cell.times.len())
+                    .field("median_ns_per_query", ns_per_query)
+                    .field("queries_per_sec", 1e9 / ns_per_query)
+                    .field("checksum", cell.checksum),
+            );
+        }
+        entries.push(
+            Json::obj()
+                .field("genome", genome.profile().name.as_str())
+                .field("genome_len", genome.len())
+                .field("preset", preset)
+                .field("engine", builder.descriptor())
+                .field("k", builder.step_width())
+                .field("build_ms", build_secs * 1e3)
+                .field("heap_bytes", index.heap_bytes())
+                .field("heap", heap_json(&index.heap_breakdown()))
+                .field("forward_heap_bytes", forward_heap[pi])
+                .field(
+                    "heap_ratio_vs_forward",
+                    index.heap_bytes() as f64 / forward_heap[pi] as f64,
+                )
+                .field("ops", ops),
+        );
+    }
+    (entries, divergences)
+}
+
 /// The builder configs behind the two sweeps, descriptor-visible in
 /// `--list-engines` and shared with the sweep runners below.
 fn sweep_builders() -> Vec<(EngineBuilder, Measure, usize)> {
@@ -502,6 +681,14 @@ fn list_engines(args: &Args, thread_counts: &[usize]) {
             measure
         );
     }
+    println!("# bidirectional presets (one entry per genome in a run)");
+    for (preset, builder) in bidir_preset_builders() {
+        println!(
+            "{:<34} preset={preset} k={} bidirectional",
+            builder.descriptor(),
+            builder.step_width(),
+        );
+    }
     if args.sweep {
         println!("# --sweep-sample-rate configs (picea profile)");
         for (builder, measure, rate) in sweep_builders() {
@@ -548,6 +735,7 @@ fn run(args: &Args) -> ExitCode {
     }
     let started = Instant::now();
     let mut results: Vec<Json> = Vec::new();
+    let mut bidir_results: Vec<Json> = Vec::new();
     let mut sweep_results: Vec<Json> = Vec::new();
     let mut sa_sweep_results: Vec<Json> = Vec::new();
     let mut delta_sweep_results: Vec<Json> = Vec::new();
@@ -593,6 +781,23 @@ fn run(args: &Args) -> ExitCode {
                 &genome,
             ));
         }
+
+        // The bidirectional section runs on every genome, smoke
+        // included: the strand-agnostic cost per layout preset is a
+        // headline number, not an opt-in sweep.
+        eprintln!(
+            "[{}] building bidirectional k=4 presets (default/compact/fast)...",
+            spec.mode
+        );
+        let forward_heap = [
+            set.k4.heap_bytes(),
+            set.k4_compact.heap_bytes(),
+            set.k4_fast.heap_bytes(),
+        ];
+        let (entries, bidir_divergences) =
+            bidir_section(&genome, &text, forward_heap, &spec, args.seed);
+        violations += bidir_divergences;
+        bidir_results.extend(entries);
 
         // The sample-rate sweeps run on the picea profile — the paper's
         // headline memory/latency trade-off genome — reusing this
@@ -709,7 +914,7 @@ fn run(args: &Args) -> ExitCode {
 
     let verified = violations == 0;
     let mut doc = Json::obj()
-        .field("schema_version", 6u64)
+        .field("schema_version", 7u64)
         .field("mode", spec.mode)
         .field("seed", args.seed)
         .field("illumina_read_len", ILLUMINA_LEN)
@@ -726,7 +931,8 @@ fn run(args: &Args) -> ExitCode {
         .field("sa_sample_rate", KStepBuildConfig::for_k(4).sa_sample_rate)
         .field("verified_against_oracle", verified)
         .field("wall_clock_secs", started.elapsed().as_secs_f64())
-        .field("results", results);
+        .field("results", results)
+        .field("bidir_presets", bidir_results);
     if args.sweep {
         doc = doc.field("sample_rate_sweep", sweep_results);
     }
@@ -929,6 +1135,25 @@ mod tests {
         assert!(labels.contains(&"lockstep_k4_locality_kocc640_d8_sb64".to_string()));
         let unique: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len(), "sweep labels must be unique");
+    }
+
+    #[test]
+    fn bidir_presets_cover_every_layout_with_derived_labels() {
+        let presets = bidir_preset_builders();
+        let names: Vec<&str> = presets.iter().map(|(name, _)| *name).collect();
+        assert_eq!(names, ["default", "compact", "fast"]);
+        for (_, builder) in &presets {
+            assert!(builder.is_bidirectional());
+            assert_eq!(builder.step_width(), 4);
+            assert!(
+                builder.descriptor().ends_with("_bidir"),
+                "{}",
+                builder.descriptor()
+            );
+        }
+        let labels: std::collections::HashSet<String> =
+            presets.iter().map(|(_, b)| b.descriptor()).collect();
+        assert_eq!(labels.len(), 3, "preset labels must be distinct");
     }
 
     #[test]

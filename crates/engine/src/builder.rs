@@ -74,6 +74,17 @@ pub enum EngineError {
     /// [`EngineBuilder::attach_one_step`] on a recipe that is not the
     /// sequential `k = 1` baseline.
     NotSequentialOneStep,
+    /// [`EngineBuilder::attach`] on an index whose strandedness does
+    /// not match the recipe — a forward-only index would answer
+    /// [`crate::QueryRequest::SearchBoth`] with garbage, and a
+    /// bidirectional one would answer plain queries against the
+    /// doubled text.
+    StrandednessMismatch {
+        /// `true` iff the index holds both strands.
+        index_bidirectional: bool,
+        /// `true` iff the recipe expects both strands.
+        builder_bidirectional: bool,
+    },
     /// The index layer rejected the recipe while building: a text too
     /// large for `u32` counters, a delta counter saturating before its
     /// superblock boundary, or an unprovable superblock span.
@@ -105,6 +116,16 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotSequentialOneStep => {
                 write!(f, "only the sequential k=1 recipe runs on a bare FmIndex")
+            }
+            EngineError::StrandednessMismatch {
+                index_bidirectional,
+                builder_bidirectional,
+            } => {
+                write!(
+                    f,
+                    "index bidirectional={index_bidirectional} does not match \
+                     builder bidirectional={builder_bidirectional}"
+                )
             }
             EngineError::Index(e) => write!(f, "{e}"),
             EngineError::Snapshot(e) => write!(f, "{e}"),
@@ -271,6 +292,7 @@ impl IndexLayout {
                 .unwrap_or_else(|| KStepBuildConfig::for_k(k).k_occ_sample_rate),
             delta_width: self.delta_width,
             superblock_rate: self.superblock_rate,
+            bidirectional: false,
         }
     }
 
@@ -339,6 +361,7 @@ pub struct EngineBuilder {
     batch: BatchConfig,
     sequential: bool,
     threads: usize,
+    bidirectional: bool,
 }
 
 impl Default for EngineBuilder {
@@ -351,6 +374,7 @@ impl Default for EngineBuilder {
             batch: BatchConfig::locality(),
             sequential: false,
             threads: 1,
+            bidirectional: false,
         }
     }
 }
@@ -448,9 +472,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Bidirectional (FMD-style) indexing: [`EngineBuilder::build_index`]
+    /// indexes the doubled text `forward · revcomp(forward) · $` (see
+    /// [`exma_index::bidir`]), which makes
+    /// [`crate::QueryRequest::SearchBoth`] answer strand-agnostic hits.
+    /// The flag is part of the recipe — it flows into the descriptor
+    /// (`_bidir`), the build config, and the snapshot header, so a
+    /// bidirectional snapshot never warm-loads under a forward-only
+    /// recipe or vice versa. Costs roughly 2× the index heap of the
+    /// same layout, itemized by the attached executor's
+    /// [`Executor::heap_breakdown`].
+    pub fn bidirectional(mut self, bidirectional: bool) -> EngineBuilder {
+        self.bidirectional = bidirectional;
+        self
+    }
+
     /// The configured step width.
     pub fn step_width(&self) -> usize {
         self.k
+    }
+
+    /// `true` iff this recipe indexes both strands.
+    pub fn is_bidirectional(&self) -> bool {
+        self.bidirectional
     }
 
     /// The configured worker thread count.
@@ -484,17 +528,27 @@ impl EngineBuilder {
     /// The index-construction knobs this recipe implies.
     pub fn build_config(&self) -> Result<KStepBuildConfig, EngineError> {
         self.validate()?;
-        Ok(self.layout.build_config(self.k))
+        Ok(KStepBuildConfig {
+            bidirectional: self.bidirectional,
+            ..self.layout.build_config(self.k)
+        })
     }
 
-    /// Builds the index this recipe queries. Layout failures that only
+    /// Builds the index this recipe queries — over the text as given,
+    /// or over the doubled text when the recipe is
+    /// [`EngineBuilder::bidirectional`]. Layout failures that only
     /// the text can reveal — delta saturation, `u32` overflow — surface
     /// as [`EngineError::Index`].
     pub fn build_index(&self, text: &[Symbol]) -> Result<KStepFmIndex, EngineError> {
-        Ok(KStepFmIndex::from_text_with_config(
-            text,
-            self.build_config()?,
-        )?)
+        let config = self.build_config()?;
+        if self.bidirectional {
+            Ok(KStepFmIndex::from_text_with_config(
+                &exma_index::doubled_text(text),
+                config,
+            )?)
+        } else {
+            Ok(KStepFmIndex::from_text_with_config(text, config)?)
+        }
     }
 
     /// Persists `index` to `path` as a crash-safe, checksummed snapshot
@@ -551,6 +605,12 @@ impl EngineBuilder {
                 builder_k: self.k,
             });
         }
+        if index.is_bidirectional() != self.bidirectional {
+            return Err(EngineError::StrandednessMismatch {
+                index_bidirectional: index.is_bidirectional(),
+                builder_bidirectional: self.bidirectional,
+            });
+        }
         Ok(if self.sequential {
             Box::new(index)
         } else if self.threads == 1 {
@@ -595,6 +655,9 @@ impl EngineBuilder {
             tag.push_str(&format!("_t{}", self.threads));
         }
         self.layout.descriptor_fragments(self.k, &mut tag);
+        if self.bidirectional {
+            tag.push_str("_bidir");
+        }
         tag
     }
 }

@@ -17,6 +17,7 @@
 use std::ops::Range;
 
 use exma_genome::Base;
+use exma_index::bidir::{forward_len, map_hits_in_place};
 use exma_index::{resolve_capped_with_arena, FmIndex, HeapBreakdown, KStepFmIndex, UNCAPPED};
 
 use crate::batch::{BatchEngine, BatchStats};
@@ -95,6 +96,18 @@ fn run_sequential(
                     fm.resolve_range_capped_into(interval, max_hits.unwrap_or(UNCAPPED), seq_buf);
                 results.push_positions(seq_buf, truncated);
             }
+            QueryRequest::SearchBoth { max_hits } => {
+                // Resolve the raw doubled-text interval uncapped —
+                // straddlers and palindrome duplicates are only known
+                // after mapping — then map, sort, and apply the cap to
+                // the smallest (position, strand) hits.
+                fm.resolve_range_capped_into(interval, UNCAPPED, seq_buf);
+                let valid =
+                    map_hits_in_place(seq_buf, batch.pattern(i), forward_len(fm.text_len()));
+                let kept = (max_hits.unwrap_or(UNCAPPED) as usize).min(valid);
+                seq_buf.truncate(kept);
+                results.push_both_positions(seq_buf, kept < valid);
+            }
         }
     }
     // Sequential executors are baselines, not schedulers: they track no
@@ -145,6 +158,7 @@ impl BatchEngine<'_> {
             locate_offsets,
             search,
             resolve,
+            seq_buf,
             ..
         } = arena;
 
@@ -179,9 +193,16 @@ impl BatchEngine<'_> {
         stats.cursors_dropped = resolved.dropped;
 
         // Phase 3 — tag every query, mapping the resolver's pooled
-        // regions (in locate-query order == query order restricted to
-        // locates) back onto the full batch.
-        let mut next_locate = 0;
+        // regions (in resolving-query order == query order restricted
+        // to locates and strand searches) back onto the full batch.
+        // SearchBoth regions hold *raw doubled-text* positions that
+        // must shrink in place — straddlers and palindrome duplicates
+        // drop, the post-mapping cap truncates — so the pool is
+        // compacted left as it is walked, and later regions shift down
+        // by the accumulated shrink.
+        let n = forward_len(self.index().text_len());
+        let mut next_resolved = 0;
+        let mut shrink = 0;
         for (i, request) in requests.iter().enumerate() {
             let interval = &intervals[i];
             match *request {
@@ -191,11 +212,36 @@ impl BatchEngine<'_> {
                     hi: interval.end as u32,
                 }),
                 QueryRequest::Locate { .. } => {
-                    let width = locate_offsets[next_locate + 1] - locate_offsets[next_locate];
-                    next_locate += 1;
-                    results.push_located(width, width < interval.len());
+                    let (start, end) = (
+                        locate_offsets[next_resolved],
+                        locate_offsets[next_resolved + 1],
+                    );
+                    next_resolved += 1;
+                    if shrink > 0 {
+                        results.flat_mut().copy_within(start..end, start - shrink);
+                    }
+                    results.push_located(end - start, end - start < interval.len());
+                }
+                QueryRequest::SearchBoth { max_hits } => {
+                    let (start, end) = (
+                        locate_offsets[next_resolved],
+                        locate_offsets[next_resolved + 1],
+                    );
+                    next_resolved += 1;
+                    let flat = results.flat_mut();
+                    seq_buf.clear();
+                    seq_buf.extend_from_slice(&flat[start..end]);
+                    let valid = map_hits_in_place(seq_buf, &patterns[i], n);
+                    let kept = (max_hits.unwrap_or(UNCAPPED) as usize).min(valid);
+                    flat[start - shrink..start - shrink + kept].copy_from_slice(&seq_buf[..kept]);
+                    shrink += (end - start) - kept;
+                    results.push_both_located(kept, kept < valid);
                 }
             }
+        }
+        if shrink > 0 {
+            let total = *locate_offsets.last().expect("resolver ran");
+            results.flat_mut().truncate(total - shrink);
         }
         stats
     }

@@ -47,6 +47,25 @@ pub enum QueryRequest {
     /// The raw suffix-array interval of the pattern — for callers that
     /// schedule their own resolution or cache intervals across batches.
     Interval,
+    /// Strand-agnostic occurrence positions over a bidirectional
+    /// (doubled-text) index: forward hits plus reverse-complement hits
+    /// mapped back to forward coordinates, each answer an
+    /// [`exma_index::bidir::encode_hit`] value carrying its strand bit.
+    /// Palindromic patterns report each site once, tagged forward (see
+    /// [`exma_index::bidir`] for the dedup rule). The cap keeps the
+    /// `max_hits` *smallest* `(position, strand)` hits after mapping —
+    /// deterministic across schedules and thread counts, unlike the
+    /// resolver-order cap of [`QueryRequest::Locate`].
+    ///
+    /// On a forward-only index the mapping arithmetic still runs but
+    /// classifies against a half boundary that does not exist; the
+    /// output is deterministic yet meaningless, exactly as a locate
+    /// against the wrong reference would be. Build the index with
+    /// [`crate::EngineBuilder::bidirectional`] to make it answer.
+    SearchBoth {
+        /// `None` keeps every strand-agnostic hit.
+        max_hits: Option<u32>,
+    },
 }
 
 impl QueryRequest {
@@ -62,11 +81,28 @@ impl QueryRequest {
         }
     }
 
+    /// An uncapped strand-agnostic search.
+    pub fn search_both() -> QueryRequest {
+        QueryRequest::SearchBoth { max_hits: None }
+    }
+
+    /// A strand-agnostic search returning at most `max_hits` hits.
+    pub fn search_both_capped(max_hits: u32) -> QueryRequest {
+        QueryRequest::SearchBoth {
+            max_hits: Some(max_hits),
+        }
+    }
+
     /// The resolver-facing cap of a locate request (`None` for the
-    /// other operations, which never feed the resolver).
+    /// operations that never feed the resolver). A [`QueryRequest::SearchBoth`]
+    /// resolves its raw interval *uncapped*: boundary straddlers and
+    /// palindrome duplicates are only identified after mapping, so the
+    /// user cap is applied post-mapping to keep the selection
+    /// deterministic.
     pub(crate) fn resolver_cap(&self) -> Option<u32> {
         match *self {
             QueryRequest::Locate { max_hits } => Some(max_hits.unwrap_or(UNCAPPED)),
+            QueryRequest::SearchBoth { .. } => Some(UNCAPPED),
             _ => None,
         }
     }
@@ -138,6 +174,19 @@ impl QueryBatch {
     /// Appends an interval query (builder style).
     pub fn interval(mut self, pattern: impl AsRef<[Base]>) -> QueryBatch {
         self.push(QueryRequest::Interval, pattern);
+        self
+    }
+
+    /// Appends an uncapped strand-agnostic search (builder style).
+    pub fn search_both(mut self, pattern: impl AsRef<[Base]>) -> QueryBatch {
+        self.push(QueryRequest::search_both(), pattern);
+        self
+    }
+
+    /// Appends a strand-agnostic search keeping at most `max_hits`
+    /// encoded hits (builder style).
+    pub fn search_both_capped(mut self, pattern: impl AsRef<[Base]>, max_hits: u32) -> QueryBatch {
+        self.push(QueryRequest::search_both_capped(max_hits), pattern);
         self
     }
 
@@ -233,6 +282,14 @@ pub enum QueryOutput {
         /// occurrence list.
         truncated: bool,
     },
+    /// A [`QueryRequest::SearchBoth`] query whose pooled positions are
+    /// [`exma_index::bidir::encode_hit`] strand-hits, sorted by
+    /// `(position, strand)`.
+    BothLocated {
+        /// `true` iff `max_hits` cut the output short of the full
+        /// strand-agnostic hit list.
+        truncated: bool,
+    },
 }
 
 /// Pooled answers of one executed [`QueryBatch`].
@@ -300,7 +357,9 @@ impl QueryResults {
         match self.outputs[i] {
             QueryOutput::Count(n) => n as usize,
             QueryOutput::Interval { lo, hi } => (hi - lo) as usize,
-            QueryOutput::Located { .. } => self.offsets[i + 1] - self.offsets[i],
+            QueryOutput::Located { .. } | QueryOutput::BothLocated { .. } => {
+                self.offsets[i + 1] - self.offsets[i]
+            }
         }
     }
 
@@ -354,7 +413,10 @@ impl QueryResults {
 
     /// Appends a query that owns no positions (count or interval).
     pub(crate) fn push_tag(&mut self, output: QueryOutput) {
-        debug_assert!(!matches!(output, QueryOutput::Located { .. }));
+        debug_assert!(!matches!(
+            output,
+            QueryOutput::Located { .. } | QueryOutput::BothLocated { .. }
+        ));
         self.offsets
             .push(*self.offsets.last().expect("reset first"));
         self.outputs.push(output);
@@ -375,6 +437,23 @@ impl QueryResults {
         self.flat.extend_from_slice(positions);
         self.offsets.push(self.flat.len());
         self.outputs.push(QueryOutput::Located { truncated });
+    }
+
+    /// Appends a strand-agnostic query whose next `width` pooled
+    /// entries (encoded strand-hits) are already in `flat`.
+    pub(crate) fn push_both_located(&mut self, width: usize, truncated: bool) {
+        let end = self.offsets.last().expect("reset first") + width;
+        debug_assert!(end <= self.flat.len());
+        self.offsets.push(end);
+        self.outputs.push(QueryOutput::BothLocated { truncated });
+    }
+
+    /// Appends a strand-agnostic query by copying encoded strand-hits
+    /// into the pool — the sequential executors' path.
+    pub(crate) fn push_both_positions(&mut self, hits: &[u32], truncated: bool) {
+        self.flat.extend_from_slice(hits);
+        self.offsets.push(self.flat.len());
+        self.outputs.push(QueryOutput::BothLocated { truncated });
     }
 
     /// Appends another batch's results after this one's, rebasing its
@@ -478,11 +557,46 @@ mod tests {
     }
 
     #[test]
-    fn resolver_caps_only_exist_for_locates() {
+    fn resolver_caps_only_exist_for_resolving_requests() {
         assert_eq!(QueryRequest::Count.resolver_cap(), None);
         assert_eq!(QueryRequest::Interval.resolver_cap(), None);
         assert_eq!(QueryRequest::locate().resolver_cap(), Some(UNCAPPED));
         assert_eq!(QueryRequest::locate_capped(7).resolver_cap(), Some(7));
+        // SearchBoth resolves uncapped whatever the user cap: straddler
+        // and palindrome filtering happen after mapping, then the cap.
+        assert_eq!(QueryRequest::search_both().resolver_cap(), Some(UNCAPPED));
+        assert_eq!(
+            QueryRequest::search_both_capped(7).resolver_cap(),
+            Some(UNCAPPED)
+        );
+    }
+
+    #[test]
+    fn search_both_builders_and_pool_accessors_line_up() {
+        let base = |s: &str| exma_genome::alphabet::parse_bases(s).unwrap();
+        let batch = QueryBatch::new()
+            .search_both(base("ACG"))
+            .search_both_capped(base("T"), 2);
+        assert_eq!(batch.request(0), QueryRequest::search_both());
+        assert_eq!(batch.request(1), QueryRequest::search_both_capped(2));
+
+        let mut results = QueryResults::default();
+        results.reset(2);
+        // Encoded strand-hits ride the same flat pool as plain positions.
+        results.push_both_positions(&[0b100, 0b111], false);
+        results.flat_mut().push(0b10);
+        results.push_both_located(1, true);
+        assert_eq!(
+            results.output(0),
+            QueryOutput::BothLocated { truncated: false }
+        );
+        assert_eq!(results.positions(0), &[0b100, 0b111]);
+        assert_eq!(results.count(0), 2);
+        assert_eq!(
+            results.output(1),
+            QueryOutput::BothLocated { truncated: true }
+        );
+        assert_eq!(results.count(1), 1);
     }
 
     #[test]

@@ -234,6 +234,24 @@ impl Genome {
     pub fn text_with_sentinel(&self) -> Vec<Symbol> {
         text_from_bases(&self.seq.to_vec())
     }
+
+    /// The reverse complement of the window `start..start + len` — what a
+    /// reverse-strand read of that template reports. The one place the
+    /// workspace derives a reverse complement of reference coordinates, so
+    /// read simulation and both-strand oracles agree by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the reference (same contract as
+    /// [`PackedSeq::slice`]).
+    pub fn revcomp_window(&self, start: usize, len: usize) -> Vec<Base> {
+        let mut window = self.seq.slice(start, len);
+        window.reverse();
+        for base in &mut window {
+            *base = base.complement();
+        }
+        window
+    }
 }
 
 /// Converts a base slice into a sentinel-terminated symbol text.
@@ -349,6 +367,40 @@ mod tests {
     #[test]
     fn text_from_str_rejects_bad_chars() {
         assert_eq!(text_from_str("ACGNT"), Err(3));
+    }
+
+    #[test]
+    fn revcomp_window_matches_hand_derivation() {
+        let g = Genome::from_bases("fixture", &crate::alphabet::parse_bases("GATTACA").unwrap());
+        assert_eq!(
+            crate::alphabet::bases_to_string(&g.revcomp_window(0, 7)),
+            "TGTAATC"
+        );
+        assert_eq!(
+            crate::alphabet::bases_to_string(&g.revcomp_window(1, 3)),
+            "AAT"
+        );
+        assert!(g.revcomp_window(3, 0).is_empty());
+    }
+
+    #[test]
+    fn double_revcomp_is_identity_on_random_windows() {
+        // Property: revcomp(revcomp(w)) == w for random windows of a
+        // synthesized genome.
+        let g = Genome::synthesize(&GenomeProfile::toy(), 11);
+        let mut rng = SeededRng::new(0xABCD);
+        for _ in 0..200 {
+            let len = rng.range(0, 64);
+            let start = rng.range(0, g.len() - len + 1);
+            let window = g.seq().slice(start, len);
+            let rc = g.revcomp_window(start, len);
+            let mut rc_rc = rc.clone();
+            rc_rc.reverse();
+            for base in &mut rc_rc {
+                *base = base.complement();
+            }
+            assert_eq!(rc_rc, window, "start {start} len {len}");
+        }
     }
 
     #[test]

@@ -112,11 +112,10 @@ impl ReadOrigin {
     /// The error-free template this origin denotes: the reference window,
     /// reverse-complemented for reverse-strand origins.
     pub fn template(&self, genome: &Genome) -> Vec<Base> {
-        let window = genome.seq().slice(self.start, self.template_len);
         if self.reverse {
-            window.iter().rev().map(|b| b.complement()).collect()
+            genome.revcomp_window(self.start, self.template_len)
         } else {
-            window
+            genome.seq().slice(self.start, self.template_len)
         }
     }
 }

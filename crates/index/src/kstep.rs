@@ -47,6 +47,12 @@ pub struct KStepBuildConfig {
     /// Blocks per absolute superblock row in the two-level layout;
     /// ignored with [`DeltaWidth::U32`].
     pub superblock_rate: usize,
+    /// `true` iff the indexed text is the bidirectional doubled text
+    /// (`forward · revcomp(forward) · $`, see [`crate::bidir`]). Purely a
+    /// recipe marker: construction is identical, but snapshot and
+    /// warm-start recipe-equality gates must distinguish a doubled index
+    /// from a forward-only one built over a coincidentally equal text.
+    pub bidirectional: bool,
 }
 
 impl KStepBuildConfig {
@@ -73,6 +79,7 @@ impl KStepBuildConfig {
             k_occ_sample_rate: 64 * k,
             delta_width: DeltaWidth::U16,
             superblock_rate: 16,
+            bidirectional: false,
         }
     }
 }
@@ -101,6 +108,10 @@ pub struct KStepFmIndex {
     kstarts: Vec<u32>,
     /// Rank over the k-BWT (the k symbols cyclically preceding each suffix).
     kocc: KmerOccTable,
+    /// Recipe marker: the indexed text is the bidirectional doubled text.
+    /// Not recoverable from the tables (they see an ordinary text), so it
+    /// is stored and carried through snapshots.
+    bidirectional: bool,
 }
 
 impl KStepFmIndex {
@@ -214,6 +225,7 @@ impl KStepFmIndex {
             base,
             kstarts,
             kocc,
+            bidirectional: config.bidirectional,
         })
     }
 
@@ -237,12 +249,14 @@ impl KStepFmIndex {
         base: FmIndex,
         kstarts: Vec<u32>,
         kocc: KmerOccTable,
+        bidirectional: bool,
     ) -> KStepFmIndex {
         KStepFmIndex {
             k,
             base,
             kstarts,
             kocc,
+            bidirectional,
         }
     }
 
@@ -252,9 +266,10 @@ impl KStepFmIndex {
     }
 
     /// The build recipe this index was constructed with, recovered from
-    /// its components. This is the layout-compatibility value snapshots
-    /// embed: two indexes built from the same text agree byte-for-byte
-    /// exactly when their recovered configs are equal.
+    /// its components (plus the stored bidirectional marker). This is the
+    /// layout-compatibility value snapshots embed: two indexes built from
+    /// the same text agree byte-for-byte exactly when their recovered
+    /// configs are equal.
     pub fn build_config(&self) -> KStepBuildConfig {
         KStepBuildConfig {
             k: self.k,
@@ -263,12 +278,19 @@ impl KStepFmIndex {
             k_occ_sample_rate: self.kocc.sample_rate(),
             delta_width: self.kocc.delta_width(),
             superblock_rate: self.kocc.superblock_rate(),
+            bidirectional: self.bidirectional,
         }
     }
 
     /// Symbols consumed per LF refinement.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// `true` iff this index was built over the bidirectional doubled
+    /// text (see [`crate::bidir`]).
+    pub fn is_bidirectional(&self) -> bool {
+        self.bidirectional
     }
 
     /// Length of the indexed text, including the sentinel.

@@ -23,6 +23,7 @@
 //! assert_eq!(fm.count(&pattern), naive::count(genome.seq(), &pattern));
 //! ```
 
+pub mod bidir;
 pub mod fm;
 pub mod interleave;
 pub mod kocc;
@@ -34,6 +35,7 @@ pub mod resolve;
 pub mod sampled_sa;
 pub mod snapshot;
 
+pub use bidir::{decode_hit, doubled_text, encode_hit, is_palindromic, BidirFmIndex, Strand};
 pub use fm::{FmBuildConfig, FmIndex};
 pub use kocc::KmerOccTable;
 pub use kstep::{KStepBuildConfig, KStepFmIndex, MAX_STEP};

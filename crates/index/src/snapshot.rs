@@ -15,12 +15,12 @@
 //! query results and an allocation-exact
 //! [`HeapBreakdown`](crate::HeapBreakdown).
 //!
-//! # On-disk format (version 1, all integers little-endian)
+//! # On-disk format (versions 1 and 2, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //!      0     8  magic  b"EXMASNAP"
-//!      8     4  format version (= 1)
+//!      8     4  format version (1 or 2)
 //!     12     4  k
 //!     16     4  occ_sample_rate
 //!     20     4  sa_sample_rate
@@ -29,10 +29,18 @@
 //!     32     4  superblock_rate
 //!     36     8  text length n (sentinel included)
 //!     44     4  section count (= 4)
-//!     48     …  4 sections, each:
+//!   [ 48     4  recipe flags (version 2 only; bit 0 = bidirectional) ]
+//!      …     …  4 sections, each:
 //!                 tag u32 | payload length u64 | payload CRC32 | payload
 //!      …     4  whole-file CRC32 over every preceding byte
 //! ```
+//!
+//! Version 2 exists solely to carry the bidirectional recipe marker (a
+//! doubled-text index is table-identical to a forward-only one, so the
+//! flag cannot be recovered from the payloads). Forward-only indexes
+//! still encode as version 1, byte-identical to what earlier builds
+//! wrote; only a bidirectional index produces a version-2 image, and
+//! this build reads both.
 //!
 //! Sections, in order: `1` BWT (n one-byte symbol codes), `2` k-BWT
 //! codes (n u16 k-mer codes), `3` sampled suffix array (sample count
@@ -77,10 +85,17 @@ use crate::sampled_sa::{RankBits, SampledSuffixArray};
 /// The leading eight bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EXMASNAP";
 
-/// The on-disk format version this build writes and reads.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// The newest on-disk format version this build writes and reads.
+/// Version 1 (no recipe-flags word) is still read, and still written for
+/// forward-only indexes.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 48;
+/// The version-2 recipe-flags word appended after the v1 header.
+const FLAGS_LEN: usize = 4;
+/// Bit 0 of the recipe-flags word: the index covers the bidirectional
+/// doubled text.
+const FLAG_BIDIRECTIONAL: u32 = 1;
 const SECTION_HEADER_LEN: usize = 16;
 const SECTION_COUNT: usize = 4;
 const SECTION_NAMES: [&str; SECTION_COUNT] = ["bwt", "k-codes", "sampled-sa", "k-starts"];
@@ -123,7 +138,11 @@ fn write_config(f: &mut fmt::Formatter<'_>, c: &KStepBuildConfig) -> fmt::Result
         c.k_occ_sample_rate,
         c.delta_width,
         c.superblock_rate
-    )
+    )?;
+    if c.bidirectional {
+        write!(f, "_bidir")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for SnapshotError {
@@ -232,10 +251,17 @@ fn malformed(field: &'static str) -> SnapshotError {
     SnapshotError::Malformed { field }
 }
 
-/// Serializes `index` into the version-1 snapshot image, checksums
-/// included — the pure counterpart of [`write_snapshot`].
+/// Serializes `index` into its snapshot image, checksums included — the
+/// pure counterpart of [`write_snapshot`]. Forward-only indexes encode
+/// as version 1 (byte-identical to earlier builds); bidirectional
+/// indexes as version 2 with the recipe-flags word.
 pub fn encode_snapshot(index: &KStepFmIndex) -> Vec<u8> {
     let config = index.build_config();
+    let (version, flags_len) = if config.bidirectional {
+        (SNAPSHOT_FORMAT_VERSION, FLAGS_LEN)
+    } else {
+        (1, 0)
+    };
     let n = index.text_len();
     let stride = 1usize << (2 * config.k);
     let occ = index.base_index().occ();
@@ -269,6 +295,7 @@ pub fn encode_snapshot(index: &KStepFmIndex) -> Vec<u8> {
 
     let sections = [bwt, kcodes, ssa_payload, kstarts];
     let total = HEADER_LEN
+        + flags_len
         + sections
             .iter()
             .map(|s| SECTION_HEADER_LEN + s.len())
@@ -276,7 +303,7 @@ pub fn encode_snapshot(index: &KStepFmIndex) -> Vec<u8> {
         + 4;
     let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
-    out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(config.k as u32).to_le_bytes());
     out.extend_from_slice(&(config.occ_sample_rate as u32).to_le_bytes());
     out.extend_from_slice(&(config.sa_sample_rate as u32).to_le_bytes());
@@ -285,6 +312,9 @@ pub fn encode_snapshot(index: &KStepFmIndex) -> Vec<u8> {
     out.extend_from_slice(&(config.superblock_rate as u32).to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    if flags_len > 0 {
+        out.extend_from_slice(&FLAG_BIDIRECTIONAL.to_le_bytes());
+    }
     for (i, payload) in sections.iter().enumerate() {
         out.extend_from_slice(&(i as u32 + 1).to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -364,13 +394,20 @@ pub fn decode_snapshot(
     }
     need(bytes, 12)?;
     let version = u32_at(bytes, 8);
-    if version != SNAPSHOT_FORMAT_VERSION {
+    if !(1..=SNAPSHOT_FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::VersionMismatch {
             found: version,
             supported: SNAPSHOT_FORMAT_VERSION,
         });
     }
-    need(bytes, HEADER_LEN)?;
+    // Version 1 has no recipe-flags word; sections start right after the
+    // common header.
+    let header_len = if version >= 2 {
+        HEADER_LEN + FLAGS_LEN
+    } else {
+        HEADER_LEN
+    };
+    need(bytes, header_len)?;
     let k = u32_at(bytes, 12) as usize;
     let occ_rate = u32_at(bytes, 16) as usize;
     let sa_rate = u32_at(bytes, 20) as usize;
@@ -379,6 +416,11 @@ pub fn decode_snapshot(
     let superblock_rate = u32_at(bytes, 32) as usize;
     let text_len = u64_at(bytes, 36);
     let section_count = u32_at(bytes, 44) as usize;
+    let flags = if version >= 2 { u32_at(bytes, 48) } else { 0 };
+    if flags & !FLAG_BIDIRECTIONAL != 0 {
+        return Err(malformed("recipe flags"));
+    }
+    let bidirectional = flags & FLAG_BIDIRECTIONAL != 0;
 
     if !(1..=MAX_STEP).contains(&k) {
         return Err(malformed("step width k"));
@@ -403,6 +445,7 @@ pub fn decode_snapshot(
         k_occ_sample_rate: kocc_rate,
         delta_width,
         superblock_rate,
+        bidirectional,
     };
     if let Some(expected) = expected {
         if *expected != config {
@@ -419,7 +462,7 @@ pub fn decode_snapshot(
     // Structural walk: every section header and payload must lie within
     // the buffer, in tag order, with exactly the 4-byte file checksum
     // after the last.
-    let mut offset = HEADER_LEN;
+    let mut offset = header_len;
     let mut sections: [(usize, usize); SECTION_COUNT] = [(0, 0); SECTION_COUNT];
     let mut section_crcs = [0u32; SECTION_COUNT];
     for (i, span) in sections.iter_mut().enumerate() {
@@ -578,7 +621,13 @@ pub fn decode_snapshot(
             return Err(malformed("k-starts bucket"));
         }
     }
-    Ok(KStepFmIndex::from_parts(k, base, kstarts, kocc))
+    Ok(KStepFmIndex::from_parts(
+        k,
+        base,
+        kstarts,
+        kocc,
+        bidirectional,
+    ))
 }
 
 #[cfg(test)]
@@ -738,6 +787,68 @@ mod tests {
         );
         // The matching recipe loads.
         assert!(decode_snapshot(&bytes, Some(&index.build_config())).is_ok());
+    }
+
+    fn toy_bidir_index(k: usize) -> KStepFmIndex {
+        let mut profile = GenomeProfile::toy();
+        profile.len = 1500;
+        let genome = Genome::synthesize(&profile, 7);
+        let doubled = crate::bidir::doubled_text(&genome.text_with_sentinel());
+        let config = KStepBuildConfig {
+            bidirectional: true,
+            ..KStepBuildConfig::for_k(k)
+        };
+        KStepFmIndex::from_text_with_config(&doubled, config).unwrap()
+    }
+
+    #[test]
+    fn forward_only_snapshots_stay_version_one() {
+        // A forward-only index must encode byte-identically to what
+        // earlier builds wrote: version 1, no flags word.
+        let bytes = encode_snapshot(&toy_index(2));
+        assert_eq!(u32_at(&bytes, 8), 1);
+        // The first section tag sits right at the v1 header boundary.
+        assert_eq!(u32_at(&bytes, HEADER_LEN), 1);
+    }
+
+    #[test]
+    fn bidir_snapshots_round_trip_at_version_two() {
+        for k in [1, 2, 4] {
+            let index = toy_bidir_index(k);
+            let bytes = encode_snapshot(&index);
+            assert_eq!(u32_at(&bytes, 8), SNAPSHOT_FORMAT_VERSION, "k={k}");
+            assert_eq!(u32_at(&bytes, HEADER_LEN), FLAG_BIDIRECTIONAL, "k={k}");
+            let loaded = decode_snapshot(&bytes, None).expect("valid snapshot");
+            assert_eq!(loaded, index, "k={k}");
+            assert!(loaded.is_bidirectional());
+            assert_eq!(loaded.heap_breakdown(), index.heap_breakdown());
+            assert_eq!(loaded.build_config(), index.build_config());
+        }
+    }
+
+    #[test]
+    fn bidir_and_forward_recipes_gate_each_other_as_layout_mismatch() {
+        let index = toy_bidir_index(2);
+        let bytes = encode_snapshot(&index);
+        let mut forward = index.build_config();
+        forward.bidirectional = false;
+        let err = decode_snapshot(&bytes, Some(&forward)).unwrap_err();
+        assert!(matches!(err, SnapshotError::LayoutMismatch { .. }), "{err}");
+        let rendered = format!("{err}");
+        assert!(rendered.contains("_bidir"), "{rendered}");
+        assert!(decode_snapshot(&bytes, Some(&index.build_config())).is_ok());
+    }
+
+    #[test]
+    fn unknown_recipe_flags_are_malformed() {
+        let mut bytes = encode_snapshot(&toy_bidir_index(2));
+        bytes[48..52].copy_from_slice(&0b110u32.to_le_bytes());
+        assert_eq!(
+            decode_snapshot(&bytes, None).unwrap_err(),
+            SnapshotError::Malformed {
+                field: "recipe flags"
+            }
+        );
     }
 
     #[test]

@@ -165,6 +165,12 @@ pub struct ServerStats {
     /// Snapshot files rejected by the verified loader at startup, each
     /// followed by a cold rebuild; set once at startup.
     pub snapshot_rejected: AtomicU64,
+    /// 1 when the served index is bidirectional (strand-agnostic
+    /// search); set once at startup.
+    pub bidir_enabled: AtomicU64,
+    /// Symbol length of the indexed text (doubled for a bidirectional
+    /// index); set once at startup.
+    pub bidir_text_len: AtomicU64,
 }
 
 impl ServerStats {
@@ -186,6 +192,15 @@ impl ServerStats {
         self.heap_rank_bits
             .store(heap.rank_bits as u64, Ordering::Relaxed);
         self.heap_other.store(heap.other as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes the served index's strandedness — called once at
+    /// [`crate::Server::bind`] alongside [`ServerStats::record_heap`].
+    pub fn record_strandedness(&self, bidirectional: bool, text_len: usize) {
+        self.bidir_enabled
+            .store(u64::from(bidirectional), Ordering::Relaxed);
+        self.bidir_text_len
+            .store(text_len as u64, Ordering::Relaxed);
     }
 
     /// A point-in-time copy, as sent in a STATS_REPLY frame.
@@ -217,6 +232,8 @@ impl ServerStats {
             goaway_sent: self.goaway_sent.load(Ordering::Relaxed),
             snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
             snapshot_rejected: self.snapshot_rejected.load(Ordering::Relaxed),
+            bidir_enabled: self.bidir_enabled.load(Ordering::Relaxed),
+            bidir_text_len: self.bidir_text_len.load(Ordering::Relaxed),
         }
     }
 

@@ -70,6 +70,11 @@ pub struct ConnConfig {
     /// effective budget is the tighter of this and the client's
     /// `deadline_us` (`None` = only client deadlines apply).
     pub default_deadline: Option<Duration>,
+    /// Whether the served index is bidirectional. When `false`, a
+    /// both-strand query (kind 3) answers a payload-level ERROR and
+    /// keeps the connection — a forward-only index would return
+    /// deterministic nonsense for it.
+    pub bidirectional: bool,
 }
 
 impl Default for ConnConfig {
@@ -81,6 +86,7 @@ impl Default for ConnConfig {
             writer_queue_depth: 256,
             idle_timeout: Some(Duration::from_secs(60)),
             default_deadline: None,
+            bidirectional: false,
         }
     }
 }
@@ -354,6 +360,23 @@ fn read_loop(
                         continue;
                     }
                 };
+                if !config.bidirectional
+                    && batch
+                        .requests()
+                        .iter()
+                        .any(|r| matches!(r, exma_engine::QueryRequest::SearchBoth { .. }))
+                {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    reply.send(
+                        error_frame(
+                            header.version,
+                            header.request_id,
+                            &WireError::NotBidirectional,
+                        ),
+                        stats,
+                    );
+                    continue;
+                }
                 // Count the queued submission before try_send: the
                 // batcher may drain (and decrement) it immediately.
                 stats.queue_depth.fetch_add(1, Ordering::Relaxed);

@@ -164,8 +164,10 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let stats = Arc::new(ServerStats::default());
         // The served index is fixed for the server's lifetime, so its
-        // heap attribution is published once and snapshots just read it.
+        // heap attribution and strandedness are published once and
+        // snapshots just read them.
         stats.record_heap(&index.heap_breakdown());
+        stats.record_strandedness(index.is_bidirectional(), index.text_len());
         Ok(Server {
             listener,
             index,
@@ -211,6 +213,7 @@ impl Server {
             writer_queue_depth: self.config.writer_queue_depth,
             idle_timeout: self.config.idle_timeout,
             default_deadline: self.config.default_deadline,
+            bidirectional: self.builder.is_bidirectional(),
         };
 
         let batcher = {

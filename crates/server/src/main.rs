@@ -45,6 +45,8 @@ OPTIONS:
     --len N               override the profile's length in bases
     --seed N              synthesis seed (default: 42)
     --k N                 step width of the index (default: 4)
+    --bidirectional       index both strands (doubled text) so clients
+                          can send strand-agnostic search-both queries
     --threads N           sharded-engine worker threads (default: 1)
     --host HOST           bind address (default: 127.0.0.1)
     --port N              bind port, 0 = ephemeral (default: 7878)
@@ -73,6 +75,7 @@ struct Args {
     len: Option<usize>,
     seed: u64,
     k: usize,
+    bidirectional: bool,
     threads: usize,
     host: String,
     port: u16,
@@ -86,6 +89,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         len: None,
         seed: 42,
         k: 4,
+        bidirectional: false,
         threads: 1,
         host: "127.0.0.1".to_string(),
         port: 7878,
@@ -100,6 +104,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--len" => args.len = Some(parse_num(&value("--len")?)?),
             "--seed" => args.seed = parse_num(&value("--seed")?)?,
             "--k" => args.k = parse_num(&value("--k")?)?,
+            "--bidirectional" => args.bidirectional = true,
             "--threads" => args.threads = parse_num(&value("--threads")?)?,
             "--host" => args.host = value("--host")?,
             "--port" => args.port = parse_num(&value("--port")?)?,
@@ -200,7 +205,10 @@ fn run(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let builder = EngineBuilder::new().k(args.k).threads(args.threads);
+    let builder = EngineBuilder::new()
+        .k(args.k)
+        .threads(args.threads)
+        .bidirectional(args.bidirectional);
 
     eprintln!(
         "synthesizing {} ({} bp, seed {})...",
@@ -217,13 +225,21 @@ fn run(args: &Args) -> ExitCode {
     let mut snapshot_rejected = 0u64;
     let load_start = Instant::now();
     let mut warm: Option<KStepFmIndex> = None;
+    // A bidirectional recipe indexes the doubled text: 2n + 1 symbols
+    // for an n-base reference (the snapshot's recipe flag already gates
+    // strandedness; this check catches a different reference length).
+    let expected_text_len = if args.bidirectional {
+        2 * (text.len() - 1) + 1
+    } else {
+        text.len()
+    };
     if let Some(path) = args.snapshot_path.as_deref().filter(|p| p.exists()) {
         match builder.attach_from_snapshot(path) {
-            Ok(index) if index.text_len() != text.len() => {
+            Ok(index) if index.text_len() != expected_text_len => {
                 eprintln!(
-                    "snapshot rejected: indexes {} symbols but the synthesized reference has {}; rebuilding",
+                    "snapshot rejected: indexes {} symbols but the synthesized reference needs {}; rebuilding",
                     index.text_len(),
-                    text.len()
+                    expected_text_len
                 );
                 snapshot_rejected = 1;
             }
@@ -346,6 +362,7 @@ mod tests {
             .unwrap();
         assert_eq!(args.profile, "toy");
         assert_eq!(args.port, 7878);
+        assert!(!args.bidirectional);
         assert_eq!(args.config.queue_depth, 1024);
 
         let argv = [
@@ -357,6 +374,7 @@ mod tests {
             "7",
             "--k",
             "2",
+            "--bidirectional",
             "--port",
             "0",
             "--queue-depth",
@@ -381,6 +399,7 @@ mod tests {
         assert_eq!(args.len, Some(50_000));
         assert_eq!(args.seed, 7);
         assert_eq!(args.k, 2);
+        assert!(args.bidirectional);
         assert_eq!(args.port, 0);
         assert_eq!(args.config.queue_depth, 4);
         assert_eq!(args.config.linger, Duration::from_micros(500));

@@ -29,13 +29,20 @@
 //! version on its responses, so a v1 client never sees a v2 frame.
 //!
 //! A QUERY payload is a [`QueryBatch`]: `u32` query count, then per
-//! query a `u8` operation (`0` count, `1` locate, `2` interval), for
-//! locates a `u32` hit cap (`0xFFFF_FFFF` = uncapped), then a `u32`
-//! pattern length and one byte per base (2-bit codes `0..=3`). A
-//! RESULTS payload mirrors [`QueryResults`]: `u32` query count, then
-//! per query a `u8` tag (`0` count: `u32`; `1` interval: `u32` lo,
-//! `u32` hi; `2` located: `u8` truncated flag, `u32` position count,
-//! that many `u32` positions). Positions arrive sorted ascending, so a
+//! query a `u8` operation (`0` count, `1` locate, `2` interval,
+//! `3` search-both), for locates and search-both a `u32` hit cap
+//! (`0xFFFF_FFFF` = uncapped), then a `u32` pattern length and one byte
+//! per base (2-bit codes `0..=3`). A RESULTS payload mirrors
+//! [`QueryResults`]: `u32` query count, then per query a `u8` tag
+//! (`0` count: `u32`; `1` interval: `u32` lo, `u32` hi; `2` located:
+//! `u8` truncated flag, `u32` position count, that many `u32`
+//! positions; `3` both-located: the located layout, each `u32` an
+//! [`exma_index::bidir::encode_hit`] strand-hit —
+//! `(position << 1) | strand`, `1` = reverse). The search-both kind is
+//! a *payload-kind extension*, not a protocol version: the header
+//! version stays 2, and clients that never send kind 3 see
+//! byte-identical traffic to before. Positions arrive sorted ascending
+//! (strand-hits by `(position, strand)`), so a
 //! client can byte-compare a response against a locally encoded oracle
 //! run — which is exactly how the loopback tests and the load
 //! generator verify the server. GOAWAY frames (empty payload) answer
@@ -168,7 +175,7 @@ pub enum WireError {
         /// The configured per-frame cap.
         max: usize,
     },
-    /// An operation byte outside `0..=2` in a QUERY payload.
+    /// An operation byte outside `0..=3` in a QUERY payload.
     BadRequestKind {
         /// The byte received.
         kind: u8,
@@ -182,6 +189,13 @@ pub enum WireError {
     /// the wildcard arm the engine's `#[non_exhaustive]` request enum
     /// demands.
     UnsupportedRequest,
+    /// A both-strand query (kind 3) reached a server whose index only
+    /// covers the forward strand. Answering it would return
+    /// deterministic nonsense — the coordinate mapping classifies
+    /// against a half boundary a forward-only index does not have —
+    /// so the server refuses at the payload level and keeps the
+    /// connection.
+    NotBidirectional,
 }
 
 impl fmt::Display for WireError {
@@ -216,7 +230,7 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::BadRequestKind { kind } => {
-                write!(f, "unknown request kind {kind}, expected 0..=2")
+                write!(f, "unknown request kind {kind}, expected 0..=3")
             }
             WireError::BadBase { byte } => {
                 write!(f, "pattern byte {byte} is not a 2-bit base code")
@@ -225,6 +239,13 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "request shape not encodable at protocol version {VERSION}"
+                )
+            }
+            WireError::NotBidirectional => {
+                write!(
+                    f,
+                    "both-strand query (kind 3) needs a bidirectional server; \
+                     this index covers the forward strand only"
                 )
             }
         }
@@ -425,11 +446,13 @@ impl<'a> Cursor<'a> {
 const KIND_COUNT: u8 = 0;
 const KIND_LOCATE: u8 = 1;
 const KIND_INTERVAL: u8 = 2;
+const KIND_SEARCH_BOTH: u8 = 3;
 
 /// Result-tag bytes of a RESULTS payload.
 const TAG_COUNT: u8 = 0;
 const TAG_INTERVAL: u8 = 1;
 const TAG_LOCATED: u8 = 2;
+const TAG_BOTH_LOCATED: u8 = 3;
 
 /// Appends a QUERY payload encoding `batch` to `buf`.
 ///
@@ -447,6 +470,10 @@ pub fn encode_query_batch(batch: &QueryBatch, buf: &mut Vec<u8>) -> Result<(), W
                 buf.extend_from_slice(&max_hits.unwrap_or(UNCAPPED_WIRE).to_le_bytes());
             }
             QueryRequest::Interval => buf.push(KIND_INTERVAL),
+            QueryRequest::SearchBoth { max_hits } => {
+                buf.push(KIND_SEARCH_BOTH);
+                buf.extend_from_slice(&max_hits.unwrap_or(UNCAPPED_WIRE).to_le_bytes());
+            }
             _ => return Err(WireError::UnsupportedRequest),
         }
         let pattern = batch.pattern(i);
@@ -492,6 +519,18 @@ pub fn decode_query_batch(
                 QueryRequest::Locate { max_hits: clamped }
             }
             KIND_INTERVAL => QueryRequest::Interval,
+            KIND_SEARCH_BOTH => {
+                // Strand-agnostic hits cost the same resolver budget as
+                // locates, so the ceiling clamps them identically.
+                let cap = cursor.u32()?;
+                let requested = (cap != UNCAPPED_WIRE).then_some(cap);
+                let clamped = match (requested, max_hits_ceiling) {
+                    (Some(c), Some(ceiling)) => Some(c.min(ceiling)),
+                    (Some(c), None) => Some(c),
+                    (None, ceiling) => ceiling,
+                };
+                QueryRequest::SearchBoth { max_hits: clamped }
+            }
             kind => return Err(WireError::BadRequestKind { kind }),
         };
         let len = cursor.u32()? as usize;
@@ -534,6 +573,15 @@ pub fn encode_results_range(results: &QueryResults, lo: usize, hi: usize, buf: &
                     buf.extend_from_slice(&p.to_le_bytes());
                 }
             }
+            QueryOutput::BothLocated { truncated } => {
+                buf.push(TAG_BOTH_LOCATED);
+                buf.push(u8::from(truncated));
+                let hits = results.positions(i);
+                buf.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+                for &h in hits {
+                    buf.extend_from_slice(&h.to_le_bytes());
+                }
+            }
         }
     }
 }
@@ -555,6 +603,16 @@ pub enum WireOutput {
     Located {
         /// The kept positions.
         positions: Vec<u32>,
+        /// `true` iff `max_hits` cut the list short.
+        truncated: bool,
+    },
+    /// A search-both query's encoded strand-hits
+    /// (`(position << 1) | strand`, sorted by `(position, strand)`) and
+    /// whether a hit cap truncated them. Decode each with
+    /// [`exma_index::bidir::decode_hit`].
+    BothLocated {
+        /// The kept encoded strand-hits.
+        hits: Vec<u32>,
         /// `true` iff `max_hits` cut the list short.
         truncated: bool,
     },
@@ -583,6 +641,15 @@ pub fn decode_results(payload: &[u8]) -> Result<Vec<WireOutput>, WireError> {
                     positions,
                     truncated,
                 }
+            }
+            TAG_BOTH_LOCATED => {
+                let truncated = cursor.u8()? != 0;
+                let count = cursor.u32()? as usize;
+                let mut hits = Vec::with_capacity(count.min(payload.len() / 4));
+                for _ in 0..count {
+                    hits.push(cursor.u32()?);
+                }
+                WireOutput::BothLocated { hits, truncated }
             }
             kind => return Err(WireError::BadRequestKind { kind }),
         });
@@ -658,15 +725,24 @@ pub struct StatsSnapshot {
     /// (corruption, truncation, stale version, layout mismatch), each
     /// followed by a cold rebuild.
     pub snapshot_rejected: u64,
+    /// 1 when the served index is bidirectional (doubled-text,
+    /// strand-agnostic search enabled), 0 for forward-only.
+    pub bidir_enabled: u64,
+    /// Length in symbols of the text the index actually holds —
+    /// `2n + 1` for a bidirectional index over an `n`-base reference,
+    /// the reference's sentinel-terminated length otherwise. Paired
+    /// with `bidir_enabled` so a client can report the doubled-text
+    /// cost without knowing the genome.
+    pub bidir_text_len: u64,
 }
 
 impl StatsSnapshot {
     /// The snapshot's fields in wire order. New counters append at the
     /// end precisely because the count-prefixed encoding lets older
     /// clients keep reading the prefix they know — the heap fields
-    /// (PR 7) and the robustness counters (this PR) both used that
-    /// latitude.
-    fn fields(&self) -> [u64; 26] {
+    /// (PR 7), the robustness counters (PR 8) and the strandedness
+    /// pair (this PR) all used that latitude.
+    fn fields(&self) -> [u64; 28] {
         [
             self.connections,
             self.submissions_admitted,
@@ -694,6 +770,8 @@ impl StatsSnapshot {
             self.goaway_sent,
             self.snapshot_loaded,
             self.snapshot_rejected,
+            self.bidir_enabled,
+            self.bidir_text_len,
         ]
     }
 }
@@ -715,7 +793,7 @@ pub fn encode_stats(stats: &StatsSnapshot, buf: &mut Vec<u8>) {
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
     let mut cursor = Cursor::new(payload);
     let announced = cursor.u32()? as usize;
-    let mut fields = [0u64; 26];
+    let mut fields = [0u64; 28];
     if announced < fields.len() {
         return Err(WireError::Truncated {
             needed: fields.len() * 8,
@@ -729,7 +807,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         cursor.take(8)?;
     }
     cursor.finish()?;
-    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other, late_dropped, writer_shed, conns_reaped, goaway_sent, snapshot_loaded, snapshot_rejected] =
+    let [connections, submissions_admitted, submissions_busy, errors, batches_run, submissions_coalesced, max_coalesced, queries_executed, positions_returned, search_rounds, resolve_rounds, queue_depth, heap_total, heap_k_occ_checkpoints, heap_k_occ_deltas, heap_k_occ_codes, heap_one_step_occ, heap_sa_samples, heap_rank_bits, heap_other, late_dropped, writer_shed, conns_reaped, goaway_sent, snapshot_loaded, snapshot_rejected, bidir_enabled, bidir_text_len] =
         fields;
     Ok(StatsSnapshot {
         connections,
@@ -758,6 +836,8 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         goaway_sent,
         snapshot_loaded,
         snapshot_rejected,
+        bidir_enabled,
+        bidir_text_len,
     })
 }
 
@@ -773,6 +853,66 @@ mod tests {
             .locate(base("GG"))
             .locate_capped(base("T"), 7)
             .interval(base(""))
+    }
+
+    fn sample_both_batch() -> QueryBatch {
+        let base = |s: &str| parse_bases(s).unwrap();
+        QueryBatch::new()
+            .search_both(base("CATA"))
+            .search_both_capped(base("A"), 7)
+            .locate(base("GA"))
+            .count(base("TAG"))
+    }
+
+    #[test]
+    fn search_both_requests_round_trip_and_clamp_like_locates() {
+        let batch = sample_both_batch();
+        let mut payload = Vec::new();
+        encode_query_batch(&batch, &mut payload).unwrap();
+        assert_eq!(decode_query_batch(&payload, 4096, None).unwrap(), batch);
+
+        let clamped = decode_query_batch(&payload, 4096, Some(5)).unwrap();
+        assert_eq!(clamped.request(0), QueryRequest::search_both_capped(5));
+        assert_eq!(clamped.request(1), QueryRequest::search_both_capped(5));
+        let loose = decode_query_batch(&payload, 4096, Some(1000)).unwrap();
+        assert_eq!(loose.request(0), QueryRequest::search_both_capped(1000));
+        assert_eq!(loose.request(1), QueryRequest::search_both_capped(7));
+    }
+
+    #[test]
+    fn search_both_results_round_trip_with_strand_bits() {
+        use exma_engine::EngineBuilder;
+        use exma_genome::genome::text_from_str;
+        use exma_index::bidir::{decode_hit, Strand};
+
+        let text = text_from_str("CATAGACATAGA").unwrap();
+        let builder = EngineBuilder::new().k(2).bidirectional(true);
+        let index = builder.build_index(&text).unwrap();
+        let engine = builder.attach(&index).unwrap();
+        let batch = sample_both_batch();
+        let (results, _) = engine.run(&batch);
+
+        let mut payload = Vec::new();
+        encode_results_range(&results, 0, results.len(), &mut payload);
+        let outputs = decode_results(&payload).unwrap();
+        match &outputs[0] {
+            WireOutput::BothLocated { hits, truncated } => {
+                assert!(!truncated);
+                assert_eq!(&hits[..], results.positions(0));
+                // "CATA" occurs forward at 0 and 6; its revcomp "TATG"
+                // does not occur — forward tags only here.
+                let decoded: Vec<(u32, Strand)> = hits.iter().map(|&h| decode_hit(h)).collect();
+                assert_eq!(decoded, vec![(0, Strand::Forward), (6, Strand::Forward)]);
+            }
+            other => panic!("expected BothLocated, got {other:?}"),
+        }
+        assert!(matches!(
+            &outputs[1],
+            WireOutput::BothLocated { hits, .. } if !hits.is_empty()
+        ));
+        // Plain requests on the same wire keep their plain tags.
+        assert!(matches!(&outputs[2], WireOutput::Located { .. }));
+        assert!(matches!(&outputs[3], WireOutput::Count(_)));
     }
 
     #[test]
@@ -962,7 +1102,10 @@ mod tests {
                 WireOutput::Interval { lo, hi } => {
                     assert_eq!(results.interval(i), Some(*lo as usize..*hi as usize))
                 }
-                WireOutput::Located { positions, .. } => {
+                WireOutput::Located { positions, .. }
+                | WireOutput::BothLocated {
+                    hits: positions, ..
+                } => {
                     assert_eq!(&positions[..], results.positions(i))
                 }
             }
@@ -1006,14 +1149,16 @@ mod tests {
             goaway_sent: 6,
             snapshot_loaded: 1,
             snapshot_rejected: 2,
+            bidir_enabled: 1,
+            bidir_text_len: 20_001,
         };
         let mut payload = Vec::new();
         encode_stats(&stats, &mut payload);
         assert_eq!(decode_stats(&payload).unwrap(), stats);
 
-        // A newer server appending a 27th counter still decodes.
+        // A newer server appending a 29th counter still decodes.
         let mut extended = payload.clone();
-        extended[0..4].copy_from_slice(&27u32.to_le_bytes());
+        extended[0..4].copy_from_slice(&29u32.to_le_bytes());
         extended.extend_from_slice(&999u64.to_le_bytes());
         assert_eq!(decode_stats(&extended).unwrap(), stats);
         assert!(decode_stats(&payload[..8]).is_err());

@@ -395,6 +395,103 @@ fn linger_window_coalesces_concurrent_submissions() {
 }
 
 #[test]
+fn bidirectional_server_answers_search_both_byte_exactly() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4).bidirectional(true);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = TestServer::start(Arc::clone(&index), builder, ServerConfig::default());
+    let mut client = Client::connect(&server);
+
+    // SearchBoth interleaved with the plain operations: forward
+    // windows, reverse-complement windows (a client that never
+    // reverse-complements), palindromes, and a tight cap.
+    let window = genome.seq().slice(100, 24);
+    let reverse = genome.revcomp_window(300, 24);
+    let palindrome = exma_genome::alphabet::parse_bases("ACGT").unwrap();
+    let frequent = genome.seq().slice(0, 2);
+    let batch = QueryBatch::new()
+        .search_both(&window)
+        .search_both(&reverse)
+        .search_both(&palindrome)
+        .search_both_capped(&frequent, 5)
+        .count(&window)
+        .locate_capped(&window, 8);
+    client.send_query(21, &batch);
+    let (header, payload) = client.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(header.request_id, 21);
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+
+    // The strand tags survive the wire: the forward window comes back
+    // Forward at its origin, the reverse window Reverse at its origin.
+    let outputs = wire::decode_results(&payload).unwrap();
+    let decoded = |i: usize| -> Vec<(u32, exma_index::bidir::Strand)> {
+        match &outputs[i] {
+            wire::WireOutput::BothLocated { hits, .. } => hits
+                .iter()
+                .map(|&h| exma_index::bidir::decode_hit(h))
+                .collect(),
+            other => panic!("expected both-located, got {other:?}"),
+        }
+    };
+    assert!(decoded(0).contains(&(100, exma_index::bidir::Strand::Forward)));
+    assert!(decoded(1).contains(&(300, exma_index::bidir::Strand::Reverse)));
+    assert!(decoded(2)
+        .iter()
+        .all(|&(_, s)| s == exma_index::bidir::Strand::Forward));
+    match &outputs[3] {
+        wire::WireOutput::BothLocated { hits, truncated } => {
+            assert_eq!(hits.len(), 5);
+            assert!(*truncated);
+        }
+        other => panic!("expected both-located, got {other:?}"),
+    }
+
+    // The stats snapshot publishes the served index's strandedness.
+    let stats = client.stats_snapshot(22);
+    assert_eq!(stats.bidir_enabled, 1);
+    assert_eq!(stats.bidir_text_len, index.text_len() as u64);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn forward_only_server_refuses_search_both_and_keeps_the_connection() {
+    let genome = toy_genome();
+    let builder = EngineBuilder::new().k(4);
+    let index = Arc::new(builder.build_index(&genome.text_with_sentinel()).unwrap());
+    let server = TestServer::start(Arc::clone(&index), builder, ServerConfig::default());
+    let mut client = Client::connect(&server);
+
+    // A kind-3 query against a forward-only index would return
+    // deterministic nonsense — the server must refuse it at the
+    // payload level instead, like a bad kind byte.
+    let window = genome.seq().slice(100, 24);
+    client.send_query(31, &QueryBatch::new().search_both(&window));
+    let (header, payload) = client.read_frame().expect("error reply");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Error));
+    assert_eq!(header.request_id, 31);
+    let message = String::from_utf8(payload).expect("utf-8 error message");
+    assert!(message.contains("bidirectional"), "{message}");
+
+    // Payload-level rejection: the connection survives and plain
+    // queries on it still answer byte-exactly.
+    let batch = mixed_batch(&genome, 12, 7);
+    client.send_query(32, &batch);
+    let (header, payload) = client.read_frame().expect("results");
+    assert_eq!(Opcode::from_byte(header.opcode), Ok(Opcode::Results));
+    assert_eq!(header.request_id, 32);
+    assert_eq!(payload, expected_payload(&builder, &index, &batch));
+
+    // The refusal is an error, not an executed query.
+    let stats = client.stats_snapshot(33);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.bidir_enabled, 0);
+    drop(client);
+    server.stop();
+}
+
+#[test]
 fn max_hits_ceiling_caps_every_locate() {
     let genome = toy_genome();
     let builder = EngineBuilder::new().k(2);
